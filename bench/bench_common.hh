@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared plumbing for the figure benches: suite loops with parallel
+ * per-app experiments, uniform headers, and the geometric-mean helpers
+ * the paper's "average speedup" rows use.
+ */
+
+#ifndef CRITICS_BENCH_COMMON_HH
+#define CRITICS_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "support/logging.hh"
+#include "support/parallel.hh"
+#include "support/table.hh"
+
+namespace critics::bench
+{
+
+/** Default per-app sample size for bench runs. */
+inline sim::ExperimentOptions
+benchOptions()
+{
+    sim::ExperimentOptions opt;
+    opt.traceInsts = 400000;
+    return opt;
+}
+
+/** Print the standard bench header with Table I. */
+inline void
+header(const char *figure, const char *what)
+{
+    std::printf("==============================================="
+                "=============================\n");
+    std::printf("CritICs reproduction — %s: %s\n", figure, what);
+    std::printf("==============================================="
+                "=============================\n");
+    std::printf("%s\n", sim::describeBaselineConfig().c_str());
+}
+
+/** One experiment per profile, constructed in parallel. */
+inline std::vector<std::unique_ptr<sim::AppExperiment>>
+makeExperiments(const std::vector<workload::AppProfile> &profiles,
+                const sim::ExperimentOptions &options = benchOptions())
+{
+    std::vector<std::unique_ptr<sim::AppExperiment>> exps(
+        profiles.size());
+    parallelFor(profiles.size(), [&](std::size_t i) {
+        exps[i] = std::make_unique<sim::AppExperiment>(profiles[i],
+                                                       options);
+        exps[i]->baseline(); // warm the baseline in parallel too
+    });
+    return exps;
+}
+
+/** Geometric mean of speedups (the paper's suite averages). */
+inline double
+geoMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double logSum = 0.0;
+    for (const double v : values)
+        logSum += std::log(v);
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace critics::bench
+
+#endif // CRITICS_BENCH_COMMON_HH

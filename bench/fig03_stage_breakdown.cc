@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fig. 3 reproduction.
+ *
+ * (a) Fetch-to-commit stage breakdown of the high-fanout (critical)
+ *     instructions, SPEC vs Android.  Paper: Android criticals spend
+ *     ~40% of their time in Fetch while SPEC criticals spend <5%,
+ *     with SPEC dominated by Execute/ROB residency.
+ * (b) The split of front-end stalls into F.StallForI (i-cache +
+ *     branch redirect supply) and F.StallForR+D (back-pressure), as
+ *     fractions of whole-program cycles.
+ * (c) The long-latency instruction mix: mobile apps have far fewer
+ *     high-latency (divide/FP/missing-load) instructions.
+ */
+
+#include "bench_common.hh"
+
+using namespace critics;
+using namespace critics::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    header("Fig. 3", "where critical instructions spend their time");
+
+    struct SuiteRow
+    {
+        const char *name;
+        std::vector<workload::AppProfile> apps;
+    };
+    std::vector<SuiteRow> suites{
+        {"SPEC.int", workload::specIntApps()},
+        {"SPEC.float", workload::specFloatApps()},
+        {"Android", workload::mobileApps()},
+    };
+
+    Table fig3a({"suite", "Fetch", "Decode/Rename", "ROB wait",
+                 "Execute", "Commit wait"});
+    Table fig3b({"suite", "F.StallForI (icache)", "F.StallForI (branch)",
+                 "F.StallForR+D", "IPC"});
+    Table fig3c({"suite", "div/FP ops", "L1-missing loads",
+                 "high-latency total"});
+
+    for (auto &suite : suites) {
+        auto exps = makeExperiments(suite.apps);
+
+        cpu::StageBreakdown crit;
+        double icacheStall = 0, redirectStall = 0, rdStall = 0, ipc = 0;
+        double longLatOps = 0, missLoads = 0;
+        for (auto &expPtr : exps) {
+            const auto &stats = expPtr->baseline().cpu;
+            const auto &b = stats.crit;
+            crit.fetch += b.fetch;
+            crit.decode += b.decode;
+            crit.issueWait += b.issueWait;
+            crit.execute += b.execute;
+            crit.commitWait += b.commitWait;
+            crit.insts += b.insts;
+            const auto cycles = static_cast<double>(stats.cycles);
+            icacheStall +=
+                static_cast<double>(stats.stallForIIcache) / cycles;
+            redirectStall +=
+                static_cast<double>(stats.stallForIRedirect) / cycles;
+            rdStall += stats.fracStallForRd();
+            ipc += stats.ipc();
+
+            // Fig. 3c mix from the trace itself.
+            std::uint64_t lat = 0, total = 0;
+            for (const auto &d : expPtr->baseTrace().insts) {
+                ++total;
+                switch (d.op) {
+                  case isa::OpClass::IntDiv:
+                  case isa::OpClass::FloatAdd:
+                  case isa::OpClass::FloatMul:
+                  case isa::OpClass::FloatDiv:
+                    ++lat;
+                    break;
+                  default:
+                    break;
+                }
+            }
+            longLatOps += static_cast<double>(lat) /
+                          static_cast<double>(total);
+            missLoads += stats.mem.dcache.missRate() *
+                         (static_cast<double>(
+                              stats.mem.dcache.accesses) /
+                          static_cast<double>(stats.committed));
+        }
+        const auto n = static_cast<double>(exps.size());
+        const double total = crit.total();
+        fig3a.addRow({suite.name, pct(crit.fetch / total),
+                      pct(crit.decode / total),
+                      pct(crit.issueWait / total),
+                      pct(crit.execute / total),
+                      pct(crit.commitWait / total)});
+        fig3b.addRow({suite.name, pct(icacheStall / n),
+                      pct(redirectStall / n), pct(rdStall / n),
+                      fmt(ipc / n)});
+        fig3c.addRow({suite.name, pct(longLatOps / n),
+                      pct(missLoads / n),
+                      pct((longLatOps + missLoads) / n)});
+    }
+
+    std::printf("Fig. 3a — stage residency of critical "
+                "(fanout >= 8) instructions\n%s\n",
+                fig3a.render().c_str());
+    std::printf("Fig. 3b — front-end stall attribution "
+                "(fraction of cycles)\n%s\n", fig3b.render().c_str());
+    std::printf("Fig. 3c — long-latency instruction mix\n%s\n",
+                fig3c.render().c_str());
+    return 0;
+}

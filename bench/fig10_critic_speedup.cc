@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Fig. 10 reproduction — the headline result.
+ *
+ * (a) Per-app CPU speedup for the three software design points:
+ *     Hoist (motion only; paper avg 2.5%), CritIC (hoist + 16-bit +
+ *     CDP; paper 9–15%, avg 12.6%) and CritIC.Ideal (no length or
+ *     convertibility limits; paper <1% above CritIC).
+ * (b) Fetch-stall savings split into the producer (F.StallForI) and
+ *     consumer (F.StallForR+D) sides (paper: 3.6% + 2.5%).
+ * (c) Energy gains by SoC component (paper: i-cache 0.8%, CPU 2.2%,
+ *     memory 1.5% of SoC; 4.6% SoC and 15% CPU-only savings).
+ */
+
+#include "bench_common.hh"
+
+using namespace critics;
+using namespace critics::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    header("Fig. 10", "Hoist / CritIC / CritIC.Ideal speedup & energy");
+
+    const auto apps = workload::mobileApps();
+    auto exps = makeExperiments(apps);
+
+    struct Row
+    {
+        double hoist, critic, ideal;
+        double dStallI, dStallRd; // stall-fraction savings
+        double eIcache, eCpu, eMem, eSoc, eCpuOnly;
+        double coverage, dynThumb;
+    };
+    std::vector<Row> rows(exps.size());
+
+    parallelFor(exps.size(), [&](std::size_t i) {
+        auto &exp = *exps[i];
+        Row &row = rows[i];
+        const auto &base = exp.baseline();
+
+        sim::Variant hoist;
+        hoist.transform = sim::Transform::Hoist;
+        row.hoist = exp.speedup(exp.run(hoist));
+
+        sim::Variant critic;
+        critic.transform = sim::Transform::CritIc;
+        const auto rc = exp.run(critic);
+        row.critic = exp.speedup(rc);
+        row.coverage = rc.selectionCoverage;
+        row.dynThumb = rc.dynThumbFraction;
+
+        sim::Variant ideal;
+        ideal.transform = sim::Transform::CritIcIdeal;
+        row.ideal = exp.speedup(exp.run(ideal));
+
+        // Cycles bought back, as a fraction of *baseline* cycles, so
+        // savings are additive with the speedup.
+        const auto baseCyc = static_cast<double>(base.cpu.cycles);
+        row.dStallI = (static_cast<double>(base.cpu.stallForIIcache +
+                                           base.cpu.stallForIRedirect) -
+                       static_cast<double>(rc.cpu.stallForIIcache +
+                                           rc.cpu.stallForIRedirect)) /
+                      baseCyc;
+        row.dStallRd = (static_cast<double>(base.cpu.stallForRd) -
+                        static_cast<double>(rc.cpu.stallForRd)) /
+                       baseCyc;
+
+        const auto &eb = base.energy;
+        const auto &ec = rc.energy;
+        const double socBase = eb.total();
+        row.eIcache = (eb.icache - ec.icache) / socBase;
+        row.eCpu = (eb.cpuCore + eb.dcache + eb.l2 - ec.cpuCore -
+                    ec.dcache - ec.l2) /
+                   socBase;
+        row.eMem = (eb.memory() - ec.memory()) / socBase;
+        row.eSoc = (socBase - ec.total()) / socBase;
+        row.eCpuOnly = (eb.cpu() - ec.cpu()) / eb.cpu();
+    });
+
+    Table fig10a({"app", "Hoist", "CritIC", "CritIC.Ideal",
+                  "coverage", "dyn 16-bit"});
+    Table fig10b({"app", "dF.StallForI (producer)",
+                  "dF.StallForR+D (consumer)"});
+    Table fig10c({"app", "i-cache", "CPU", "memory", "SoC total",
+                  "CPU-only"});
+    std::vector<double> hoists, critics_, ideals;
+    double dI = 0, dRd = 0, eIc = 0, eCpu = 0, eMem = 0, eSoc = 0,
+           eCpuOnly = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        fig10a.addRow({apps[i].name, gainPct(row.hoist),
+                       gainPct(row.critic), gainPct(row.ideal),
+                       pct(row.coverage), pct(row.dynThumb)});
+        fig10b.addRow({apps[i].name, pct(row.dStallI),
+                       pct(row.dStallRd)});
+        fig10c.addRow({apps[i].name, pct(row.eIcache), pct(row.eCpu),
+                       pct(row.eMem), pct(row.eSoc),
+                       pct(row.eCpuOnly)});
+        hoists.push_back(row.hoist);
+        critics_.push_back(row.critic);
+        ideals.push_back(row.ideal);
+        dI += row.dStallI;
+        dRd += row.dStallRd;
+        eIc += row.eIcache;
+        eCpu += row.eCpu;
+        eMem += row.eMem;
+        eSoc += row.eSoc;
+        eCpuOnly += row.eCpuOnly;
+    }
+    const auto n = static_cast<double>(rows.size());
+    fig10a.addRow({"average", gainPct(geoMean(hoists)),
+                   gainPct(geoMean(critics_)), gainPct(geoMean(ideals)),
+                   "", ""});
+    fig10b.addRow({"average", pct(dI / n), pct(dRd / n)});
+    fig10c.addRow({"average", pct(eIc / n), pct(eCpu / n),
+                   pct(eMem / n), pct(eSoc / n), pct(eCpuOnly / n)});
+
+    std::printf("Fig. 10a — CPU speedup over baseline\n%s\n",
+                fig10a.render().c_str());
+    std::printf("Fig. 10b — fetch-stall savings "
+                "(baseline minus CritIC, fraction of cycles)\n%s\n",
+                fig10b.render().c_str());
+    std::printf("Fig. 10c — energy savings by component "
+                "(fraction of baseline SoC energy; CPU-only relative "
+                "to CPU energy)\n%s\n",
+                fig10c.render().c_str());
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 12 reproduction — sensitivity analyses.
+ *
+ * (a) Speedup and fetch-stall savings as a function of the *exact*
+ *     CritIC length n: longer chains amortize the switch better but
+ *     get rarer; the paper's sweet spot is n = 5.
+ * (b) Speedup as a function of the profiled fraction of the execution
+ *     (paper: 1/3 -> ~10%, 72% -> 12.6%, 100% -> ~15%).
+ */
+
+#include "bench_common.hh"
+
+using namespace critics;
+using namespace critics::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    header("Fig. 12", "sensitivity to CritIC length and profiling");
+
+    const auto apps = workload::mobileApps();
+    auto exps = makeExperiments(apps);
+
+    // ---- (a) exact-length sweep ---------------------------------------
+    Table fig12a({"exact length n", "speedup", "fetch-stall savings",
+                  "coverage"});
+    for (unsigned n = 2; n <= 8; ++n) {
+        std::vector<double> speed(exps.size()), dStall(exps.size()),
+            cover(exps.size());
+        parallelFor(exps.size(), [&](std::size_t i) {
+            auto &exp = *exps[i];
+            const auto &base = exp.baseline().cpu;
+            sim::Variant v;
+            v.transform = sim::Transform::CritIc;
+            v.exactChainLen = n;
+            const auto result = exp.run(v);
+            speed[i] = exp.speedup(result);
+            dStall[i] = (base.fracStallForI() + base.fracStallForRd()) -
+                        (result.cpu.fracStallForI() +
+                         result.cpu.fracStallForRd());
+            cover[i] = result.selectionCoverage;
+        });
+        fig12a.addRow({fmt(n, 0), gainPct(geoMean(speed)),
+                       pct(mean(dStall)), pct(mean(cover))});
+    }
+    std::printf("Fig. 12a — impact of exact CritIC length\n%s\n",
+                fig12a.render().c_str());
+
+    // ---- (b) profile-coverage sweep -------------------------------------
+    Table fig12b({"profiled fraction", "speedup", "coverage"});
+    for (const double frac : {0.15, 0.33, 0.5, 0.72, 1.0}) {
+        std::vector<double> speed(exps.size()), cover(exps.size());
+        parallelFor(exps.size(), [&](std::size_t i) {
+            auto &exp = *exps[i];
+            sim::Variant v;
+            v.transform = sim::Transform::CritIc;
+            v.profileFraction = frac;
+            const auto result = exp.run(v);
+            speed[i] = exp.speedup(result);
+            cover[i] = result.selectionCoverage;
+        });
+        fig12b.addRow({pct(frac, 0), gainPct(geoMean(speed)),
+                       pct(mean(cover))});
+    }
+    std::printf("Fig. 12b — impact of profiling coverage "
+                "(headline results use 72%%)\n%s\n",
+                fig12b.render().c_str());
+    return 0;
+}

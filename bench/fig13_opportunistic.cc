@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 13 reproduction — "why even bother with criticality?".
+ *
+ * (a) Speedup of OPP16 (opportunistic conversion of any directly
+ *     representable run >= 3), Compress (the profile-guided
+ *     fine-grained Thumb conversion of [78]), CritIC, and
+ *     OPP16+CritIC.  Paper: 6% / 8% / 12.6% / ~16%.
+ * (b) Percentage of dynamic instructions converted to the 16-bit
+ *     format: CritIC converts ~37%/50% fewer than OPP16/Compress yet
+ *     wins, because it selects the chains whose fetch time is on the
+ *     critical path and hoists them.
+ */
+
+#include "bench_common.hh"
+
+using namespace critics;
+using namespace critics::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    header("Fig. 13", "criticality-blind 16-bit conversion vs CritIC");
+
+    const auto apps = workload::mobileApps();
+    auto exps = makeExperiments(apps);
+
+    struct Scheme
+    {
+        const char *name;
+        sim::Transform transform;
+    };
+    const std::vector<Scheme> schemes{
+        {"OPP16", sim::Transform::Opp16},
+        {"Compress [78]", sim::Transform::Compress},
+        {"CritIC", sim::Transform::CritIc},
+        {"OPP16+CritIC", sim::Transform::Opp16PlusCritIc},
+    };
+
+    Table fig13a({"scheme", "speedup (geomean)", "min", "max"});
+    Table fig13b({"scheme", "dyn insts in 16-bit", "insts expanded"});
+
+    for (const auto &scheme : schemes) {
+        std::vector<double> speed(exps.size()), conv(exps.size());
+        std::vector<double> expanded(exps.size());
+        parallelFor(exps.size(), [&](std::size_t i) {
+            auto &exp = *exps[i];
+            sim::Variant v;
+            v.transform = scheme.transform;
+            const auto result = exp.run(v);
+            speed[i] = exp.speedup(result);
+            conv[i] = result.dynThumbFraction;
+            expanded[i] = static_cast<double>(result.pass.instsExpanded);
+        });
+        double lo = speed[0], hi = speed[0];
+        for (const double s : speed) {
+            lo = std::min(lo, s);
+            hi = std::max(hi, s);
+        }
+        fig13a.addRow({scheme.name, gainPct(geoMean(speed)),
+                       gainPct(lo), gainPct(hi)});
+        fig13b.addRow({scheme.name, pct(mean(conv)),
+                       fmt(mean(expanded), 0)});
+    }
+
+    std::printf("Fig. 13a — speedup over baseline\n%s\n",
+                fig13a.render().c_str());
+    std::printf("Fig. 13b — dynamic 16-bit conversion volume\n%s\n",
+                fig13b.render().c_str());
+    return 0;
+}

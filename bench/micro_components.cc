@@ -1,0 +1,180 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the reproduction's substrates:
+ * cache/DRAM/BPU throughput, trace emission, fanout profiling, chain
+ * extraction/mining and the cycle-level pipeline itself.  These guard
+ * the simulator's own performance (the whole evaluation re-runs dozens
+ * of full simulations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/criticality.hh"
+#include "analysis/miner.hh"
+#include "bpu/bpu.hh"
+#include "cpu/cpu.hh"
+#include "mem/hierarchy.hh"
+#include "program/emit.hh"
+#include "program/walker.hh"
+#include "sim/experiment.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "workload/synth.hh"
+
+using namespace critics;
+
+namespace
+{
+
+workload::AppProfile
+smallMobile()
+{
+    auto profile = workload::findApp("Acrobat");
+    profile.numFunctions = 160;
+    profile.dispatchTargets = 32;
+    return profile;
+}
+
+struct Fixture
+{
+    program::Program prog;
+    program::ControlPath path;
+    program::Trace trace;
+
+    Fixture()
+    {
+        setQuiet(true);
+        prog = workload::synthesize(smallMobile());
+        Rng rng(1);
+        program::WalkLimits limits;
+        limits.targetInsts = 100000;
+        path = program::walkProgram(prog, rng, limits);
+        trace = program::emitTrace(prog, path);
+    }
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+} // namespace
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::Cache cache({"c", 32u << 10, 2, 64, 2});
+    Rng rng(7);
+    std::uint64_t cycle = 0;
+    for (auto _ : state) {
+        const auto addr = rng.below(1u << 20);
+        auto res = cache.access(addr, ++cycle);
+        if (!res.hit)
+            cache.fill(addr, cycle + 12);
+        benchmark::DoNotOptimize(res);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_DramRead(benchmark::State &state)
+{
+    mem::Dram dram;
+    Rng rng(9);
+    std::uint64_t cycle = 0;
+    for (auto _ : state) {
+        cycle += 50;
+        benchmark::DoNotOptimize(dram.read(rng.below(1u << 28), cycle));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramRead);
+
+static void
+BM_BranchPredictor(benchmark::State &state)
+{
+    bpu::TwoLevelPredictor bp;
+    Rng rng(11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bp.predictAndTrain(0x1000 + 4 * (rng.below(512)),
+                               rng.chance(0.7)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredictor);
+
+static void
+BM_TraceEmission(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        auto trace = program::emitTrace(f.prog, f.path);
+        benchmark::DoNotOptimize(trace.size());
+    }
+    state.SetItemsProcessed(state.iterations() * f.trace.size());
+}
+BENCHMARK(BM_TraceEmission);
+
+static void
+BM_FanoutProfile(benchmark::State &state)
+{
+    auto &f = fixture();
+    analysis::CriticalityConfig cfg;
+    for (auto _ : state) {
+        auto info = analysis::computeFanout(f.trace, cfg);
+        benchmark::DoNotOptimize(info.critCount);
+    }
+    state.SetItemsProcessed(state.iterations() * f.trace.size());
+}
+BENCHMARK(BM_FanoutProfile);
+
+static void
+BM_ChainExtraction(benchmark::State &state)
+{
+    auto &f = fixture();
+    analysis::CriticalityConfig cfg;
+    const auto info = analysis::computeFanout(f.trace, cfg);
+    for (auto _ : state) {
+        auto chains = analysis::extractChains(f.trace, info, cfg);
+        benchmark::DoNotOptimize(chains.chains.size());
+    }
+    state.SetItemsProcessed(state.iterations() * f.trace.size());
+}
+BENCHMARK(BM_ChainExtraction);
+
+static void
+BM_CritIcMining(benchmark::State &state)
+{
+    auto &f = fixture();
+    analysis::CriticalityConfig cfg;
+    const auto info = analysis::computeFanout(f.trace, cfg);
+    const auto chains = analysis::extractChains(f.trace, info, cfg);
+    for (auto _ : state) {
+        auto mined = analysis::mineCritIcs(f.trace, f.prog, chains,
+                                           info, cfg, 1.0);
+        benchmark::DoNotOptimize(mined.chains.size());
+    }
+    state.SetItemsProcessed(state.iterations() * f.trace.size());
+}
+BENCHMARK(BM_CritIcMining);
+
+static void
+BM_PipelineSimulation(benchmark::State &state)
+{
+    auto &f = fixture();
+    cpu::CpuConfig cfg;
+    mem::MemConfig memCfg;
+    for (auto _ : state) {
+        bpu::TwoLevelPredictor bp;
+        auto stats = cpu::runTrace(f.trace, cfg, memCfg, bp);
+        benchmark::DoNotOptimize(stats.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * f.trace.size());
+}
+BENCHMARK(BM_PipelineSimulation);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Example: watch the CritIC compiler pass rewrite one basic block.
+ *
+ * Builds a small block containing a spread-out critical chain, prints
+ * it before and after the pass with real bit-level encodings (32-bit
+ * words / 16-bit halfwords / the CDP command), and shows the byte
+ * savings the 16-bit re-encoding buys.
+ */
+
+#include <cstdio>
+
+#include "compiler/passes.hh"
+#include "program/printer.hh"
+#include "isa/isa.hh"
+#include "program/program.hh"
+#include "support/logging.hh"
+
+using namespace critics;
+using isa::Format;
+using isa::NoReg;
+using isa::OpClass;
+
+namespace
+{
+
+program::StaticInst
+make(program::InstUid uid, OpClass op, std::uint8_t dst,
+     std::uint8_t src1 = NoReg, std::uint8_t src2 = NoReg)
+{
+    program::StaticInst si;
+    si.uid = uid;
+    si.arch.op = op;
+    si.arch.dst = dst;
+    si.arch.src1 = src1;
+    si.arch.src2 = src2;
+    return si;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("CritIC compiler pass, one block at a time\n\n");
+
+    // A chain C1(uid 1) -> link(uid 3) -> C2(uid 5), spread between
+    // its fanout consumers and an unrelated filler.
+    program::Program prog;
+    prog.memRegions = {{0x40000000u, 4096, 0}};
+    program::Function fn;
+    fn.name = "hot_handler";
+    program::BasicBlock bb;
+    bb.insts.push_back(make(0, OpClass::IntAlu, 6));     // filler
+    bb.insts.push_back(make(1, OpClass::IntAlu, 1));     // C1
+    bb.insts.push_back(make(2, OpClass::IntAlu, 8, 1));  // consumer
+    bb.insts.push_back(make(3, OpClass::IntAlu, 2, 1));  // link
+    bb.insts.push_back(make(4, OpClass::IntAlu, 9, 1));  // consumer
+    bb.insts.push_back(make(5, OpClass::IntAlu, 3, 2));  // C2
+    bb.insts.push_back(make(6, OpClass::IntAlu, 10, 3)); // consumer
+    fn.blocks.push_back(bb);
+    prog.funcs.push_back(fn);
+    prog.layout();
+
+    std::printf("Before the pass (chain 1 -> 3 -> 5 spread through "
+                "the block):\n%s\n",
+                program::formatBlock(prog.funcs[0].blocks[0]).c_str());
+
+    compiler::CritIcPassOptions opt;
+    opt.switchMode = compiler::SwitchMode::Cdp;
+    const auto stats =
+        compiler::applyCritIcPass(prog, {{1u, 3u, 5u}}, opt);
+
+    std::printf("After applyCritIcPass (hoisted, 16-bit, CDP "
+                "switch):\n%s\n",
+                program::formatBlock(prog.funcs[0].blocks[0]).c_str());
+    std::printf("Program: %s\n\n",
+                program::summarizeProgram(prog).c_str());
+
+    std::printf("Pass stats: %llu chain transformed, %llu instructions "
+                "re-encoded,\n%llu CDP inserted, %llu local renames, "
+                "%llu hoist failures.\n",
+                static_cast<unsigned long long>(stats.chainsTransformed),
+                static_cast<unsigned long long>(stats.instsConverted),
+                static_cast<unsigned long long>(stats.cdpsInserted),
+                static_cast<unsigned long long>(stats.localRenames),
+                static_cast<unsigned long long>(stats.hoistFailures));
+    return 0;
+}

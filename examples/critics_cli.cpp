@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Command-line driver: run any registered app under any design point
+ * and emit either a human-readable summary or the JSON report (for
+ * plotting scripts / CI regression checks).
+ *
+ * Usage:
+ *   critics_cli --app Acrobat --variant critic
+ *   critics_cli --app mcf --variant prefetch --json
+ *   critics_cli --list
+ *
+ * Variants: baseline, hoist, critic, critic-ideal, critic-branchpair,
+ *           opp16, compress, opp16+critic, prefetch, aluprio,
+ *           backendprio, efetch, perfectbr, icache4x, 2xfd, allhw
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+using namespace critics;
+
+namespace
+{
+
+sim::Variant
+parseVariant(const std::string &name)
+{
+    sim::Variant v;
+    v.label = name;
+    if (name == "baseline") {
+    } else if (name == "hoist") {
+        v.transform = sim::Transform::Hoist;
+    } else if (name == "critic") {
+        v.transform = sim::Transform::CritIc;
+    } else if (name == "critic-ideal") {
+        v.transform = sim::Transform::CritIcIdeal;
+    } else if (name == "critic-branchpair") {
+        v.transform = sim::Transform::CritIc;
+        v.switchMode = compiler::SwitchMode::BranchPair;
+    } else if (name == "opp16") {
+        v.transform = sim::Transform::Opp16;
+    } else if (name == "compress") {
+        v.transform = sim::Transform::Compress;
+    } else if (name == "opp16+critic") {
+        v.transform = sim::Transform::Opp16PlusCritIc;
+    } else if (name == "prefetch") {
+        v.criticalLoadPrefetch = true;
+    } else if (name == "aluprio") {
+        v.aluPrio = true;
+    } else if (name == "backendprio") {
+        v.backendPrio = true;
+    } else if (name == "efetch") {
+        v.efetch = true;
+    } else if (name == "perfectbr") {
+        v.perfectBranch = true;
+    } else if (name == "icache4x") {
+        v.icache4x = true;
+    } else if (name == "2xfd") {
+        v.doubleFrontend = true;
+    } else if (name == "allhw") {
+        v.doubleFrontend = v.icache4x = v.efetch = v.perfectBranch =
+            v.backendPrio = true;
+    } else {
+        critics_fatal("unknown variant '", name,
+                      "' (see --help for the list)");
+    }
+    return v;
+}
+
+int
+usage()
+{
+    std::printf(
+        "critics_cli — run one app under one design point\n\n"
+        "  --app <name>        Table II app or SPEC benchmark\n"
+        "  --variant <name>    baseline|hoist|critic|critic-ideal|\n"
+        "                      critic-branchpair|opp16|compress|\n"
+        "                      opp16+critic|prefetch|aluprio|\n"
+        "                      backendprio|efetch|perfectbr|icache4x|\n"
+        "                      2xfd|allhw\n"
+        "  --insts <n>         dynamic instructions to sample\n"
+        "  --json              emit the JSON comparison report\n"
+        "  --list              list registered apps and exit\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    std::string app = "Acrobat";
+    std::string variantName = "critic";
+    std::uint64_t insts = 400000;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                critics_fatal(arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--app") {
+            app = next();
+        } else if (arg == "--variant") {
+            variantName = next();
+        } else if (arg == "--insts") {
+            insts = std::stoull(next());
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list") {
+            for (const auto &profile : workload::allApps()) {
+                std::printf("%-12s %-10s %s\n", profile.name.c_str(),
+                            workload::suiteName(profile.suite),
+                            profile.activity.c_str());
+            }
+            return 0;
+        } else {
+            return usage();
+        }
+    }
+
+    sim::ExperimentOptions options;
+    options.traceInsts = insts;
+    sim::AppExperiment exp(workload::findApp(app), options);
+    const sim::Variant variant = parseVariant(variantName);
+    const auto &base = exp.baseline();
+    const auto result = exp.run(variant);
+
+    if (json) {
+        std::printf("%s\n",
+                    sim::comparisonJson(base, result, variantName)
+                        .c_str());
+        return 0;
+    }
+
+    Table table({"metric", "baseline", variantName});
+    table.addRow({"cycles", fmt(double(base.cpu.cycles), 0),
+                  fmt(double(result.cpu.cycles), 0)});
+    table.addRow({"IPC", fmt(base.cpu.ipc()), fmt(result.cpu.ipc())});
+    table.addRow({"F.StallForI", pct(base.cpu.fracStallForI()),
+                  pct(result.cpu.fracStallForI())});
+    table.addRow({"F.StallForR+D", pct(base.cpu.fracStallForRd()),
+                  pct(result.cpu.fracStallForRd())});
+    table.addRow({"dyn 16-bit", pct(base.dynThumbFraction),
+                  pct(result.dynThumbFraction)});
+    table.addRow({"SoC energy (norm.)", fmt(1.0),
+                  fmt(result.energy.total() / base.energy.total(), 4)});
+    std::printf("%s (%s) under '%s'\n%s\nspeedup: %s\n",
+                app.c_str(),
+                workload::suiteName(exp.profile().suite),
+                variantName.c_str(), table.render().c_str(),
+                gainPct(exp.speedup(result)).c_str());
+    return 0;
+}

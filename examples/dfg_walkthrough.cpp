@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A faithful walkthrough of the paper's Fig. 2 example: why prioritizing
+ * individual high-fanout instructions is not enough, and why the whole
+ * chain I0 -> I10 -> I20 -> I22 must be treated as one critical unit.
+ *
+ * We build the example DFG instruction by instruction, run the fanout
+ * profiler and the IC extractor on it, and show that (a) I20 is
+ * low-fanout yet lies on the critical chain, and (b) the chain the
+ * library extracts is exactly the one the paper argues for.
+ */
+
+#include <cstdio>
+
+#include "analysis/criticality.hh"
+#include "program/trace.hh"
+#include "support/logging.hh"
+
+using namespace critics;
+using isa::OpClass;
+
+namespace
+{
+
+program::DynInst
+node(std::uint32_t id, program::DynIdx dep0 = program::NoDep,
+     program::DynIdx dep1 = program::NoDep)
+{
+    program::DynInst d;
+    d.staticUid = id;
+    d.address = 0x10000 + 4 * id;
+    d.op = OpClass::IntAlu;
+    d.dep0 = dep0;
+    d.dep1 = dep1;
+    return d;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("Fig. 2 walkthrough — the DFG where single-instruction "
+                "criticality fails\n\n");
+
+    // I0 makes I1..I10 ready; I10 makes I11..I20 ready; I11 and I12
+    // have two dependents each; I13..I20 have one; I20's dependent I22
+    // is itself high-fanout (it feeds I23..I31).
+    program::Trace trace;
+    trace.insts.push_back(node(0));              // I0
+    for (std::uint32_t k = 1; k <= 10; ++k)      // I1..I10
+        trace.insts.push_back(node(k, 0));
+    for (std::uint32_t k = 11; k <= 20; ++k)     // I11..I20
+        trace.insts.push_back(node(k, 10));
+    trace.insts.push_back(node(21, 1, 11));      // I21 (two producers)
+    trace.insts.push_back(node(22, 20));         // I22 reads I20
+    for (std::uint32_t k = 23; k <= 31; ++k)     // I22's fanout
+        trace.insts.push_back(node(k, 22));
+
+    analysis::CriticalityConfig cfg;
+    const auto fanout = analysis::computeFanout(trace, cfg);
+
+    std::printf("Fanout of each interesting instruction "
+                "(threshold for 'critical' = %u):\n",
+                cfg.fanoutThreshold);
+    for (const std::uint32_t id : {0u, 1u, 10u, 11u, 20u, 22u}) {
+        std::printf("  I%-3u fanout = %-3u %s\n", id, fanout.fanout[id],
+                    fanout.critMask[id] ? "CRITICAL" : "");
+    }
+
+    std::printf("\nA high-fanout-only scheme ranks I20 (fanout %u) "
+                "last — yet I22 (fanout %u)\ncannot start until I20 "
+                "completes.  The fix: treat the self-contained chain\n"
+                "as the unit of criticality.\n\n",
+                fanout.fanout[20], fanout.fanout[22]);
+
+    const auto chains = analysis::extractChains(trace, fanout, cfg);
+    for (const auto &chain : chains.chains) {
+        if (chain.front() != 0)
+            continue;
+        std::printf("Extracted IC starting at I0: ");
+        double sum = 0;
+        for (const auto idx : chain) {
+            std::printf("I%u ", trace.insts[idx].staticUid);
+            sum += fanout.fanout[idx];
+        }
+        std::printf("\n  length %zu, average fanout per instruction "
+                    "%.1f -> %s\n",
+                    chain.size(), sum / double(chain.size()),
+                    sum / double(chain.size()) >=
+                            cfg.chainCritThreshold
+                        ? "a CritIC"
+                        : "below the CritIC threshold");
+    }
+
+    std::printf("\nThe path I0 -> I10 -> I20 -> I22 is independently "
+                "schedulable (every member's\nonly in-flight producer "
+                "is its predecessor), so the compiler may hoist it\n"
+                "and emit it as one 16-bit run behind a single CDP "
+                "switch.\n");
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Example: inspect the characteristics of any synthesized workload and
+ * the effect of the CritIC transformation on it.
+ *
+ * Usage: workload_inspector [app-name ...]
+ * With no arguments, inspects one representative app per suite.
+ *
+ * This is the tool to reach for when deciding whether a workload is
+ * front-end bound (mobile-shaped) or back-end bound (SPEC-shaped), and
+ * whether CritICs exist worth transforming.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "support/table.hh"
+
+using namespace critics;
+
+namespace
+{
+
+void
+inspect(const workload::AppProfile &profile)
+{
+    sim::AppExperiment exp(profile);
+
+    std::printf("== %s (%s) — %s\n", profile.name.c_str(),
+                workload::suiteName(profile.suite),
+                profile.activity.c_str());
+    std::printf("  static insts: %zu, text: %u KB, trace: %zu insts\n",
+                exp.baseProgram().instCount(),
+                exp.baseProgram().textBytes() >> 10,
+                exp.baseTrace().size());
+
+    const auto &base = exp.baseline();
+    std::printf("  baseline: IPC %.2f | F.StallForI %.1f%% "
+                "(icache %.1f%%, redirect %.1f%%) | F.StallForR+D %.1f%%\n",
+                base.cpu.ipc(), base.cpu.fracStallForI() * 100,
+                100.0 * static_cast<double>(base.cpu.stallForIIcache) /
+                    static_cast<double>(base.cpu.cycles),
+                100.0 * static_cast<double>(base.cpu.stallForIRedirect) /
+                    static_cast<double>(base.cpu.cycles),
+                base.cpu.fracStallForRd() * 100);
+    std::printf("  icache miss %.2f%% | dcache miss %.2f%% | "
+                "L2 miss %.2f%% | branch mispred %.2f%%\n",
+                base.cpu.mem.icache.missRate() * 100,
+                base.cpu.mem.dcache.missRate() * 100,
+                base.cpu.mem.l2.missRate() * 100,
+                base.cpu.condBranches
+                    ? 100.0 * static_cast<double>(base.cpu.mispredicts) /
+                          static_cast<double>(base.cpu.condBranches)
+                    : 0.0);
+
+    const auto &fan = exp.fanout();
+    const auto &cs = exp.chainStats();
+    std::printf("  critical (fanout>=8): %.1f%% of dyn insts | "
+                "multi-member ICs: %llu | IC len p50/p99/max: "
+                "%lld/%lld/%lld | spread p99: %lld\n",
+                fan.critFraction() * 100,
+                static_cast<unsigned long long>(cs.multiMemberChains),
+                static_cast<long long>(cs.icLength.percentile(0.5)),
+                static_cast<long long>(cs.icLength.percentile(0.99)),
+                static_cast<long long>(cs.icLength.maxBucket()),
+                static_cast<long long>(cs.icSpread.percentile(0.99)));
+    std::printf("  crit-gap none: %.1f%% | gaps 0..5: ",
+                cs.noDependentCritFrac * 100);
+    for (int g = 0; g <= 5; ++g)
+        std::printf("%.1f%% ", cs.critGap.fraction(g) * 100);
+    std::printf("\n");
+
+    const auto &mined = exp.mined();
+    std::printf("  unique CritICs: %zu\n", mined.chains.size());
+
+    // The critical-instruction stage breakdown (Fig. 3a shape).
+    const auto &crit = base.cpu.crit;
+    if (crit.insts > 0 && crit.total() > 0) {
+        std::printf("  crit-inst stages: fetch %.1f%% decode %.1f%% "
+                    "issueWait %.1f%% exec %.1f%% commitWait %.1f%%\n",
+                    100 * crit.fetch / crit.total(),
+                    100 * crit.decode / crit.total(),
+                    100 * crit.issueWait / crit.total(),
+                    100 * crit.execute / crit.total(),
+                    100 * crit.commitWait / crit.total());
+    }
+
+    sim::Variant critic;
+    critic.label = "CritIC";
+    critic.transform = sim::Transform::CritIc;
+    auto run = exp.run(critic);
+    std::printf("  CritIC: speedup %s | coverage %.1f%% | "
+                "chains %llu/%llu | converted %llu | dyn thumb %.1f%%\n\n",
+                gainPct(exp.speedup(run)).c_str(),
+                run.selectionCoverage * 100,
+                static_cast<unsigned long long>(
+                    run.pass.chainsTransformed),
+                static_cast<unsigned long long>(run.pass.chainsAttempted),
+                static_cast<unsigned long long>(run.pass.instsConverted),
+                run.dynThumbFraction * 100);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<workload::AppProfile> profiles;
+    if (argc > 1) {
+        for (int i = 1; i < argc; ++i)
+            profiles.push_back(workload::findApp(argv[i]));
+    } else {
+        profiles.push_back(workload::findApp("Acrobat"));
+        profiles.push_back(workload::findApp("Music"));
+        profiles.push_back(workload::findApp("mcf"));
+        profiles.push_back(workload::findApp("lbm"));
+    }
+    for (const auto &profile : profiles)
+        inspect(profile);
+    return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Rebuild, test and regenerate every table/figure of the reproduction.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+{
+    for b in build/bench/*; do
+        [ -f "$b" ] && [ -x "$b" ] || continue
+        echo "### $(basename "$b")"
+        "$b"
+    done
+} 2>&1 | tee bench_output.txt
+
+./build/bench/micro_components --benchmark_min_time=0.2 \
+    2>&1 | tee micro_output.txt

@@ -1,0 +1,238 @@
+#include "analysis/criticality.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace critics::analysis
+{
+
+using program::DynIdx;
+using program::NoDep;
+using program::Trace;
+
+FanoutInfo
+computeFanout(const Trace &trace, const CriticalityConfig &config)
+{
+    FanoutInfo info;
+    const std::size_t n = trace.size();
+    info.fanout.assign(n, 0);
+    info.critMask.assign(n, 0);
+
+    const auto window = static_cast<DynIdx>(config.window);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &d = trace.insts[i];
+        for (const DynIdx dep : {d.dep0, d.dep1}) {
+            if (dep == NoDep)
+                continue;
+            if (static_cast<DynIdx>(i) - dep <= window &&
+                info.fanout[dep] < 0xFFFF) {
+                ++info.fanout[dep];
+            }
+        }
+        // dep0 == dep1 counts once: emit never duplicates, but guard.
+        if (d.dep0 != NoDep && d.dep0 == d.dep1 &&
+            static_cast<DynIdx>(i) - d.dep0 <= window &&
+            info.fanout[d.dep0] > 0) {
+            --info.fanout[d.dep0];
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (info.fanout[i] >= config.fanoutThreshold) {
+            info.critMask[i] = 1;
+            ++info.critCount;
+        }
+    }
+    return info;
+}
+
+namespace
+{
+
+/** Adjacency of direct in-window consumers, flattened. */
+struct Consumers
+{
+    std::vector<std::uint32_t> offsets; ///< n+1
+    std::vector<DynIdx> edges;
+};
+
+Consumers
+buildConsumers(const Trace &trace, unsigned window)
+{
+    const std::size_t n = trace.size();
+    Consumers c;
+    std::vector<std::uint32_t> counts(n + 1, 0);
+    const auto win = static_cast<DynIdx>(window);
+
+    auto inWindow = [&](DynIdx consumer, DynIdx producer) {
+        return producer != NoDep && consumer - producer <= win;
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &d = trace.insts[i];
+        const auto idx = static_cast<DynIdx>(i);
+        if (inWindow(idx, d.dep0))
+            ++counts[d.dep0];
+        if (inWindow(idx, d.dep1) && d.dep1 != d.dep0)
+            ++counts[d.dep1];
+    }
+    c.offsets.resize(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        c.offsets[i + 1] = c.offsets[i] + counts[i];
+    c.edges.resize(c.offsets[n]);
+    std::vector<std::uint32_t> cursor(c.offsets.begin(),
+                                      c.offsets.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &d = trace.insts[i];
+        const auto idx = static_cast<DynIdx>(i);
+        if (inWindow(idx, d.dep0))
+            c.edges[cursor[d.dep0]++] = idx;
+        if (inWindow(idx, d.dep1) && d.dep1 != d.dep0)
+            c.edges[cursor[d.dep1]++] = idx;
+    }
+    return c;
+}
+
+/** Number of in-window producers of instruction i (0, 1 or 2). */
+unsigned
+producerCount(const Trace &trace, DynIdx i, unsigned window)
+{
+    const auto &d = trace.insts[i];
+    const auto win = static_cast<DynIdx>(window);
+    unsigned count = 0;
+    if (d.dep0 != NoDep && i - d.dep0 <= win)
+        ++count;
+    if (d.dep1 != NoDep && d.dep1 != d.dep0 && i - d.dep1 <= win)
+        ++count;
+    return count;
+}
+
+} // namespace
+
+DynChains
+extractChains(const Trace &trace, const FanoutInfo &fanout,
+              const CriticalityConfig &config)
+{
+    const std::size_t n = trace.size();
+    const Consumers consumers = buildConsumers(trace, config.window);
+    std::vector<std::uint8_t> taken(n, 0);
+
+    DynChains result;
+    for (std::size_t start = 0; start < n; ++start) {
+        if (taken[start])
+            continue;
+        std::vector<DynIdx> chain;
+        DynIdx cur = static_cast<DynIdx>(start);
+        chain.push_back(cur);
+        taken[start] = 1;
+
+        while (true) {
+            // Greedy extension with one step of lookahead: among
+            // untaken consumers whose *only* in-window producer is
+            // `cur` (self-containment), pick the one with the best
+            // own-fanout plus downstream-fanout potential — the "look
+            // into the future" of Sec. III-A, which prefers a
+            // low-fanout link leading to a high-fanout instruction
+            // over a dead-end leaf.
+            auto lookahead = [&](DynIdx cand) {
+                std::uint32_t best = 0;
+                for (std::uint32_t e = consumers.offsets[cand];
+                     e < consumers.offsets[cand + 1]; ++e) {
+                    const DynIdx nxt = consumers.edges[e];
+                    if (taken[nxt])
+                        continue;
+                    if (producerCount(trace, nxt, config.window) != 1)
+                        continue;
+                    best = std::max(best, 1u + fanout.fanout[nxt]);
+                }
+                return best;
+            };
+            DynIdx best = NoDep;
+            double bestScore = 0.0;
+            for (std::uint32_t e = consumers.offsets[cur];
+                 e < consumers.offsets[cur + 1]; ++e) {
+                const DynIdx cand = consumers.edges[e];
+                if (taken[cand])
+                    continue;
+                if (producerCount(trace, cand, config.window) != 1)
+                    continue;
+                const double score = 1.0 + fanout.fanout[cand] +
+                    0.5 * lookahead(cand);
+                if (best == NoDep || score > bestScore) {
+                    best = cand;
+                    bestScore = score;
+                }
+            }
+            if (best == NoDep)
+                break;
+            chain.push_back(best);
+            taken[best] = 1;
+            cur = best;
+        }
+        result.chains.push_back(std::move(chain));
+    }
+    return result;
+}
+
+ChainStats
+chainStatistics(const Trace &trace, const DynChains &chains,
+                const FanoutInfo &fanout, const CriticalityConfig &config)
+{
+    (void)trace;
+    ChainStats stats;
+    std::uint64_t critTotal = 0;
+    std::uint64_t critWithoutSuccessor = 0;
+
+    for (const auto &chain : chains.chains) {
+        if (chain.size() >= 2) {
+            ++stats.multiMemberChains;
+            stats.icLength.add(static_cast<std::int64_t>(chain.size()));
+            stats.icSpread.add(chain.back() - chain.front());
+        }
+        // Fig. 1b: gaps between successive critical members.
+        std::int64_t lastCritPos = -1;
+        for (std::size_t k = 0; k < chain.size(); ++k) {
+            if (!fanout.critMask[chain[k]])
+                continue;
+            ++critTotal;
+            if (lastCritPos >= 0) {
+                const std::int64_t gap =
+                    static_cast<std::int64_t>(k) - lastCritPos - 1;
+                stats.critGap.add(std::min<std::int64_t>(gap, 6));
+            }
+            lastCritPos = static_cast<std::int64_t>(k);
+        }
+        if (lastCritPos >= 0)
+            ++critWithoutSuccessor; // the last critical member has none
+    }
+    (void)config;
+    stats.noDependentCritFrac = critTotal
+        ? static_cast<double>(critWithoutSuccessor) /
+          static_cast<double>(critTotal) : 0.0;
+    return stats;
+}
+
+std::unordered_set<program::InstUid>
+buildCriticalSet(const Trace &trace, const FanoutInfo &fanout, double bias)
+{
+    std::unordered_map<program::InstUid, std::pair<std::uint32_t,
+                                                   std::uint32_t>> counts;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        auto &entry = counts[trace.insts[i].staticUid];
+        ++entry.second;
+        if (fanout.critMask[i])
+            ++entry.first;
+    }
+    std::unordered_set<program::InstUid> set;
+    for (const auto &[uid, cnt] : counts) {
+        if (cnt.second > 0 &&
+            static_cast<double>(cnt.first) /
+                static_cast<double>(cnt.second) >= bias) {
+            set.insert(uid);
+        }
+    }
+    return set;
+}
+
+} // namespace critics::analysis

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Criticality analysis (the offline profiler of Sec. III-A):
+ *
+ *  - fanout computation per dynamic instruction (direct register
+ *    consumers entering a ROB-sized window), and the classic
+ *    "critical iff fanout >= threshold" marking;
+ *  - IC extraction: partition of the dynamic DFG into self-contained
+ *    chains (every non-head member's only in-window producer is its
+ *    predecessor), extended greedily toward the highest-fanout
+ *    successor — the "look into the future" of Sec. III-A;
+ *  - chain statistics for Figs. 1b and 5a;
+ *  - per-static-uid criticality aggregation (the PC-indexed predictor
+ *    table the single-instruction baselines use).
+ */
+
+#ifndef CRITICS_ANALYSIS_CRITICALITY_HH
+#define CRITICS_ANALYSIS_CRITICALITY_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "program/trace.hh"
+#include "support/histogram.hh"
+
+namespace critics::analysis
+{
+
+struct CriticalityConfig
+{
+    unsigned window = 128;        ///< ROB-sized dependence window
+    unsigned fanoutThreshold = 8; ///< critical iff fanout >= this
+    double chainCritThreshold = 8.0; ///< avg fanout/instr for a CritIC
+    unsigned maxChainLen = 5;     ///< realistic CritIC length cap
+};
+
+/** Per-dynamic-instruction fanout and criticality flags. */
+struct FanoutInfo
+{
+    std::vector<std::uint16_t> fanout;
+    std::vector<std::uint8_t> critMask;
+    std::uint64_t critCount = 0;
+
+    double
+    critFraction() const
+    {
+        return critMask.empty() ? 0.0
+            : static_cast<double>(critCount) /
+              static_cast<double>(critMask.size());
+    }
+};
+
+FanoutInfo computeFanout(const program::Trace &trace,
+                         const CriticalityConfig &config);
+
+/** Dynamic instruction chains (ICs). */
+struct DynChains
+{
+    /** Chain membership, each a strictly increasing dyn-index list. */
+    std::vector<std::vector<program::DynIdx>> chains;
+};
+
+/**
+ * Partition the stream into ICs.  Every instruction belongs to exactly
+ * one chain; isolated instructions form singleton chains.
+ */
+DynChains extractChains(const program::Trace &trace,
+                        const FanoutInfo &fanout,
+                        const CriticalityConfig &config);
+
+/** Aggregate chain geometry & criticality-structure statistics. */
+struct ChainStats
+{
+    Histogram icLength; ///< Fig. 5a: members per multi-member IC
+    Histogram icSpread; ///< Fig. 5a: dyn-stream span of multi-member ICs
+    /** Fig. 1b: low-fanout instructions between successive high-fanout
+     *  members of a chain (buckets 0..5; 6 = ">5"). */
+    Histogram critGap;
+    /** Fig. 1b: fraction of critical instructions with no dependent
+     *  critical instruction in their chain. */
+    double noDependentCritFrac = 0.0;
+    std::uint64_t multiMemberChains = 0;
+};
+
+ChainStats chainStatistics(const program::Trace &trace,
+                           const DynChains &chains,
+                           const FanoutInfo &fanout,
+                           const CriticalityConfig &config);
+
+/**
+ * The PC-indexed criticality table used by the single-instruction
+ * baselines: static uids whose dynamic instances are critical at least
+ * `bias` of the time.
+ */
+std::unordered_set<program::InstUid>
+buildCriticalSet(const program::Trace &trace, const FanoutInfo &fanout,
+                 double bias = 0.5);
+
+} // namespace critics::analysis
+
+#endif // CRITICS_ANALYSIS_CRITICALITY_HH

@@ -1,0 +1,265 @@
+#include "analysis/miner.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace critics::analysis
+{
+
+using program::DynIdx;
+using program::InstUid;
+using program::Trace;
+
+namespace
+{
+
+struct UidSeqHash
+{
+    std::size_t
+    operator()(const std::vector<InstUid> &seq) const
+    {
+        std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+        for (const InstUid uid : seq)
+            h = hashCombine(h, uid);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+struct Agg
+{
+    std::uint64_t dynCount = 0;
+    std::uint64_t fanoutSum = 0;
+    std::vector<std::uint64_t> memberFanout;
+};
+
+bool
+directlyConvertible(const isa::OperandInfo &info)
+{
+    return isa::thumbDirectlyConvertible(info);
+}
+
+} // namespace
+
+MineResult
+mineCritIcs(const Trace &trace, const program::Program &prog,
+            const DynChains &chains, const FanoutInfo &fanout,
+            const CriticalityConfig &config, double profileFraction)
+{
+    MineResult result;
+    result.dynInsts = trace.size();
+    const auto cutoff = static_cast<DynIdx>(
+        static_cast<double>(trace.size()) *
+        std::clamp(profileFraction, 0.0, 1.0));
+
+    std::unordered_map<std::vector<InstUid>, Agg, UidSeqHash> table;
+
+    std::vector<InstUid> segment;
+    std::vector<DynIdx> segmentDyn;
+    for (const auto &chain : chains.chains) {
+        if (chain.empty() || chain.front() >= cutoff)
+            continue;
+
+        // Cut the dynamic chain into same-block segments with strictly
+        // increasing intra-block position and no repeated uids (a
+        // loop-carried chain revisits the same statics every iteration;
+        // each visit is its own segment).
+        segment.clear();
+        segmentDyn.clear();
+        std::uint32_t curFunc = ~0u, curBlock = ~0u;
+        std::uint32_t lastIndex = 0;
+
+        auto flush = [&]() {
+            // Any sub-path of an IC is an IC: trim low-fanout ends so
+            // the qualifying critical core is what gets aggregated
+            // (greedy chain extension appends low-fanout tails).
+            std::size_t lo = 0, hi = segment.size();
+            auto avg = [&]() {
+                std::uint64_t sum = 0;
+                for (std::size_t k = lo; k < hi; ++k)
+                    sum += fanout.fanout[segmentDyn[k]];
+                return static_cast<double>(sum) /
+                       static_cast<double>(hi - lo);
+            };
+            while (hi - lo > 2 && avg() < config.chainCritThreshold) {
+                if (fanout.fanout[segmentDyn[lo]] <=
+                    fanout.fanout[segmentDyn[hi - 1]]) {
+                    ++lo;
+                } else {
+                    --hi;
+                }
+            }
+            if (hi - lo >= 2) {
+                ++result.segmentsSeen;
+                const std::vector<InstUid> key(
+                    segment.begin() + static_cast<std::ptrdiff_t>(lo),
+                    segment.begin() + static_cast<std::ptrdiff_t>(hi));
+                Agg &agg = table[key];
+                ++agg.dynCount;
+                agg.memberFanout.resize(key.size(), 0);
+                for (std::size_t k = lo; k < hi; ++k) {
+                    agg.fanoutSum += fanout.fanout[segmentDyn[k]];
+                    agg.memberFanout[k - lo] +=
+                        fanout.fanout[segmentDyn[k]];
+                }
+            }
+            segment.clear();
+            segmentDyn.clear();
+        };
+
+        for (const DynIdx dyn : chain) {
+            const InstUid uid = trace.insts[dyn].staticUid;
+            const program::InstLoc &loc = prog.locate(uid);
+            const bool sameBlock =
+                loc.func == curFunc && loc.block == curBlock &&
+                loc.index > lastIndex;
+            if (!sameBlock)
+                flush();
+            segment.push_back(uid);
+            segmentDyn.push_back(dyn);
+            curFunc = loc.func;
+            curBlock = loc.block;
+            lastIndex = loc.index;
+        }
+        flush();
+    }
+
+    for (auto &[uids, agg] : table) {
+        const double avgFanout =
+            static_cast<double>(agg.fanoutSum) /
+            static_cast<double>(agg.dynCount * uids.size());
+        if (avgFanout < config.chainCritThreshold)
+            continue;
+        MinedChain chain;
+        chain.uids = uids;
+        chain.dynCount = agg.dynCount;
+        chain.avgFanout = avgFanout;
+        chain.memberFanout.reserve(uids.size());
+        for (const std::uint64_t sum : agg.memberFanout) {
+            chain.memberFanout.push_back(
+                static_cast<double>(sum) /
+                static_cast<double>(agg.dynCount));
+        }
+        chain.directlyConvertible = std::all_of(
+            uids.begin(), uids.end(), [&](InstUid uid) {
+                return directlyConvertible(prog.instByUid(uid).arch);
+            });
+        result.chains.push_back(std::move(chain));
+    }
+    std::sort(result.chains.begin(), result.chains.end(),
+              [](const MinedChain &a, const MinedChain &b) {
+                  if (a.coverage() != b.coverage())
+                      return a.coverage() > b.coverage();
+                  return a.uids < b.uids; // deterministic tie-break
+              });
+    return result;
+}
+
+Selection
+selectCritIcs(const MineResult &mined, const SelectOptions &options)
+{
+    Selection selection;
+    std::unordered_set<InstUid> used;
+    std::uint64_t covered = 0;
+
+    for (const MinedChain &chain : mined.chains) {
+        if (selection.chains.size() >= options.maxChains)
+            break;
+        std::size_t lo = 0;
+        std::size_t len = chain.uids.size();
+        if (!options.ideal) {
+            if (options.exactLen != 0) {
+                if (len != options.exactLen)
+                    continue;
+            } else if (len > options.maxLen) {
+                // Any sub-path of an IC is an IC: keep the
+                // highest-average-fanout window of the allowed length.
+                double best = -1.0;
+                for (std::size_t s = 0;
+                     s + options.maxLen <= len; ++s) {
+                    double sum = 0.0;
+                    for (std::size_t k = 0; k < options.maxLen; ++k)
+                        sum += chain.memberFanout[s + k];
+                    if (sum > best) {
+                        best = sum;
+                        lo = s;
+                    }
+                }
+                len = options.maxLen;
+            }
+            if (options.requireConvertible &&
+                !chain.directlyConvertible) {
+                continue;
+            }
+        }
+        const auto first = chain.uids.begin() +
+            static_cast<std::ptrdiff_t>(lo);
+        const std::vector<InstUid> uids(
+            first, first + static_cast<std::ptrdiff_t>(len));
+        bool overlaps = false;
+        for (const InstUid uid : uids) {
+            if (used.count(uid)) {
+                overlaps = true;
+                break;
+            }
+        }
+        if (overlaps)
+            continue;
+        for (const InstUid uid : uids)
+            used.insert(uid);
+        covered += chain.dynCount * uids.size();
+        selection.chains.push_back(uids);
+    }
+    selection.expectedCoverage = mined.dynInsts
+        ? static_cast<double>(covered) /
+          static_cast<double>(mined.dynInsts) : 0.0;
+    return selection;
+}
+
+CoverageCdf
+coverageCdf(const MineResult &mined)
+{
+    CoverageCdf cdf;
+    if (mined.chains.empty() || mined.dynInsts == 0)
+        return cdf;
+
+    const double total = static_cast<double>(mined.dynInsts);
+    double accAll = 0.0, accConv = 0.0;
+    std::size_t rankAll = 0, rankConv = 0, convChains = 0;
+    for (const MinedChain &chain : mined.chains) {
+        accAll += static_cast<double>(chain.coverage());
+        cdf.all.push_back({static_cast<double>(++rankAll),
+                           accAll / total});
+        if (chain.directlyConvertible) {
+            ++convChains;
+            accConv += static_cast<double>(chain.coverage());
+            cdf.convertible.push_back(
+                {static_cast<double>(++rankConv), accConv / total});
+        }
+    }
+    cdf.convertibleChainFraction =
+        static_cast<double>(convChains) /
+        static_cast<double>(mined.chains.size());
+
+    // Decimate to keep the series printable.
+    auto decimate = [](std::vector<CdfPoint> &points) {
+        if (points.size() <= 64)
+            return;
+        std::vector<CdfPoint> keep;
+        const double stride =
+            static_cast<double>(points.size() - 1) / 63.0;
+        for (unsigned i = 0; i < 64; ++i) {
+            keep.push_back(points[static_cast<std::size_t>(
+                static_cast<double>(i) * stride)]);
+        }
+        points = std::move(keep);
+    };
+    decimate(cdf.all);
+    decimate(cdf.convertible);
+    return cdf;
+}
+
+} // namespace critics::analysis

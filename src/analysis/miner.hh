@@ -1,0 +1,100 @@
+/**
+ * @file
+ * CritIC mining: the offline aggregation stage of the paper's profiler
+ * (implemented there with Spark PairRDD; here with an in-process hash
+ * aggregation).  Dynamic ICs are cut into same-basic-block segments
+ * (the scope the ART pass can hoist within), keyed by their static
+ * instruction-uid signature, and aggregated into unique chains with
+ * dynamic counts, average fanout and 16-bit representability.  A
+ * selection step picks the top chains by coverage under the realistic
+ * constraints (length <= 5, directly Thumb-convertible, non-overlapping)
+ * or the CritIC.Ideal relaxation.
+ */
+
+#ifndef CRITICS_ANALYSIS_MINER_HH
+#define CRITICS_ANALYSIS_MINER_HH
+
+#include <vector>
+
+#include "analysis/criticality.hh"
+#include "program/program.hh"
+#include "support/histogram.hh"
+
+namespace critics::analysis
+{
+
+/** One unique mined chain (aggregated over its dynamic executions). */
+struct MinedChain
+{
+    std::vector<program::InstUid> uids; ///< in block order
+    std::uint64_t dynCount = 0;         ///< executions observed
+    double avgFanout = 0.0;             ///< per instruction, dynamic avg
+    /** Dynamic-average fanout of each member (for sub-path selection). */
+    std::vector<double> memberFanout;
+    bool directlyConvertible = false;   ///< all members 16-bit as-is
+
+    std::uint64_t
+    coverage() const
+    {
+        return dynCount * uids.size();
+    }
+};
+
+struct MineResult
+{
+    /** Unique CritICs sorted by descending coverage. */
+    std::vector<MinedChain> chains;
+    std::uint64_t dynInsts = 0;    ///< profiled stream length
+    std::uint64_t segmentsSeen = 0;
+};
+
+/**
+ * Mine unique CritICs from the extracted dynamic chains.
+ *
+ * @param profileFraction profile only the first fraction of the trace
+ *        (Fig. 12b sensitivity); chains whose head lies beyond the
+ *        cutoff are ignored.
+ */
+MineResult mineCritIcs(const program::Trace &trace,
+                       const program::Program &prog,
+                       const DynChains &chains, const FanoutInfo &fanout,
+                       const CriticalityConfig &config,
+                       double profileFraction = 1.0);
+
+/** Selection constraints. */
+struct SelectOptions
+{
+    unsigned maxLen = 5;      ///< keep chains up to this length...
+    unsigned exactLen = 0;    ///< ...or exactly this length (if != 0)
+    bool requireConvertible = true;
+    /** CritIC.Ideal: no length cap, conversion assumed always possible. */
+    bool ideal = false;
+    /** Keep at most this many unique chains (profile size bound). */
+    std::size_t maxChains = 1u << 20;
+};
+
+struct Selection
+{
+    std::vector<std::vector<program::InstUid>> chains;
+    /** Expected dynamic coverage of the selection (instructions in
+     *  selected chains / profiled instructions). */
+    double expectedCoverage = 0.0;
+};
+
+Selection selectCritIcs(const MineResult &mined,
+                        const SelectOptions &options);
+
+/** Fig. 5b: CDF of dynamic coverage vs unique-chain count, for all
+ *  mined CritICs and for the directly-convertible subset. */
+struct CoverageCdf
+{
+    std::vector<CdfPoint> all;
+    std::vector<CdfPoint> convertible;
+    double convertibleChainFraction = 0.0; ///< ~95.5% in the paper
+};
+
+CoverageCdf coverageCdf(const MineResult &mined);
+
+} // namespace critics::analysis
+
+#endif // CRITICS_ANALYSIS_MINER_HH

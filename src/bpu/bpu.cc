@@ -1,0 +1,81 @@
+#include "bpu/bpu.hh"
+
+#include "support/logging.hh"
+
+namespace critics::bpu
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(unsigned x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+TwoLevelPredictor::TwoLevelPredictor(unsigned tableEntries,
+                                     unsigned historyBits)
+    : gshare_(tableEntries, 2), // weakly taken
+      bimodal_(tableEntries / 4, 2),
+      chooser_(tableEntries / 4, 2),
+      indexMask_(tableEntries - 1),
+      pcMask_(tableEntries / 4 - 1),
+      historyMask_((1u << historyBits) - 1)
+{
+    critics_assert(isPowerOfTwo(tableEntries) && tableEntries >= 16,
+                   "BPU table size must be a power of two >= 16");
+    critics_assert(historyBits <= 31, "history too long");
+}
+
+bool
+TwoLevelPredictor::predictAndTrain(std::uint32_t pc, bool taken)
+{
+    ++stats_.lookups;
+    const std::uint32_t gIndex =
+        ((pc >> 2) ^ (history_ & historyMask_)) & indexMask_;
+    const std::uint32_t pIndex = (pc >> 2) & pcMask_;
+
+    std::uint8_t &g = gshare_[gIndex];
+    std::uint8_t &b = bimodal_[pIndex];
+    std::uint8_t &c = chooser_[pIndex];
+    const bool gPred = g >= 2;
+    const bool bPred = b >= 2;
+    const bool predicted = (c >= 2) ? gPred : bPred;
+
+    auto train = [&](std::uint8_t &counter) {
+        if (taken) {
+            if (counter < 3)
+                ++counter;
+        } else {
+            if (counter > 0)
+                --counter;
+        }
+    };
+    // Chooser moves toward whichever component was right.
+    if (gPred != bPred) {
+        if (gPred == taken && c < 3)
+            ++c;
+        else if (bPred == taken && c > 0)
+            --c;
+    }
+    train(g);
+    train(b);
+    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & historyMask_;
+
+    const bool correct = (predicted == taken);
+    if (!correct)
+        ++stats_.mispredicts;
+    return correct;
+}
+
+bool
+PerfectPredictor::predictAndTrain(std::uint32_t, bool)
+{
+    ++stats_.lookups;
+    return true;
+}
+
+} // namespace critics::bpu

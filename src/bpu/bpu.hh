@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Branch direction predictors.  Only conditional branches can
+ * mispredict in the model: direct jumps/calls have known targets and
+ * returns are covered by a return-address stack, matching the paper's
+ * focus on direction-misprediction stalls in F.StallForI.
+ */
+
+#ifndef CRITICS_BPU_BPU_HH
+#define CRITICS_BPU_BPU_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace critics::bpu
+{
+
+/** Predictor statistics. */
+struct BpuStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t mispredicts = 0;
+
+    double
+    mispredictRate() const
+    {
+        return lookups ? static_cast<double>(mispredicts) /
+                         static_cast<double>(lookups) : 0.0;
+    }
+};
+
+/** Abstract direction predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the conditional branch at `pc`,
+     *  then train on the actual outcome.
+     *  @return true if the prediction was correct. */
+    virtual bool predictAndTrain(std::uint32_t pc, bool taken) = 0;
+
+    const BpuStats &stats() const { return stats_; }
+    void resetStats() { stats_ = BpuStats{}; }
+
+  protected:
+    BpuStats stats_;
+};
+
+/**
+ * Two-level predictor (Table I: 4k-entry 2-level BPU): a gshare
+ * history-indexed table combined with a per-PC bimodal table through a
+ * chooser, so strongly biased branches are covered by the bimodal side
+ * while pattern-sensitive branches use the history side.
+ */
+class TwoLevelPredictor : public BranchPredictor
+{
+  public:
+    explicit TwoLevelPredictor(unsigned tableEntries = 4096,
+                               unsigned historyBits = 12);
+
+    bool predictAndTrain(std::uint32_t pc, bool taken) override;
+
+  private:
+    std::vector<std::uint8_t> gshare_;
+    std::vector<std::uint8_t> bimodal_;
+    std::vector<std::uint8_t> chooser_; ///< >=2 selects gshare
+    std::uint32_t history_ = 0;
+    std::uint32_t indexMask_;
+    std::uint32_t pcMask_;
+    std::uint32_t historyMask_;
+};
+
+/** Oracle predictor (the PerfectBr configuration of Fig. 11). */
+class PerfectPredictor : public BranchPredictor
+{
+  public:
+    bool predictAndTrain(std::uint32_t pc, bool taken) override;
+};
+
+} // namespace critics::bpu
+
+#endif // CRITICS_BPU_BPU_HH

@@ -1,0 +1,466 @@
+#include "compiler/passes.hh"
+
+#include <algorithm>
+
+#include "program/dfg.hh"
+#include "support/logging.hh"
+
+namespace critics::compiler
+{
+
+using program::BasicBlock;
+using program::InstUid;
+using program::Program;
+using program::StaticInst;
+using isa::Format;
+using isa::OpClass;
+
+namespace
+{
+
+/** Find the current index of `uid` inside a block; -1 if absent. */
+int
+indexInBlock(const BasicBlock &block, InstUid uid)
+{
+    for (std::size_t i = 0; i < block.insts.size(); ++i)
+        if (block.insts[i].uid == uid)
+            return static_cast<int>(i);
+    return -1;
+}
+
+/** True when the instruction converts to 16-bit without expansion. */
+bool
+directConvertible(const StaticInst &si)
+{
+    return isa::thumbDirectlyConvertible(si.arch);
+}
+
+StaticInst
+makeCdp(Program &prog, unsigned run)
+{
+    StaticInst cdp;
+    cdp.uid = prog.allocUid();
+    cdp.arch.op = OpClass::Cdp;
+    cdp.format = Format::Thumb16;
+    cdp.cdpRun = static_cast<std::uint8_t>(run);
+    return cdp;
+}
+
+/**
+ * Locally rename the destination of block.insts[defIdx] (and every read
+ * of it up to the next redefinition) to a register with no reference in
+ * [rangeLo, lastUse].  Enables code motion past WAW/WAR conflicts while
+ * keeping the value Thumb-encodable.  @return true on success.
+ */
+bool
+renameDefLocally(BasicBlock &block, std::size_t defIdx,
+                 std::size_t rangeLo)
+{
+    const std::uint8_t oldReg = block.insts[defIdx].arch.dst;
+    if (oldReg == isa::NoReg)
+        return false;
+    // r7 is the workloads' recurrence accumulator and always live-out.
+    constexpr std::uint8_t LiveOutReg = 7;
+    if (oldReg == LiveOutReg)
+        return false;
+
+    // A later redefinition bounds the live range.  Without one the
+    // value could be live-out; the workload ABI guarantees dataflow
+    // temporaries r0..r6 die within their block, so those may still be
+    // renamed up to their last in-block use.
+    std::size_t nextRedef = block.insts.size();
+    for (std::size_t i = defIdx + 1; i < block.insts.size(); ++i) {
+        if (block.insts[i].arch.dst == oldReg) {
+            nextRedef = i;
+            break;
+        }
+    }
+    if (nextRedef == block.insts.size() && oldReg > 6)
+        return false;
+
+
+    auto referenced = [&](std::uint8_t reg, std::size_t lo,
+                          std::size_t hi) {
+        for (std::size_t i = lo; i <= hi && i < block.insts.size(); ++i) {
+            const auto &arch = block.insts[i].arch;
+            if (arch.dst == reg || arch.src1 == reg || arch.src2 == reg)
+                return true;
+        }
+        return false;
+    };
+
+    // Candidates are restricted to the dataflow temporaries r0..r6
+    // (never live across blocks by the workload ABI) and must be
+    // completely unreferenced from the hoist range to the end of the
+    // block so no later reader is captured.
+    for (std::uint8_t cand = 0; cand <= 6; ++cand) {
+        if (cand == oldReg || cand == LiveOutReg)
+            continue;
+        if (referenced(cand, rangeLo, block.insts.size() - 1))
+            continue;
+        block.insts[defIdx].arch.dst = cand;
+        for (std::size_t i = defIdx + 1; i < nextRedef; ++i) {
+            auto &arch = block.insts[i].arch;
+            if (arch.src1 == oldReg)
+                arch.src1 = cand;
+            if (arch.src2 == oldReg)
+                arch.src2 = cand;
+        }
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Bubble block.insts[from] up to land right after `anchor`, renaming
+ * the moving instruction's destination when a WAW/WAR conflict (and
+ * only such a conflict) blocks a swap.
+ */
+std::size_t
+hoistWithRename(BasicBlock &block, std::size_t from, std::size_t anchor,
+                PassStats &stats)
+{
+    std::size_t pos = from;
+    while (pos > anchor + 1) {
+        if (program::canSwap(block.insts[pos - 1], block.insts[pos])) {
+            std::swap(block.insts[pos - 1], block.insts[pos]);
+            --pos;
+            continue;
+        }
+        // Only register-name conflicts on the moving instruction's
+        // destination are repairable.
+        const auto &belowInst = block.insts[pos - 1];
+        const auto &movingInst = block.insts[pos];
+        const auto &below = belowInst.arch;
+        const auto &moving = movingInst.arch;
+        const bool raw = below.dst != isa::NoReg &&
+            (moving.src1 == below.dst || moving.src2 == below.dst);
+        const bool nameOnly = !raw && moving.dst != isa::NoReg &&
+            (below.src1 == moving.dst || below.src2 == moving.dst ||
+             below.dst == moving.dst);
+        if (nameOnly && renameDefLocally(block, pos, anchor + 1)) {
+            ++stats.localRenames;
+            continue;
+        }
+        if (belowInst.isControl() || movingInst.isControl() ||
+            belowInst.isCdp() || movingInst.isCdp()) {
+            ++stats.blockedCtl;
+        } else if (raw) {
+            ++stats.blockedRaw;
+        } else if (nameOnly) {
+            ++stats.blockedRename;
+        } else if ((belowInst.isLoad() || belowInst.isStore()) &&
+                   (movingInst.isLoad() || movingInst.isStore())) {
+            ++stats.blockedMem;
+        }
+        break;
+    }
+    return pos;
+}
+
+StaticInst
+makeSwitchBranch(Program &prog, Format format)
+{
+    StaticInst br;
+    br.uid = prog.allocUid();
+    br.arch.op = OpClass::Branch;
+    br.format = format;
+    // flow stays FallThrough: emitted as an always-taken transfer to the
+    // next sequential instruction (the decoder-visible switch).
+    return br;
+}
+
+} // namespace
+
+PassStats
+applyCritIcPass(Program &prog,
+                const std::vector<std::vector<InstUid>> &chains,
+                const CritIcPassOptions &options)
+{
+    PassStats stats;
+
+    for (const auto &chain : chains) {
+        if (chain.size() < 2)
+            continue;
+        ++stats.chainsAttempted;
+
+        const program::InstLoc loc = prog.locate(chain.front());
+        BasicBlock &block =
+            prog.funcs[loc.func].blocks[loc.block];
+
+        // Sanity: every member must still be in this block.
+        bool intact = true;
+        for (const InstUid uid : chain) {
+            const int idx = indexInBlock(block, uid);
+            if (idx < 0) {
+                intact = false;
+                break;
+            }
+        }
+        if (!intact)
+            continue;
+
+        // Pack the chain contiguous at its site first (short,
+        // same-motif motion), then move the packed group as early in
+        // the block as legal ("schedule the sequence as early as
+        // possible", Sec. II-C).
+        int anchor = indexInBlock(block, chain.front());
+        bool contiguous = true;
+        for (std::size_t k = 1; k < chain.size(); ++k) {
+            const int from = indexInBlock(block, chain[k]);
+            critics_assert(from >= 0, "chain member vanished");
+            if (from == anchor + 1) {
+                anchor = from;
+                continue;
+            }
+            if (from < anchor + 1) {
+                // A previous hoist moved it out of order; give up.
+                contiguous = false;
+                break;
+            }
+            const std::size_t landed = hoistWithRename(
+                block, static_cast<std::size_t>(from),
+                static_cast<std::size_t>(anchor), stats);
+            if (landed != static_cast<std::size_t>(anchor) + 1) {
+                contiguous = false;
+                break;
+            }
+            anchor = static_cast<int>(landed);
+        }
+        if (!contiguous) {
+            ++stats.hoistFailures;
+            continue; // partial hoists are harmless; skip conversion
+        }
+
+        // Group-hoist the packed chain upward while every member can
+        // legally cross the instruction above it.
+        {
+            std::size_t groupLo = static_cast<std::size_t>(
+                indexInBlock(block, chain.front()));
+            const std::size_t groupLen = chain.size();
+            while (groupLo > 0) {
+                bool legal = true;
+                for (std::size_t k = 0; k < groupLen; ++k) {
+                    if (program::canSwap(block.insts[groupLo - 1],
+                                         block.insts[groupLo + k])) {
+                        continue;
+                    }
+                    // A WAW/WAR name clash between the crossed
+                    // instruction and a member is repairable by
+                    // renaming the member's destination.
+                    const auto &x = block.insts[groupLo - 1].arch;
+                    const auto &m = block.insts[groupLo + k].arch;
+                    const bool raw = x.dst != isa::NoReg &&
+                        (m.src1 == x.dst || m.src2 == x.dst);
+                    const bool nameOnly = !raw && m.dst != isa::NoReg &&
+                        (x.src1 == m.dst || x.src2 == m.dst ||
+                         x.dst == m.dst);
+                    if (nameOnly &&
+                        renameDefLocally(block, groupLo + k, groupLo)) {
+                        ++stats.localRenames;
+                        if (program::canSwap(block.insts[groupLo - 1],
+                                             block.insts[groupLo + k]))
+                            continue;
+                    }
+                    legal = false;
+                    break;
+                }
+                if (!legal)
+                    break;
+                // Rotate the instruction above to just after the group.
+                std::rotate(block.insts.begin() +
+                                static_cast<std::ptrdiff_t>(groupLo - 1),
+                            block.insts.begin() +
+                                static_cast<std::ptrdiff_t>(groupLo),
+                            block.insts.begin() +
+                                static_cast<std::ptrdiff_t>(
+                                    groupLo + groupLen));
+                --groupLo;
+            }
+        }
+
+        if (!options.convertToThumb) {
+            ++stats.chainsTransformed;
+            continue; // Hoist-only design point
+        }
+
+        // All-or-nothing convertibility check (footnote 1).
+        const int first = indexInBlock(block, chain.front());
+        bool convertible = true;
+        if (!options.forceConvert) {
+            for (std::size_t k = 0; k < chain.size(); ++k) {
+                if (!directConvertible(
+                        block.insts[first + static_cast<int>(k)])) {
+                    convertible = false;
+                    break;
+                }
+            }
+        }
+        if (!convertible)
+            continue;
+
+        for (std::size_t k = 0; k < chain.size(); ++k) {
+            block.insts[first + static_cast<int>(k)].format =
+                Format::Thumb16;
+            ++stats.instsConverted;
+        }
+
+        // Emit the format switch.
+        switch (options.switchMode) {
+          case SwitchMode::None:
+            break;
+          case SwitchMode::Cdp: {
+            // One CDP covers up to 9 instructions; longer (ideal)
+            // chains chain multiple CDPs.
+            std::size_t remaining = chain.size();
+            std::size_t insertAt = static_cast<std::size_t>(first);
+            while (remaining > 0) {
+                const unsigned run = static_cast<unsigned>(
+                    std::min<std::size_t>(remaining, isa::MaxCdpRun));
+                block.insts.insert(
+                    block.insts.begin() +
+                        static_cast<std::ptrdiff_t>(insertAt),
+                    makeCdp(prog, run));
+                ++stats.cdpsInserted;
+                insertAt += run + 1;
+                remaining -= run;
+            }
+            break;
+          }
+          case SwitchMode::BranchPair: {
+            block.insts.insert(
+                block.insts.begin() + first,
+                makeSwitchBranch(prog, Format::Arm32));
+            const std::size_t after =
+                static_cast<std::size_t>(first) + 1 + chain.size();
+            block.insts.insert(
+                block.insts.begin() +
+                    static_cast<std::ptrdiff_t>(after),
+                makeSwitchBranch(prog, Format::Thumb16));
+            stats.switchBranchesInserted += 2;
+            break;
+          }
+        }
+        ++stats.chainsTransformed;
+    }
+
+    prog.layout();
+    return stats;
+}
+
+namespace
+{
+
+/** Convert one run of block instructions [start, start+len) in place,
+ *  expanding 2-address violations and inserting CDP switches.  Appends
+ *  the rewritten run to `out`. */
+void
+emitConvertedRun(Program &prog, std::vector<StaticInst> &out,
+                 const std::vector<StaticInst> &insts, std::size_t start,
+                 std::size_t len, PassStats &stats)
+{
+    // First expand, then chunk under CDPs.
+    std::vector<StaticInst> expanded;
+    expanded.reserve(len + 4);
+    for (std::size_t i = start; i < start + len; ++i) {
+        StaticInst si = insts[i];
+        if (!directConvertible(si)) {
+            // mov dst, src1 ; op dst, dst, src2 — the 1.6x-style
+            // instruction-count cost of the 16-bit format.
+            StaticInst mov;
+            mov.uid = prog.allocUid();
+            mov.arch.op = OpClass::IntAlu;
+            mov.arch.dst = si.arch.dst;
+            mov.arch.src1 = si.arch.src1;
+            mov.format = Format::Thumb16;
+            expanded.push_back(mov);
+            si.arch.src1 = si.arch.dst;
+            ++stats.instsExpanded;
+        }
+        si.format = Format::Thumb16;
+        ++stats.instsConverted;
+        expanded.push_back(si);
+    }
+    std::size_t pos = 0;
+    while (pos < expanded.size()) {
+        const unsigned run = static_cast<unsigned>(
+            std::min<std::size_t>(expanded.size() - pos,
+                                  isa::MaxCdpRun));
+        out.push_back(makeCdp(prog, run));
+        ++stats.cdpsInserted;
+        for (unsigned k = 0; k < run; ++k)
+            out.push_back(expanded[pos + k]);
+        pos += run;
+    }
+}
+
+/**
+ * Shared run-scanner for OPP16/Compress.
+ *
+ * @param minRun        minimum convertible-run length worth switching
+ * @param allowExpansion convert 2-address violations via mov-expansion
+ *                       (OPP16) or keep them in 32-bit form (Compress)
+ */
+PassStats
+convertRuns(Program &prog, unsigned minRun, bool allowExpansion)
+{
+    PassStats stats;
+    for (auto &fn : prog.funcs) {
+        for (auto &block : fn.blocks) {
+            std::vector<StaticInst> out;
+            out.reserve(block.insts.size() + 8);
+            const auto &insts = block.insts;
+            std::size_t i = 0;
+            while (i < insts.size()) {
+                const StaticInst &si = insts[i];
+                const bool convertible =
+                    si.format == Format::Arm32 && !si.isCdp() &&
+                    isa::thumbConvertible(si.arch) &&
+                    (allowExpansion || directConvertible(si));
+                if (!convertible) {
+                    out.push_back(si);
+                    ++i;
+                    continue;
+                }
+                std::size_t j = i;
+                while (j < insts.size()) {
+                    const StaticInst &sj = insts[j];
+                    const bool ok =
+                        sj.format == Format::Arm32 && !sj.isCdp() &&
+                        isa::thumbConvertible(sj.arch) &&
+                        (allowExpansion || directConvertible(sj));
+                    if (!ok)
+                        break;
+                    ++j;
+                }
+                const std::size_t len = j - i;
+                if (len >= minRun) {
+                    emitConvertedRun(prog, out, insts, i, len, stats);
+                } else {
+                    for (std::size_t k = i; k < j; ++k)
+                        out.push_back(insts[k]);
+                }
+                i = j;
+            }
+            block.insts = std::move(out);
+        }
+    }
+    prog.layout();
+    return stats;
+}
+
+} // namespace
+
+PassStats
+applyOpp16Pass(Program &prog, unsigned minRun)
+{
+    return convertRuns(prog, minRun, false);
+}
+
+PassStats
+applyCompressPass(Program &prog)
+{
+    return convertRuns(prog, 2, false);
+}
+
+} // namespace critics::compiler

@@ -1,0 +1,514 @@
+#include "cpu/cpu.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "isa/isa.hh"
+#include "support/logging.hh"
+
+namespace critics::cpu
+{
+
+using program::DynIdx;
+using program::DynInst;
+using program::Trace;
+using isa::OpClass;
+
+namespace
+{
+
+constexpr std::uint32_t Unknown = 0xFFFFFFFFu;
+
+/** Functional-unit pools. */
+enum class FuPool : std::uint8_t { Alu, MulDiv, Fp, Mem };
+
+FuPool
+poolOf(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        return FuPool::MulDiv;
+      case OpClass::FloatAdd:
+      case OpClass::FloatMul:
+      case OpClass::FloatDiv:
+        return FuPool::Fp;
+      case OpClass::Load:
+      case OpClass::Store:
+        return FuPool::Mem;
+      default:
+        return FuPool::Alu;
+    }
+}
+
+bool
+unpipelined(OpClass op)
+{
+    return op == OpClass::IntDiv || op == OpClass::FloatDiv;
+}
+
+/** A pool of identical units, each able to start one op per cycle;
+ *  unpipelined ops hold their unit until completion. */
+class FuSet
+{
+  public:
+    explicit FuSet(unsigned units) : busyUntil_(units, 0) {}
+
+    bool
+    tryIssue(std::uint64_t cycle, std::uint64_t holdUntil)
+    {
+        for (auto &busy : busyUntil_) {
+            if (busy <= cycle) {
+                busy = holdUntil;
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    std::vector<std::uint64_t> busyUntil_;
+};
+
+struct RobEntry
+{
+    DynIdx dyn = 0;
+    float fetchLead = 0.0f; ///< share of upstream supply-stall cycles
+    std::uint32_t fetchC = 0;
+    std::uint32_t popC = 0;      ///< left the fetch queue
+    std::uint32_t dispatchC = 0; ///< entered the ROB
+    std::uint32_t issueC = 0;
+    std::uint32_t completeC = 0;
+    std::uint32_t readyC = Unknown; ///< known once producers issued
+    bool issued = false;
+};
+
+struct FqEntry
+{
+    DynIdx dyn;
+    std::uint32_t fetchC;
+    float fetchLead;
+};
+
+struct PipeEntry
+{
+    DynIdx dyn;
+    std::uint32_t fetchC;
+    float fetchLead;
+    std::uint32_t popC;
+    std::uint32_t readyC;
+};
+
+} // namespace
+
+CpuStats
+runTrace(const Trace &trace, const CpuConfig &config,
+         const mem::MemConfig &memConfig, bpu::BranchPredictor &bpu,
+         const std::vector<std::uint8_t> *critMask,
+         const std::unordered_set<program::InstUid> *criticalSet)
+{
+    critics_assert(!trace.insts.empty(), "empty trace");
+    critics_assert(critMask == nullptr ||
+                       critMask->size() == trace.size(),
+                   "crit mask size mismatch");
+
+    const auto n = static_cast<DynIdx>(trace.size());
+    CpuStats stats;
+    mem::MemorySystem memory(memConfig);
+    mem::EFetchPredictor efetch;
+
+    // Completion cycle of every dynamic instruction (Unknown until the
+    // instruction issues).  Producers referenced by a consumer are
+    // always either in the window or already complete, but keeping the
+    // whole array also supports far-away (loop-carried) dependences.
+    std::vector<std::uint32_t> resultCycle(trace.size(), Unknown);
+
+    const bool usePriority =
+        (config.aluPrioritization || config.backendPrio) &&
+        criticalSet != nullptr;
+
+    auto isCritStatic = [&](DynIdx idx) {
+        return criticalSet != nullptr &&
+               criticalSet->count(trace.insts[idx].staticUid) > 0;
+    };
+
+    // ---- Pipeline state --------------------------------------------------
+    std::uint64_t cycle = 0;
+    DynIdx fetchIdx = 0;
+    std::uint64_t fetchBlockedUntil = 0;
+    bool blockedOnIcache = false;
+    DynIdx haltBranch = -1; ///< mispredicted branch gating fetch
+    std::uint64_t decodeStallUntil = 0;
+    std::uint64_t cdpLatencyUntil = 0;
+    double pendingSupplyStall = 0.0; ///< I-side stall cycles to attribute
+
+    std::deque<FqEntry> fetchQ;
+    std::deque<PipeEntry> decodePipe;
+    const std::size_t decodePipeCap =
+        static_cast<std::size_t>(config.decodeWidth) * 2 *
+        (config.frontendLatency + 1);
+
+    std::vector<RobEntry> rob(config.robSize);
+    std::size_t robHead = 0, robCount = 0;
+
+    FuSet alus(config.intAluUnits);
+    FuSet muldivs(config.mulDivUnits);
+    FuSet fpus(config.fpUnits);
+    FuSet memPorts(config.memPorts);
+
+    std::uint64_t committed = 0;
+    bool warmupDone = (config.warmupCommits == 0);
+    CpuStats warmupSnapshot;
+    std::vector<std::size_t> eligible;
+    eligible.reserve(config.robSize);
+
+    const std::uint64_t cycleLimit =
+        200ull * trace.size() + 1000000ull;
+
+    while (committed < static_cast<std::uint64_t>(n)) {
+        critics_assert(cycle < cycleLimit,
+                       "pipeline deadlock at cycle ", cycle,
+                       " committed ", committed, "/", n);
+
+        // ---- Commit -----------------------------------------------------
+        unsigned comm = 0;
+        while (comm < config.commitWidth && robCount > 0) {
+            RobEntry &head = rob[robHead];
+            if (!head.issued || head.completeC > cycle)
+                break;
+            const auto commitC = static_cast<std::uint32_t>(cycle);
+            auto account = [&](StageBreakdown &b) {
+                b.fetch += (head.popC - head.fetchC) + head.fetchLead;
+                b.decode += head.dispatchC - head.popC;
+                b.issueWait += head.issueC - head.dispatchC;
+                b.execute += head.completeC - head.issueC;
+                b.commitWait += commitC - head.completeC;
+                ++b.insts;
+            };
+            account(stats.all);
+            if (critMask && (*critMask)[head.dyn])
+                account(stats.crit);
+            robHead = (robHead + 1) % config.robSize;
+            --robCount;
+            ++committed;
+            ++comm;
+        }
+
+        // ---- Issue ------------------------------------------------------
+        eligible.clear();
+        for (std::size_t k = 0; k < robCount; ++k) {
+            const std::size_t slot = (robHead + k) % config.robSize;
+            RobEntry &entry = rob[slot];
+            if (entry.issued)
+                continue;
+            if (entry.readyC == Unknown) {
+                const DynInst &d = trace.insts[entry.dyn];
+                std::uint32_t ready = entry.dispatchC + 1;
+                bool known = true;
+                for (const DynIdx dep : {d.dep0, d.dep1}) {
+                    if (dep == program::NoDep)
+                        continue;
+                    const std::uint32_t rc = resultCycle[dep];
+                    if (rc == Unknown) {
+                        known = false;
+                        break;
+                    }
+                    ready = std::max(ready, rc);
+                }
+                if (!known)
+                    continue;
+                entry.readyC = ready;
+            }
+            if (cycle >= entry.readyC)
+                eligible.push_back(slot);
+        }
+
+        if (usePriority && !eligible.empty()) {
+            std::stable_partition(eligible.begin(), eligible.end(),
+                [&](std::size_t slot) {
+                    return isCritStatic(rob[slot].dyn);
+                });
+        }
+
+        unsigned issuedCount = 0;
+        for (const std::size_t slot : eligible) {
+            if (issuedCount >= config.issueWidth)
+                break;
+            RobEntry &entry = rob[slot];
+            const DynInst &d = trace.insts[entry.dyn];
+            const FuPool pool = poolOf(d.op);
+            FuSet &fus = pool == FuPool::Alu ? alus
+                       : pool == FuPool::MulDiv ? muldivs
+                       : pool == FuPool::Fp ? fpus : memPorts;
+
+            std::uint32_t completeC;
+            if (pool == FuPool::Mem) {
+                // Acquire the port before touching the cache model.
+                if (!fus.tryIssue(cycle, cycle + 1))
+                    continue;
+                if (d.isLoad()) {
+                    const auto res = memory.load(d.memAddr, cycle);
+                    completeC = static_cast<std::uint32_t>(
+                        cycle + res.latency);
+                } else {
+                    memory.store(d.memAddr, cycle);
+                    completeC = static_cast<std::uint32_t>(cycle + 1);
+                }
+            } else {
+                completeC = static_cast<std::uint32_t>(
+                    cycle + isa::execLatency(d.op));
+                const std::uint64_t hold =
+                    unpipelined(d.op) ? completeC : cycle + 1;
+                if (!fus.tryIssue(cycle, hold))
+                    continue;
+            }
+
+            entry.issued = true;
+            entry.issueC = static_cast<std::uint32_t>(cycle);
+            entry.completeC = completeC;
+            resultCycle[entry.dyn] = completeC;
+            ++issuedCount;
+        }
+
+        // ---- Dispatch (decode/rename pipe -> ROB) -------------------------
+        unsigned dispatchBytes = 0;
+        const unsigned frontBytes = config.frontendBytes;
+        while (dispatchBytes < frontBytes && !decodePipe.empty() &&
+               robCount < config.robSize) {
+            const PipeEntry &pe = decodePipe.front();
+            if (pe.readyC > cycle)
+                break;
+            dispatchBytes += trace.insts[pe.dyn].sizeBytes;
+            const std::size_t slot =
+                (robHead + robCount) % config.robSize;
+            RobEntry &entry = rob[slot];
+            entry = RobEntry{};
+            entry.dyn = pe.dyn;
+            entry.fetchC = pe.fetchC;
+            entry.fetchLead = pe.fetchLead;
+            entry.popC = pe.popC;
+            entry.dispatchC = static_cast<std::uint32_t>(cycle);
+            ++robCount;
+            decodePipe.pop_front();
+        }
+
+        // ---- Decode (fetch queue -> decode/rename pipe) --------------------
+        // The decoder consumes word slots: one 32-bit instruction or a
+        // pair of 16-bit ones per slot, so 16-bit code doubles the
+        // front-end instruction rate (the paper's fetch-bandwidth
+        // argument for the Thumb format).
+        unsigned decodeBytes = 0;
+        while (decodeBytes < frontBytes && !fetchQ.empty() &&
+               decodePipe.size() < decodePipeCap &&
+               cycle >= decodeStallUntil) {
+            const FqEntry fe = fetchQ.front();
+            fetchQ.pop_front();
+            decodeBytes += trace.insts[fe.dyn].sizeBytes;
+            if (trace.insts[fe.dyn].op == OpClass::Cdp) {
+                // The CDP is a decoder directive: it consumes its fetch
+                // and decode bytes and adds one cycle of decode *latency*
+                // while the format switch takes effect (the paper's
+                // conservative +1 decode-stage delay), but never enters
+                // the ROB and does not stall decode throughput.
+                cdpLatencyUntil = cycle + 1;
+                stats.decodeCdpBubbles += config.cdpExtraDecode;
+                ++committed; // retires here for bookkeeping
+                continue;
+            }
+            const unsigned cdpPenalty =
+                cycle <= cdpLatencyUntil ? config.cdpExtraDecode : 0;
+            decodePipe.push_back(
+                {fe.dyn, fe.fetchC, fe.fetchLead,
+                 static_cast<std::uint32_t>(cycle),
+                 static_cast<std::uint32_t>(
+                     cycle + config.frontendLatency + cdpPenalty)});
+        }
+
+        // ---- Fetch --------------------------------------------------------
+        unsigned fetched = 0;
+        bool deliveredAny = false;
+        bool sawIcacheMissNow = false;
+        const bool blocked = cycle < fetchBlockedUntil;
+
+        if (haltBranch >= 0 && resultCycle[haltBranch] != Unknown) {
+            // The mispredicted branch has resolved; charge the redirect.
+            fetchBlockedUntil = std::max<std::uint64_t>(
+                fetchBlockedUntil,
+                static_cast<std::uint64_t>(resultCycle[haltBranch]) +
+                    config.redirectPenalty);
+            blockedOnIcache = false;
+            haltBranch = -1;
+        }
+
+        if (!blocked && haltBranch < 0 && fetchIdx < n) {
+            std::uint64_t windowBase = 0;
+            bool haveWindow = false;
+            while (fetched < config.fetchWidth &&
+                   fetchQ.size() < config.fetchQueueSize &&
+                   fetchIdx < n) {
+                const DynInst &d = trace.insts[fetchIdx];
+                if (!haveWindow) {
+                    windowBase = d.address &
+                        ~static_cast<std::uint64_t>(
+                            config.fetchBytes - 1);
+                    const auto res =
+                        memory.fetchInst(d.address, cycle);
+                    ++stats.fetchWindows;
+                    if (res.latency > memConfig.icache.hitLatency) {
+                        // Miss (or in-flight fill): stall fetch until
+                        // the line arrives; hits are pipelined.
+                        fetchBlockedUntil =
+                            cycle + res.latency -
+                            memConfig.icache.hitLatency;
+                        blockedOnIcache = true;
+                        sawIcacheMissNow = true;
+                        break;
+                    }
+                    haveWindow = true;
+                }
+                if (d.address < windowBase ||
+                    d.address + d.sizeBytes >
+                        windowBase + config.fetchBytes) {
+                    break; // next fetch window, next cycle
+                }
+
+                fetchQ.push_back(
+                    {fetchIdx, static_cast<std::uint32_t>(cycle), 0.0f});
+                // A CDP shares its 32-bit word with the first 16-bit
+                // instruction (Fig. 9), so it does not consume a fetch
+                // slot of its own — only its bytes.
+                if (d.op != OpClass::Cdp)
+                    ++fetched;
+                deliveredAny = true;
+                stats.fetchedBytes += d.sizeBytes;
+
+                // Mechanism hooks at fetch.
+                if (config.criticalLoadPrefetch && d.isLoad() &&
+                    isCritStatic(fetchIdx)) {
+                    memory.prefetchData(d.memAddr, cycle);
+                }
+                if (config.efetch && d.op == OpClass::Call) {
+                    const mem::Addr predicted = efetch.predictAndTrain(
+                        d.address, d.branchTarget);
+                    if (predicted != 0) {
+                        for (unsigned k = 0; k < 4; ++k) {
+                            memory.prefetchInst(predicted + 64ull * k,
+                                                cycle);
+                        }
+                    }
+                }
+
+                const DynIdx thisIdx = fetchIdx;
+                ++fetchIdx;
+
+                if (d.isControl()) {
+                    if (d.isCond) {
+                        ++stats.condBranches;
+                        const bool correct =
+                            bpu.predictAndTrain(d.address, d.taken);
+                        if (!correct) {
+                            ++stats.mispredicts;
+                            haltBranch = thisIdx;
+                            break;
+                        }
+                    }
+                    if (d.taken)
+                        break; // taken transfer ends the fetch group
+                }
+            }
+        }
+
+        // ---- Front-end stall attribution ----------------------------------
+        if (!deliveredAny && fetchIdx < n) {
+            if (blocked || sawIcacheMissNow) {
+                if (blockedOnIcache)
+                    ++stats.stallForIIcache;
+                else
+                    ++stats.stallForIRedirect;
+                pendingSupplyStall += 1.0;
+            } else if (haltBranch >= 0) {
+                ++stats.stallForIRedirect;
+                pendingSupplyStall += 1.0;
+            } else if (fetchQ.size() >= config.fetchQueueSize) {
+                ++stats.stallForRd;
+            }
+        } else if (deliveredAny && pendingSupplyStall > 0.0) {
+            // Attribute accumulated supply-stall cycles to the freshly
+            // fetched group: this is the inherited "fetch stage" time
+            // of these instructions in the Fig. 3 sense.
+            const unsigned delivered = std::max(fetched, 1u);
+            const float lead = static_cast<float>(
+                pendingSupplyStall / static_cast<double>(delivered));
+            for (std::size_t k = fetchQ.size() - delivered;
+                 k < fetchQ.size(); ++k) {
+                fetchQ[k].fetchLead = lead;
+            }
+            pendingSupplyStall = 0.0;
+        }
+        if (!blocked && cycle >= fetchBlockedUntil && haltBranch < 0)
+            blockedOnIcache = false;
+
+        if (!warmupDone && committed >= config.warmupCommits) {
+            warmupDone = true;
+            warmupSnapshot = stats;
+            warmupSnapshot.cycles = cycle + 1;
+            warmupSnapshot.committed = committed;
+            warmupSnapshot.mem = memory.stats();
+        }
+
+        ++cycle;
+    }
+
+    stats.cycles = cycle;
+    stats.committed = committed;
+    stats.mem = memory.stats();
+    stats.efetchAccuracy = efetch.accuracy();
+
+    if (config.warmupCommits > 0) {
+        // Report the post-warmup window only.
+        auto sub = [](std::uint64_t &a, std::uint64_t b) {
+            a = a >= b ? a - b : 0;
+        };
+        sub(stats.cycles, warmupSnapshot.cycles);
+        sub(stats.committed, warmupSnapshot.committed);
+        sub(stats.stallForIIcache, warmupSnapshot.stallForIIcache);
+        sub(stats.stallForIRedirect, warmupSnapshot.stallForIRedirect);
+        sub(stats.stallForRd, warmupSnapshot.stallForRd);
+        sub(stats.decodeCdpBubbles, warmupSnapshot.decodeCdpBubbles);
+        sub(stats.fetchedBytes, warmupSnapshot.fetchedBytes);
+        sub(stats.condBranches, warmupSnapshot.condBranches);
+        sub(stats.mispredicts, warmupSnapshot.mispredicts);
+        sub(stats.fetchWindows, warmupSnapshot.fetchWindows);
+        auto subBreak = [](StageBreakdown &a, const StageBreakdown &b) {
+            a.fetch -= b.fetch;
+            a.decode -= b.decode;
+            a.issueWait -= b.issueWait;
+            a.execute -= b.execute;
+            a.commitWait -= b.commitWait;
+            a.insts -= b.insts;
+        };
+        subBreak(stats.all, warmupSnapshot.all);
+        subBreak(stats.crit, warmupSnapshot.crit);
+        auto subCache = [&](mem::CacheStats &a,
+                            const mem::CacheStats &b) {
+            sub(a.accesses, b.accesses);
+            sub(a.misses, b.misses);
+            sub(a.prefetchFills, b.prefetchFills);
+            sub(a.prefetchHits, b.prefetchHits);
+        };
+        subCache(stats.mem.icache, warmupSnapshot.mem.icache);
+        subCache(stats.mem.dcache, warmupSnapshot.mem.dcache);
+        subCache(stats.mem.l2, warmupSnapshot.mem.l2);
+        sub(stats.mem.dram.reads, warmupSnapshot.mem.dram.reads);
+        sub(stats.mem.dram.rowHits, warmupSnapshot.mem.dram.rowHits);
+        sub(stats.mem.dram.rowConflicts,
+            warmupSnapshot.mem.dram.rowConflicts);
+        sub(stats.mem.dram.activates, warmupSnapshot.mem.dram.activates);
+        sub(stats.mem.dram.totalLatency,
+            warmupSnapshot.mem.dram.totalLatency);
+        sub(stats.mem.storeAccesses, warmupSnapshot.mem.storeAccesses);
+    }
+    return stats;
+}
+
+} // namespace critics::cpu

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Cycle-level 4-wide out-of-order superscalar CPU model (Table I):
+ * Fetch / Decode / Rename / ROB / Issue / Execute / Commit, 128-entry
+ * ROB, trace-driven.  Beyond IPC, the model attributes every front-end
+ * stall cycle to the paper's two categories:
+ *
+ *   F.StallForI   — fetch delivered nothing because the instruction
+ *                   supply stalled (i-cache miss or branch redirect);
+ *   F.StallForR+D — fetch had instructions but the fetch queue was full
+ *                   because the rest of the pipeline exerted
+ *                   back-pressure (resource/dependence stalls).
+ *
+ * It also records per-instruction stage residencies so the Fig. 3
+ * breakdowns can be reported for any instruction subset (e.g. the
+ * high-fanout "critical" instructions).
+ *
+ * Hooks for the evaluated mechanisms:
+ *   - criticality set (profiled, PC-indexed) marks instructions for the
+ *     ALU-prioritization and critical-load-prefetch baselines;
+ *   - EFetch call-history instruction prefetching;
+ *   - perfect branch prediction, 2x front end, enlarged i-cache are
+ *     plain configuration changes.
+ */
+
+#ifndef CRITICS_CPU_CPU_HH
+#define CRITICS_CPU_CPU_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "bpu/bpu.hh"
+#include "mem/hierarchy.hh"
+#include "program/trace.hh"
+
+namespace critics::cpu
+{
+
+struct CpuConfig
+{
+    /** The front end is byte-limited (an 8-byte fetch/decode datapath,
+     *  as in mobile cores' fetch units), while issue/commit are 4-wide:
+     *  32-bit code streams at 2 instructions/cycle, 16-bit code at 4 —
+     *  the paper's "the 16-bit format nearly doubles fetch bandwidth".
+     *  fetchWidth only caps slots per window. */
+    unsigned fetchWidth = 8;
+    unsigned fetchBytes = 8;   ///< aligned fetch window per cycle
+    unsigned frontendBytes = 8; ///< decode/rename bytes per cycle
+    unsigned decodeWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+    unsigned robSize = 128;
+    unsigned fetchQueueSize = 32;
+    unsigned frontendLatency = 2; ///< decode+rename cycles
+    unsigned redirectPenalty = 5; ///< mispredict pipe refill
+    unsigned cdpExtraDecode = 1;  ///< decoder format-switch latency
+
+    unsigned intAluUnits = 2;
+    unsigned mulDivUnits = 1;
+    unsigned fpUnits = 1;
+    unsigned memPorts = 2;
+
+    // Mechanism toggles (Figs. 1/11).
+    bool aluPrioritization = false;   ///< prioritize critical at issue
+    bool backendPrio = false;         ///< ...including memory ports
+    bool criticalLoadPrefetch = false;///< prefetch critical loads at fetch
+    bool efetch = false;              ///< call-history i-prefetch
+
+    /** Commits to run before statistics start (cold-start warmup, like
+     *  sampling mid-execution in the paper's methodology). */
+    std::uint64_t warmupCommits = 0;
+
+    /** Apply the hypothetical 2xFD front end of Fig. 11. */
+    void
+    doubleFrontend()
+    {
+        fetchWidth *= 2;
+        fetchBytes *= 2;
+        frontendBytes *= 2;
+        decodeWidth *= 2;
+        fetchQueueSize *= 2;
+    }
+};
+
+/** Accumulated per-stage residency (cycles summed over instructions). */
+struct StageBreakdown
+{
+    double fetch = 0;      ///< fetch + fetch-queue residency
+    double decode = 0;     ///< decode/rename pipe
+    double issueWait = 0;  ///< ROB residency before issue
+    double execute = 0;    ///< issue to completion
+    double commitWait = 0; ///< completion to commit
+    std::uint64_t insts = 0;
+
+    double
+    total() const
+    {
+        return fetch + decode + issueWait + execute + commitWait;
+    }
+};
+
+struct CpuStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t committed = 0;
+
+    // Front-end stall attribution (whole-machine cycles).
+    std::uint64_t stallForIIcache = 0;
+    std::uint64_t stallForIRedirect = 0;
+    std::uint64_t stallForRd = 0;
+    std::uint64_t decodeCdpBubbles = 0;
+
+    std::uint64_t fetchedBytes = 0; ///< code bytes brought in by fetch
+    std::uint64_t condBranches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t fetchWindows = 0; ///< i-cache fetch accesses
+
+    StageBreakdown all;  ///< every committed instruction
+    StageBreakdown crit; ///< instructions flagged in the crit mask
+
+    mem::MemStats mem;
+    double efetchAccuracy = 0.0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(committed) /
+                        static_cast<double>(cycles) : 0.0;
+    }
+
+    /** F.StallForI as a fraction of execution cycles. */
+    double
+    fracStallForI() const
+    {
+        return cycles ? static_cast<double>(stallForIIcache +
+                                            stallForIRedirect) /
+                        static_cast<double>(cycles) : 0.0;
+    }
+
+    /** F.StallForR+D as a fraction of execution cycles. */
+    double
+    fracStallForRd() const
+    {
+        return cycles ? static_cast<double>(stallForRd) /
+                        static_cast<double>(cycles) : 0.0;
+    }
+};
+
+/**
+ * Run a trace to completion.
+ *
+ * @param trace     dynamic instruction stream
+ * @param config    pipeline configuration
+ * @param memConfig memory-system configuration
+ * @param bpu       branch predictor (state is consumed/trained)
+ * @param critMask  optional per-dyn-instruction criticality flags;
+ *                  drives the `crit` breakdown and, via `criticalSet`,
+ *                  is distinct from the mechanism inputs below
+ * @param criticalSet optional static-uid set marking instructions the
+ *                  criticality mechanisms treat as critical
+ */
+CpuStats runTrace(const program::Trace &trace, const CpuConfig &config,
+                  const mem::MemConfig &memConfig,
+                  bpu::BranchPredictor &bpu,
+                  const std::vector<std::uint8_t> *critMask = nullptr,
+                  const std::unordered_set<program::InstUid>
+                      *criticalSet = nullptr);
+
+} // namespace critics::cpu
+
+#endif // CRITICS_CPU_CPU_HH

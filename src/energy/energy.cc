@@ -1,0 +1,33 @@
+#include "energy/energy.hh"
+
+namespace critics::energy
+{
+
+EnergyBreakdown
+computeEnergy(const cpu::CpuStats &stats, const EnergyConfig &config)
+{
+    EnergyBreakdown e;
+    const auto cycles = static_cast<double>(stats.cycles);
+    // App work excludes CDP decoder directives (stats.all counts only
+    // instructions that flow through the ROB), so re-encoded binaries
+    // are charged for the same work as the baseline.
+    const auto insts = static_cast<double>(stats.all.insts);
+
+    e.cpuCore = config.cpuPerCycle * cycles +
+                config.cpuPerInst * insts +
+                config.cpuPerFetchByte *
+                    static_cast<double>(stats.fetchedBytes);
+    e.icache = config.icachePerAccess *
+               static_cast<double>(stats.mem.icache.accesses);
+    e.dcache = config.dcachePerAccess *
+               static_cast<double>(stats.mem.dcache.accesses);
+    e.l2 = config.l2PerAccess *
+           static_cast<double>(stats.mem.l2.accesses);
+    e.dram = config.dramPerRead *
+                 static_cast<double>(stats.mem.dram.reads) +
+             config.dramBackgroundPerCycle * cycles;
+    e.socRest = config.socRestPerInst * insts;
+    return e;
+}
+
+} // namespace critics::energy

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Activity-based SoC energy model (the role DRAMSim2 power + the
+ * authors' SoC accounting play in Sec. IV-F).
+ *
+ * Components and what drives them:
+ *   - CPU core:   per-cycle clocking/leakage + per-committed-instruction
+ *                 execution energy + per-fetched-byte front-end energy
+ *                 (the 16-bit format directly reduces fetched bytes);
+ *   - i-cache:    per-access (per fetch window) energy;
+ *   - d-cache/L2: per-access energy;
+ *   - DRAM:       per-read energy + background power x time;
+ *   - SoC rest:   display/radios/accelerators modeled as fixed energy
+ *                 per unit of app work (the session length is
+ *                 user-driven, so a faster CPU idles more rather than
+ *                 shortening the session).
+ *
+ * Absolute joules are calibrated constants; the evaluation only uses
+ * relative savings per component, as the paper does in Fig. 10c.
+ */
+
+#ifndef CRITICS_ENERGY_ENERGY_HH
+#define CRITICS_ENERGY_ENERGY_HH
+
+#include "cpu/cpu.hh"
+
+namespace critics::energy
+{
+
+/** Per-event energies in nanojoules / per-cycle powers in nJ/cycle. */
+struct EnergyConfig
+{
+    double cpuPerCycle = 0.110;
+    double cpuPerInst = 0.055;
+    double cpuPerFetchByte = 0.012;
+    double icachePerAccess = 0.055;
+    double dcachePerAccess = 0.050;
+    double l2PerAccess = 0.45;
+    double dramPerRead = 6.0;
+    double dramBackgroundPerCycle = 0.030;
+    /** Rest-of-SoC energy per committed instruction of app work. */
+    double socRestPerInst = 0.55;
+};
+
+struct EnergyBreakdown
+{
+    double cpuCore = 0.0;
+    double icache = 0.0;
+    double dcache = 0.0;
+    double l2 = 0.0;
+    double dram = 0.0;
+    double socRest = 0.0;
+
+    /** CPU-side energy (core + L1s + L2), the paper's "CPU". */
+    double
+    cpu() const
+    {
+        return cpuCore + icache + dcache + l2;
+    }
+
+    double
+    memory() const
+    {
+        return dram;
+    }
+
+    double
+    total() const
+    {
+        return cpuCore + icache + dcache + l2 + dram + socRest;
+    }
+};
+
+/** Compute the component energies of one run. */
+EnergyBreakdown computeEnergy(const cpu::CpuStats &stats,
+                              const EnergyConfig &config = EnergyConfig{});
+
+} // namespace critics::energy
+
+#endif // CRITICS_ENERGY_ENERGY_HH

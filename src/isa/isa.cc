@@ -1,0 +1,231 @@
+#include "isa/isa.hh"
+
+#include "support/logging.hh"
+
+namespace critics::isa
+{
+
+const char *
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:   return "IntAlu";
+      case OpClass::IntMult:  return "IntMult";
+      case OpClass::IntDiv:   return "IntDiv";
+      case OpClass::FloatAdd: return "FloatAdd";
+      case OpClass::FloatMul: return "FloatMul";
+      case OpClass::FloatDiv: return "FloatDiv";
+      case OpClass::Load:     return "Load";
+      case OpClass::Store:    return "Store";
+      case OpClass::Branch:   return "Branch";
+      case OpClass::Call:     return "Call";
+      case OpClass::Return:   return "Return";
+      case OpClass::Cdp:      return "Cdp";
+      case OpClass::Nop:      return "Nop";
+      default: return "?";
+    }
+}
+
+bool
+isControl(OpClass op)
+{
+    return op == OpClass::Branch || op == OpClass::Call ||
+           op == OpClass::Return;
+}
+
+bool
+isMemory(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Store;
+}
+
+unsigned
+execLatency(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:   return 1;
+      case OpClass::IntMult:  return 3;
+      case OpClass::IntDiv:   return 12;
+      case OpClass::FloatAdd: return 3;
+      case OpClass::FloatMul: return 4;
+      case OpClass::FloatDiv: return 16;
+      case OpClass::Store:    return 1;
+      case OpClass::Branch:   return 1;
+      case OpClass::Call:     return 1;
+      case OpClass::Return:   return 1;
+      case OpClass::Cdp:      return 1;
+      case OpClass::Nop:      return 1;
+      case OpClass::Load:     return 2; // L1 hit; memory system overrides
+      default:
+        critics_panic("execLatency: bad op class");
+    }
+}
+
+bool
+hasThumbEncoding(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntDiv:
+      case OpClass::FloatDiv:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+thumbConvertible(const OperandInfo &info)
+{
+    if (info.predicated)
+        return false;
+    if (!hasThumbEncoding(info.op))
+        return false;
+    if (info.dst != NoReg && info.dst > ThumbMaxDstReg)
+        return false;
+    if (info.src1 != NoReg && info.src1 > ThumbMaxSrcReg)
+        return false;
+    if (info.src2 != NoReg && info.src2 > ThumbMaxSrcReg)
+        return false;
+    return true;
+}
+
+bool
+thumbDirectlyConvertible(const OperandInfo &info)
+{
+    if (!thumbConvertible(info))
+        return false;
+    if (info.imm != 0)
+        return false;
+    return info.src1 == NoReg || info.src2 == NoReg ||
+           info.dst == info.src1;
+}
+
+std::string
+thumbRejectReason(const OperandInfo &info)
+{
+    if (info.predicated)
+        return "predicated";
+    if (!hasThumbEncoding(info.op))
+        return std::string("no 16-bit encoding for ") +
+               opClassName(info.op);
+    if (info.dst != NoReg && info.dst > ThumbMaxDstReg)
+        return "dst register above r10";
+    if ((info.src1 != NoReg && info.src1 > ThumbMaxSrcReg) ||
+        (info.src2 != NoReg && info.src2 > ThumbMaxSrcReg))
+        return "source register above r7";
+    return "";
+}
+
+namespace
+{
+
+// Opcode-space layout.  The 8-bit A32 opcode field and the 6-bit Thumb
+// opcode field both carry the op class plus a 2-bit operand-presence
+// code so decode can restore NoReg operands exactly.
+constexpr unsigned
+presenceCode(const OperandInfo &info)
+{
+    unsigned code = 0;
+    if (info.src1 != NoReg)
+        code |= 1u;
+    if (info.src2 != NoReg)
+        code |= 2u;
+    return code;
+}
+
+constexpr std::uint8_t CdpThumbOpcode = 0x3F; // all-ones 6-bit opcode
+
+} // namespace
+
+std::uint32_t
+encodeArm32(const OperandInfo &info)
+{
+    const std::uint32_t cond = info.predicated ? 0x1u : 0xEu;
+    const std::uint32_t opcode =
+        (static_cast<std::uint32_t>(info.op) << 3) | presenceCode(info) |
+        ((info.dst != NoReg ? 1u : 0u) << 2);
+    const std::uint32_t dst = info.dst == NoReg ? 0xF : info.dst;
+    const std::uint32_t src1 = info.src1 == NoReg ? 0xF : info.src1;
+    const std::uint32_t src2 = info.src2 == NoReg ? 0xF : info.src2;
+    return (cond << 28) | ((opcode & 0xFF) << 20) | ((dst & 0xF) << 16) |
+           ((src1 & 0xF) << 12) | ((src2 & 0xF) << 8) | info.imm;
+}
+
+OperandInfo
+decodeArm32(std::uint32_t word)
+{
+    OperandInfo info;
+    const std::uint32_t cond = word >> 28;
+    const std::uint32_t opcode = (word >> 20) & 0xFF;
+    info.predicated = cond != 0xE;
+    info.op = static_cast<OpClass>(opcode >> 3);
+    const bool has_dst = (opcode >> 2) & 1u;
+    const unsigned presence = opcode & 0x3;
+    info.dst = has_dst ? static_cast<std::uint8_t>((word >> 16) & 0xF)
+                       : NoReg;
+    info.src1 = (presence & 1u)
+        ? static_cast<std::uint8_t>((word >> 12) & 0xF) : NoReg;
+    info.src2 = (presence & 2u)
+        ? static_cast<std::uint8_t>((word >> 8) & 0xF) : NoReg;
+    info.imm = static_cast<std::uint8_t>(word & 0xFF);
+    return info;
+}
+
+std::uint16_t
+encodeThumb16(const OperandInfo &info)
+{
+    critics_assert(thumbConvertible(info),
+                   "encodeThumb16 on non-convertible instruction: ",
+                   thumbRejectReason(info));
+    // 6-bit opcode: 4-bit op class + presence code.  Op classes with a
+    // Thumb encoding all fit in 4 bits with the all-ones code reserved
+    // for CDP.
+    const std::uint16_t cls = static_cast<std::uint16_t>(info.op) & 0xF;
+    const std::uint16_t opcode =
+        static_cast<std::uint16_t>((cls << 2) | presenceCode(info));
+    critics_assert(opcode != CdpThumbOpcode, "opcode collides with CDP");
+    const std::uint16_t dst = info.dst == NoReg ? 0xF : info.dst;
+    const std::uint16_t src1 = info.src1 == NoReg ? 0x7 : info.src1;
+    const std::uint16_t src2 = info.src2 == NoReg ? 0x7 : info.src2;
+    return static_cast<std::uint16_t>((opcode << 10) | ((dst & 0xF) << 6) |
+                                      ((src1 & 0x7) << 3) | (src2 & 0x7));
+}
+
+OperandInfo
+decodeThumb16(std::uint16_t half)
+{
+    OperandInfo info;
+    const unsigned opcode = (half >> 10) & 0x3F;
+    critics_assert(opcode != CdpThumbOpcode,
+                   "decodeThumb16 called on a CDP halfword");
+    info.op = static_cast<OpClass>((opcode >> 2) & 0xF);
+    const unsigned presence = opcode & 0x3;
+    const std::uint8_t dst = static_cast<std::uint8_t>((half >> 6) & 0xF);
+    info.dst = dst > ThumbMaxDstReg ? NoReg : dst;
+    info.src1 = (presence & 1u)
+        ? static_cast<std::uint8_t>((half >> 3) & 0x7) : NoReg;
+    info.src2 = (presence & 2u)
+        ? static_cast<std::uint8_t>(half & 0x7) : NoReg;
+    info.predicated = false;
+    return info;
+}
+
+std::uint16_t
+encodeCdp(unsigned runLength)
+{
+    critics_assert(runLength >= 1 && runLength <= MaxCdpRun,
+                   "CDP run length out of range: ", runLength);
+    const std::uint16_t l = static_cast<std::uint16_t>(runLength - 1);
+    return static_cast<std::uint16_t>((CdpThumbOpcode << 10) |
+                                      (l & 0xF));
+}
+
+unsigned
+decodeCdpRun(std::uint16_t half)
+{
+    critics_assert(((half >> 10) & 0x3F) == CdpThumbOpcode,
+                   "not a CDP halfword");
+    return (half & 0xF) + 1;
+}
+
+} // namespace critics::isa

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The modeled ARM-like ISA: operation classes, the 32-bit (A32-like) and
+ * 16-bit (Thumb-like) instruction formats, register-file limits of the
+ * 16-bit format, the convertibility predicate used by the compiler passes,
+ * and the CDP format-switch command.
+ *
+ * The paper's mechanism depends only on a handful of ISA properties, all of
+ * which are modeled faithfully here:
+ *   - 32-bit instructions may be predicated; 16-bit ones may not;
+ *   - the 16-bit format can name fewer registers (r0..r10 per the paper;
+ *     in our bit layout the destination field is 4 bits covering r0..r10
+ *     and the source fields are 3 bits covering r0..r7);
+ *   - a CDP command with a 3-bit length argument switches the decoder to
+ *     16-bit mode for the next l+1 instructions (so up to 9);
+ *   - on stock hardware the switch needs an explicit branch pair instead.
+ */
+
+#ifndef CRITICS_ISA_ISA_HH
+#define CRITICS_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace critics::isa
+{
+
+/** Number of architected general-purpose registers in the 32-bit format. */
+constexpr std::uint8_t NumArchRegs = 16;
+
+/** Highest register encodable as a 16-bit destination (r0..r10 = 11
+ *  registers, matching the paper's register-count argument). */
+constexpr std::uint8_t ThumbMaxDstReg = 10;
+
+/** Highest register encodable as a 16-bit source (3-bit field). */
+constexpr std::uint8_t ThumbMaxSrcReg = 7;
+
+/** Sentinel meaning "no register operand". */
+constexpr std::uint8_t NoReg = 0xFF;
+
+/** Maximum instructions covered by one CDP switch: l+1 with l in [0,7]. */
+constexpr unsigned MaxCdpRun = 9;
+
+/** Operation classes with distinct pipeline behaviour. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,     ///< single-cycle integer op
+    IntMult,    ///< pipelined integer multiply
+    IntDiv,     ///< unpipelined integer divide
+    FloatAdd,   ///< FP add/sub/cvt
+    FloatMul,   ///< FP multiply
+    FloatDiv,   ///< unpipelined FP divide/sqrt
+    Load,       ///< memory read; latency from the memory system
+    Store,      ///< memory write; retires through the write buffer
+    Branch,     ///< conditional/unconditional direct branch
+    Call,       ///< function call (branch-and-link)
+    Return,     ///< function return (indirect branch)
+    Cdp,        ///< co-processor data op, repurposed as the format switch
+    Nop,        ///< padding / alignment filler
+    NumOpClasses
+};
+
+constexpr std::size_t NumOpClasses =
+    static_cast<std::size_t>(OpClass::NumOpClasses);
+
+/** Instruction encoding width. */
+enum class Format : std::uint8_t
+{
+    Arm32,   ///< 4-byte encoding
+    Thumb16, ///< 2-byte encoding
+};
+
+/** @return the human-readable mnemonic-ish name of an op class. */
+const char *opClassName(OpClass op);
+
+/** @return true for control-transfer classes (Branch/Call/Return). */
+bool isControl(OpClass op);
+
+/** @return true for memory classes (Load/Store). */
+bool isMemory(OpClass op);
+
+/** Fixed execution latency in cycles for non-load classes.  Loads get
+ *  their latency from the memory system instead. */
+unsigned execLatency(OpClass op);
+
+/** @return true if the op class has a 16-bit encoding at all.  Divides
+ *  (integer and FP) have no Thumb encoding in our ISA, mirroring the
+ *  long-latency corners of real Thumb. */
+bool hasThumbEncoding(OpClass op);
+
+/** Byte size of an instruction in the given format. */
+constexpr unsigned
+formatBytes(Format f)
+{
+    return f == Format::Arm32 ? 4u : 2u;
+}
+
+/**
+ * Architectural operand/predication fields of one instruction, i.e.
+ * everything the convertibility predicate and the encoders need.
+ */
+struct OperandInfo
+{
+    OpClass op = OpClass::IntAlu;
+    std::uint8_t dst = NoReg;
+    std::uint8_t src1 = NoReg;
+    std::uint8_t src2 = NoReg;
+    bool predicated = false;
+    std::uint8_t imm = 0;
+};
+
+/**
+ * The paper's convertibility test: an instruction can be re-encoded in
+ * the 16-bit format iff it is unpredicated, its op class has a Thumb
+ * encoding, and all its register operands fit the narrower fields.
+ */
+bool thumbConvertible(const OperandInfo &info);
+
+/** If not convertible, a short reason string for diagnostics. */
+std::string thumbRejectReason(const OperandInfo &info);
+
+/**
+ * Convertible *without any change*: additionally requires a 2-address
+ * shape (dst == src1, or at most one source) and no immediate payload —
+ * the 16-bit format has no immediate field.  This is the paper's
+ * "representable in the 16-bit format without any change" predicate;
+ * everything else would need the mov-expansion (the ~1.6x cost of
+ * naive Thumb compilation).
+ */
+bool thumbDirectlyConvertible(const OperandInfo &info);
+
+/**
+ * Bit-level 32-bit encoding:
+ *   [31:28] cond  (0xE = always / unpredicated)
+ *   [27:20] opcode
+ *   [19:16] dst   [15:12] src1   [11:8] src2
+ *   [7:0]   imm8
+ */
+std::uint32_t encodeArm32(const OperandInfo &info);
+OperandInfo decodeArm32(std::uint32_t word);
+
+/**
+ * Bit-level 16-bit encoding:
+ *   [15:10] opcode  [9:6] dst  [5:3] src1  [2:0] src2
+ * Missing operands encode as their own field's maximum value + the opcode
+ * carries an operand-presence code, see encoding.cc.  Requires
+ * thumbConvertible(info).
+ */
+std::uint16_t encodeThumb16(const OperandInfo &info);
+OperandInfo decodeThumb16(std::uint16_t half);
+
+/**
+ * CDP format-switch command (16-bit slot of a 32-bit word):
+ *   [15:10] CDP opcode  [9:4] coprocessor id (unused)  [3:0] l
+ * The next l+1 instructions decode in 16-bit mode (l+1 <= 9, the
+ * paper's "1 + 2^3" including the instruction sharing the CDP word).
+ */
+std::uint16_t encodeCdp(unsigned runLength);
+/** @return run length l+1 encoded in a CDP halfword. */
+unsigned decodeCdpRun(std::uint16_t half);
+
+} // namespace critics::isa
+
+#endif // CRITICS_ISA_ISA_HH

@@ -1,0 +1,110 @@
+#include "mem/cache.hh"
+
+#include "support/logging.hh"
+
+namespace critics::mem
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config),
+      lineMask_(config.lineBytes - 1)
+{
+    critics_assert(isPowerOfTwo(config.lineBytes),
+                   config.name, ": line size must be a power of two");
+    critics_assert(config.sizeBytes % (config.lineBytes * config.assoc)
+                       == 0,
+                   config.name, ": size not divisible by way size");
+    numSets_ = config.sizeBytes / (config.lineBytes * config.assoc);
+    critics_assert(isPowerOfTwo(numSets_),
+                   config.name, ": set count must be a power of two");
+    lines_.resize(numSets_ * config.assoc);
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / config_.lineBytes) & (numSets_ - 1);
+}
+
+LookupResult
+Cache::access(Addr addr, Cycle now)
+{
+    ++stats_.accesses;
+    const Addr tag = lineAddr(addr);
+    const std::size_t base = setIndex(addr) * config_.assoc;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = ++useClock_;
+            if (line.prefetched) {
+                ++stats_.prefetchHits;
+                line.prefetched = false;
+            }
+            const Cycle ready =
+                std::max(now, line.readyAt) + config_.hitLatency;
+            return {true, ready};
+        }
+    }
+    ++stats_.misses;
+    return {false, 0};
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Addr tag = lineAddr(addr);
+    const std::size_t base = setIndex(addr) * config_.assoc;
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        const Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::fill(Addr addr, Cycle readyAt, bool isPrefetch)
+{
+    const Addr tag = lineAddr(addr);
+    const std::size_t base = setIndex(addr) * config_.assoc;
+    // Refill of a present line (e.g. racing prefetch): keep the earlier
+    // ready time.
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag) {
+            line.readyAt = std::min(line.readyAt, readyAt);
+            return;
+        }
+    }
+    // Victim: any invalid way, else LRU.
+    Line *victim = &lines_[base];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        Line &line = lines_[base + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->readyAt = readyAt;
+    victim->lastUse = ++useClock_;
+    victim->prefetched = isPrefetch;
+    if (isPrefetch)
+        ++stats_.prefetchFills;
+}
+
+} // namespace critics::mem

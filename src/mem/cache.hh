@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement and in-flight fill
+ * tracking: a line being filled is present but not ready until its
+ * fill cycle, so a demand access that "catches up" with a prefetch gets
+ * the partial latency — the behaviour the criticality-prefetch baseline
+ * depends on.
+ */
+
+#ifndef CRITICS_MEM_CACHE_HH
+#define CRITICS_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace critics::mem
+{
+
+using Cycle = std::uint64_t;
+using Addr = std::uint64_t;
+
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint32_t sizeBytes = 32u << 10;
+    std::uint32_t assoc = 2;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t hitLatency = 2;
+};
+
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t prefetchFills = 0;
+    std::uint64_t prefetchHits = 0; ///< demand hits on prefetched lines
+
+    std::uint64_t hits() const { return accesses - misses; }
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                          static_cast<double>(accesses) : 0.0;
+    }
+};
+
+/** Result of a lookup. */
+struct LookupResult
+{
+    bool hit = false;
+    Cycle readyAt = 0; ///< when the line's data is usable (hits only)
+};
+
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    const CacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /**
+     * Demand lookup at `now`.  Hits (including on in-flight fills)
+     * return readyAt; misses return {false, 0} and the caller is
+     * expected to fill() once it knows the fill latency.
+     */
+    LookupResult access(Addr addr, Cycle now);
+
+    /** Probe without stats or LRU update (used by prefetchers). */
+    bool contains(Addr addr) const;
+
+    /** Install the line holding `addr`, usable from `readyAt`. */
+    void fill(Addr addr, Cycle readyAt, bool isPrefetch = false);
+
+    Addr lineAddr(Addr addr) const { return addr & ~lineMask_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        Cycle readyAt = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool prefetched = false;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+
+    CacheConfig config_;
+    CacheStats stats_;
+    std::vector<Line> lines_; ///< sets * assoc, set-major
+    Addr lineMask_;
+    std::size_t numSets_;
+    std::uint64_t useClock_ = 0;
+};
+
+} // namespace critics::mem
+
+#endif // CRITICS_MEM_CACHE_HH

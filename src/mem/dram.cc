@@ -1,0 +1,58 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace critics::mem
+{
+
+Dram::Dram(const DramConfig &config)
+    : config_(config),
+      banks_(config.ranks * config.banksPerRank)
+{
+    critics_assert(!banks_.empty(), "dram needs banks");
+}
+
+unsigned
+Dram::read(Addr addr, Cycle now)
+{
+    ++stats_.reads;
+
+    // Address mapping: row-interleaved banks so streaming accesses hit
+    // open rows within one bank, while different 4 KB rows spread over
+    // banks.
+    const std::uint64_t rowId = addr / config_.rowBytes;
+    const std::size_t bankIdx = rowId % banks_.size();
+    Bank &bank = banks_[bankIdx];
+
+    Cycle start = std::max(now + config_.controllerOverhead,
+                           bank.busyUntil);
+
+    unsigned arrayLatency;
+    if (bank.openRow == rowId) {
+        ++stats_.rowHits;
+        arrayLatency = config_.tCl;
+    } else {
+        if (bank.openRow != ~0ull) {
+            ++stats_.rowConflicts;
+            arrayLatency = config_.tRp + config_.tRcd + config_.tCl;
+        } else {
+            arrayLatency = config_.tRcd + config_.tCl;
+        }
+        ++stats_.activates;
+        bank.openRow = rowId;
+    }
+
+    // Serialize the data burst on the shared channel.
+    Cycle dataStart = std::max(start + arrayLatency, channelBusyUntil_);
+    Cycle done = dataStart + config_.tBurst;
+    channelBusyUntil_ = done;
+    bank.busyUntil = start + arrayLatency;
+
+    const unsigned latency = static_cast<unsigned>(done - now);
+    stats_.totalLatency += latency;
+    return latency;
+}
+
+} // namespace critics::mem

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * LPDDR3 timing model matching Table I: 2 GB, 1 channel, 2 ranks,
+ * 8 banks per rank, open-page policy, tCL = tRP = tRCD = 13 ns.
+ * The model tracks per-bank open rows and busy windows — enough to
+ * produce realistic row-hit vs row-conflict latencies and bank-level
+ * queueing under streaming vs random access patterns.
+ */
+
+#ifndef CRITICS_MEM_DRAM_HH
+#define CRITICS_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.hh" // Cycle/Addr
+
+namespace critics::mem
+{
+
+struct DramConfig
+{
+    unsigned ranks = 2;
+    unsigned banksPerRank = 8;
+    std::uint32_t rowBytes = 4096;
+    /** CPU cycles per DRAM timing parameter (13 ns at ~2 GHz). */
+    unsigned tCl = 26;
+    unsigned tRcd = 26;
+    unsigned tRp = 26;
+    /** Data burst on the channel. */
+    unsigned tBurst = 8;
+    /** Fixed controller/queue traversal overhead. */
+    unsigned controllerOverhead = 20;
+};
+
+struct DramStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowConflicts = 0;
+    std::uint64_t activates = 0;
+    std::uint64_t totalLatency = 0;
+
+    double
+    avgLatency() const
+    {
+        return reads ? static_cast<double>(totalLatency) /
+                       static_cast<double>(reads) : 0.0;
+    }
+};
+
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &config = DramConfig{});
+
+    /** Perform a read for the line holding `addr` starting at `now`;
+     *  @return completion latency in cycles (relative to now). */
+    unsigned read(Addr addr, Cycle now);
+
+    const DramStats &stats() const { return stats_; }
+    const DramConfig &config() const { return config_; }
+
+  private:
+    struct Bank
+    {
+        std::uint64_t openRow = ~0ull;
+        Cycle busyUntil = 0;
+    };
+
+    DramConfig config_;
+    DramStats stats_;
+    std::vector<Bank> banks_;
+    Cycle channelBusyUntil_ = 0;
+};
+
+} // namespace critics::mem
+
+#endif // CRITICS_MEM_DRAM_HH

@@ -1,0 +1,157 @@
+#include "mem/hierarchy.hh"
+
+namespace critics::mem
+{
+
+MemorySystem::MemorySystem(const MemConfig &config)
+    : config_(config),
+      icache_(config.icache),
+      dcache_(config.dcache),
+      l2_(config.l2),
+      dram_(config.dram),
+      stride_(1024, config.l2.lineBytes, 1)
+{
+}
+
+Cycle
+MemorySystem::fillFromBeyondL1(Addr addr, Cycle now, bool isInst,
+                               ServedBy &servedBy, bool isPrefetch)
+{
+    const LookupResult l2Hit = l2_.access(addr, now);
+    Cycle l1Ready;
+    if (l2Hit.hit) {
+        servedBy = ServedBy::L2;
+        l1Ready = l2Hit.readyAt;
+    } else {
+        servedBy = ServedBy::Dram;
+        const Cycle l2MissKnown = now + config_.l2.hitLatency;
+        const unsigned dramLat = dram_.read(addr, l2MissKnown);
+        l1Ready = l2MissKnown + dramLat;
+        l2_.fill(addr, l1Ready, isPrefetch);
+    }
+
+    // Train the CLPT stride prefetcher on all data-side L2 traffic
+    // (criticality prefetches carry the same address stream a demand
+    // miss would have).
+    if (config_.l2StridePrefetch && !isInst) {
+        strideOut_.clear();
+        stride_.observe(addr, strideOut_);
+        for (const Addr pf : strideOut_) {
+            if (l2_.contains(pf))
+                continue;
+            const Cycle pfReady =
+                now + config_.l2.hitLatency + dram_.read(pf, now);
+            l2_.fill(pf, pfReady, true);
+        }
+    }
+    return l1Ready;
+}
+
+AccessResult
+MemorySystem::fetchInst(Addr addr, Cycle now)
+{
+    AccessResult result;
+    const LookupResult l1 = icache_.access(addr, now);
+    if (l1.hit) {
+        result.servedBy = ServedBy::L1;
+        result.latency = static_cast<unsigned>(l1.readyAt - now);
+        return result;
+    }
+    const Cycle beyond =
+        fillFromBeyondL1(addr, now + config_.icache.hitLatency,
+                         true, result.servedBy, false);
+    const Cycle ready = beyond + config_.icache.hitLatency;
+    icache_.fill(addr, beyond);
+    result.latency = static_cast<unsigned>(ready - now);
+    return result;
+}
+
+AccessResult
+MemorySystem::load(Addr addr, Cycle now)
+{
+    AccessResult result;
+    const LookupResult l1 = dcache_.access(addr, now);
+    if (l1.hit) {
+        result.servedBy = ServedBy::L1;
+        result.latency = static_cast<unsigned>(l1.readyAt - now);
+        return result;
+    }
+    const Cycle beyond =
+        fillFromBeyondL1(addr, now + config_.dcache.hitLatency,
+                         false, result.servedBy, false);
+    const Cycle ready = beyond + config_.dcache.hitLatency;
+    dcache_.fill(addr, beyond);
+    result.latency = static_cast<unsigned>(ready - now);
+    return result;
+}
+
+void
+MemorySystem::store(Addr addr, Cycle now)
+{
+    // Write-allocate, write-back; latency is absorbed by the write
+    // buffer so only the cache state changes matter.
+    ++storeCount_;
+    const LookupResult l1 = dcache_.access(addr, now);
+    if (!l1.hit) {
+        ServedBy served;
+        const Cycle beyond = fillFromBeyondL1(
+            addr, now + config_.dcache.hitLatency, false, served, false);
+        dcache_.fill(addr, beyond);
+    }
+}
+
+void
+MemorySystem::prefetchInst(Addr addr, Cycle now)
+{
+    if (icache_.contains(addr))
+        return;
+    ServedBy served;
+    const Cycle beyond =
+        fillFromBeyondL1(addr, now, true, served, true);
+    icache_.fill(addr, beyond, true);
+}
+
+void
+MemorySystem::prefetchData(Addr addr, Cycle now)
+{
+    if (dcache_.contains(addr))
+        return;
+    // A handful of prefetch MSHRs: drop requests when all are busy so
+    // fetch-time bursts cannot flood the DRAM banks.
+    constexpr std::size_t PrefetchMshrs = 4;
+    std::size_t active = 0;
+    for (const Cycle ready : pfInFlight_)
+        if (ready > now)
+            ++active;
+    if (active >= PrefetchMshrs)
+        return;
+    ServedBy served;
+    const Cycle beyond =
+        fillFromBeyondL1(addr, now, false, served, true);
+    dcache_.fill(addr, beyond, true);
+    bool stored = false;
+    for (Cycle &slot : pfInFlight_) {
+        if (slot <= now) {
+            slot = beyond;
+            stored = true;
+            break;
+        }
+    }
+    if (!stored)
+        pfInFlight_.push_back(beyond);
+}
+
+MemStats
+MemorySystem::stats() const
+{
+    MemStats stats;
+    stats.icache = icache_.stats();
+    stats.dcache = dcache_.stats();
+    stats.l2 = l2_.stats();
+    stats.dram = dram_.stats();
+    stats.stride = stride_.stats();
+    stats.storeAccesses = storeCount_;
+    return stats;
+}
+
+} // namespace critics::mem

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The memory system of Table I: split 32 KB 2-way i-cache / 64 KB d-cache
+ * (2-cycle hits), shared 8-way 2 MB L2 (10-cycle hits) with the CLPT
+ * stride prefetcher, backed by the LPDDR3 model.
+ */
+
+#ifndef CRITICS_MEM_HIERARCHY_HH
+#define CRITICS_MEM_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/prefetch.hh"
+
+namespace critics::mem
+{
+
+struct MemConfig
+{
+    CacheConfig icache{"icache", 32u << 10, 2, 64, 2};
+    CacheConfig dcache{"dcache", 64u << 10, 2, 64, 2};
+    CacheConfig l2{"l2", 2u << 20, 8, 64, 10};
+    DramConfig dram{};
+    bool l2StridePrefetch = true; ///< Table I CLPT prefetcher
+};
+
+/** Where a demand access was served from. */
+enum class ServedBy : std::uint8_t
+{
+    L1,
+    L2,
+    Dram,
+};
+
+struct AccessResult
+{
+    unsigned latency = 0;
+    ServedBy servedBy = ServedBy::L1;
+};
+
+struct MemStats
+{
+    CacheStats icache;
+    CacheStats dcache;
+    CacheStats l2;
+    DramStats dram;
+    PrefetchStats stride;
+    std::uint64_t storeAccesses = 0;
+};
+
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemConfig &config = MemConfig{});
+
+    /** Instruction-line demand fetch. */
+    AccessResult fetchInst(Addr addr, Cycle now);
+
+    /** Data load. */
+    AccessResult load(Addr addr, Cycle now);
+
+    /** Data store: updates d-cache state/stats; write latency is hidden
+     *  behind the write buffer so none is returned. */
+    void store(Addr addr, Cycle now);
+
+    /** Prefetch an instruction line into the i-cache. */
+    void prefetchInst(Addr addr, Cycle now);
+
+    /** Prefetch a data line into the d-cache (criticality prefetch). */
+    void prefetchData(Addr addr, Cycle now);
+
+    /** Snapshot of all component statistics. */
+    MemStats stats() const;
+
+    const MemConfig &config() const { return config_; }
+
+  private:
+    /** Shared L2 + DRAM path; @return absolute ready cycle of the line
+     *  at the L1's boundary (excluding the L1 hit latency). */
+    Cycle fillFromBeyondL1(Addr addr, Cycle now, bool isInst,
+                           ServedBy &servedBy, bool isPrefetch);
+
+    MemConfig config_;
+    Cache icache_;
+    Cache dcache_;
+    Cache l2_;
+    Dram dram_;
+    StridePrefetcher stride_;
+    std::vector<Addr> strideOut_;
+    std::uint64_t storeCount_ = 0;
+    /** Completion times of in-flight data prefetches (MSHR bound). */
+    std::vector<Cycle> pfInFlight_;
+};
+
+} // namespace critics::mem
+
+#endif // CRITICS_MEM_HIERARCHY_HH

@@ -1,0 +1,95 @@
+#include "mem/prefetch.hh"
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace critics::mem
+{
+
+StridePrefetcher::StridePrefetcher(unsigned entries, unsigned lineBytes,
+                                   unsigned degree)
+    : entries_(entries),
+      lineBytes_(lineBytes),
+      degree_(degree)
+{
+    critics_assert(entries > 0 && (entries & (entries - 1)) == 0,
+                   "stride table size must be a power of two");
+}
+
+void
+StridePrefetcher::observe(Addr addr, std::vector<Addr> &out)
+{
+    ++stats_.trains;
+    const std::uint64_t region = addr >> 12;
+    Entry &entry = entries_[region & (entries_.size() - 1)];
+
+    if (entry.regionTag != region) {
+        entry.regionTag = region;
+        entry.lastAddr = addr;
+        entry.stride = 0;
+        entry.confidence = 0;
+        return;
+    }
+
+    const auto stride =
+        static_cast<std::int32_t>(static_cast<std::int64_t>(addr) -
+                                  static_cast<std::int64_t>(entry.lastAddr));
+    if (stride != 0 && stride == entry.stride) {
+        if (entry.confidence < 3)
+            ++entry.confidence;
+    } else {
+        entry.stride = stride;
+        entry.confidence = entry.confidence > 0
+            ? static_cast<std::uint8_t>(entry.confidence - 1) : 0;
+    }
+    entry.lastAddr = addr;
+
+    if (entry.confidence >= 2 && entry.stride != 0) {
+        Addr next = addr;
+        for (unsigned d = 1; d <= degree_; ++d) {
+            next = static_cast<Addr>(
+                static_cast<std::int64_t>(next) + entry.stride);
+            out.push_back(next & ~static_cast<Addr>(lineBytes_ - 1));
+            ++stats_.issued;
+        }
+    }
+}
+
+EFetchPredictor::EFetchPredictor(unsigned entries)
+    : table_(entries, 0)
+{
+    critics_assert(entries > 0 && (entries & (entries - 1)) == 0,
+                   "EFetch table size must be a power of two");
+}
+
+Addr
+EFetchPredictor::predictAndTrain(Addr callerPc, Addr actualTarget)
+{
+    // Index by caller PC hashed with the recent call-target history —
+    // the "user-event call stack" signature of EFetch.
+    const std::uint64_t key = hashCombine(history_, callerPc);
+    const std::size_t index = key & (table_.size() - 1);
+    const Addr predicted = table_[index];
+
+    ++stats_.trains;
+    if (predicted != 0)
+        ++stats_.issued;
+    if (predicted == actualTarget && predicted != 0)
+        ++correct_;
+
+    table_[index] = actualTarget;
+    // Bounded two-target history window (a call-stack signature):
+    // periodic call sequences map to stable indices.
+    history_ = ((history_ << 16) | (actualTarget & 0xFFFF)) & 0xFFFFFFFF;
+    return predicted;
+}
+
+double
+EFetchPredictor::accuracy() const
+{
+    return stats_.issued
+        ? static_cast<double>(correct_) /
+          static_cast<double>(stats_.issued) : 0.0;
+}
+
+} // namespace critics::mem

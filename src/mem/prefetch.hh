@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Prefetch engines:
+ *   - StridePrefetcher: the baseline L2 "CLPT" prefetcher of Table I
+ *     (1024-entry, 7-bit state per entry: 2-bit confidence + signed
+ *     stride), keyed by 4 KB region.
+ *   - EFetchPredictor: the call-stack-history instruction prefetcher of
+ *     Fig. 11 ([71]); predicts the next callee from recent call history
+ *     so the fetch engine can prefetch its first i-cache lines.
+ */
+
+#ifndef CRITICS_MEM_PREFETCH_HH
+#define CRITICS_MEM_PREFETCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.hh" // Addr/Cycle
+
+namespace critics::mem
+{
+
+struct PrefetchStats
+{
+    std::uint64_t trains = 0;
+    std::uint64_t issued = 0;
+};
+
+/** Region-based stride detector; emits line addresses to prefetch. */
+class StridePrefetcher
+{
+  public:
+    explicit StridePrefetcher(unsigned entries = 1024,
+                              unsigned lineBytes = 64,
+                              unsigned degree = 2);
+
+    /**
+     * Observe a demand access; append predicted prefetch line
+     * addresses (possibly none) to `out`.
+     */
+    void observe(Addr addr, std::vector<Addr> &out);
+
+    const PrefetchStats &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t regionTag = ~0ull;
+        Addr lastAddr = 0;
+        std::int32_t stride = 0;
+        std::uint8_t confidence = 0; ///< 2-bit saturating
+    };
+
+    std::vector<Entry> entries_;
+    unsigned lineBytes_;
+    unsigned degree_;
+    PrefetchStats stats_;
+};
+
+/** Call-target predictor for EFetch-style instruction prefetch. */
+class EFetchPredictor
+{
+  public:
+    explicit EFetchPredictor(unsigned entries = 4096);
+
+    /**
+     * Observe a call about to execute.  @return the predicted target
+     * address (0 if no prediction), then train with the actual target.
+     */
+    Addr predictAndTrain(Addr callerPc, Addr actualTarget);
+
+    const PrefetchStats &stats() const { return stats_; }
+    double accuracy() const;
+
+  private:
+    std::vector<Addr> table_;
+    std::uint64_t history_ = 0;
+    std::uint64_t correct_ = 0;
+    PrefetchStats stats_;
+};
+
+} // namespace critics::mem
+
+#endif // CRITICS_MEM_PREFETCH_HH

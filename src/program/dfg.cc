@@ -1,0 +1,118 @@
+#include "program/dfg.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace critics::program
+{
+
+BlockDfg::BlockDfg(const BasicBlock &block)
+{
+    const std::size_t n = block.insts.size();
+    producers_.assign(n, {-1, -1});
+    consumers_.assign(n, {});
+
+    std::array<int, isa::NumArchRegs> lastWriter;
+    lastWriter.fill(-1);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &arch = block.insts[i].arch;
+        if (arch.src1 != isa::NoReg) {
+            producers_[i][0] = lastWriter[arch.src1];
+            if (producers_[i][0] >= 0)
+                consumers_[producers_[i][0]].push_back(
+                    static_cast<int>(i));
+        }
+        if (arch.src2 != isa::NoReg) {
+            producers_[i][1] = lastWriter[arch.src2];
+            if (producers_[i][1] >= 0 &&
+                producers_[i][1] != producers_[i][0]) {
+                consumers_[producers_[i][1]].push_back(
+                    static_cast<int>(i));
+            }
+        }
+        if (arch.dst != isa::NoReg)
+            lastWriter[arch.dst] = static_cast<int>(i);
+    }
+}
+
+bool
+BlockDfg::dependsOn(std::size_t later, std::size_t earlier) const
+{
+    critics_assert(later < size() && earlier < size(), "dfg index range");
+    if (later <= earlier)
+        return false;
+    // DFS backward over producer edges.
+    std::vector<int> work{static_cast<int>(later)};
+    std::vector<bool> seen(size(), false);
+    while (!work.empty()) {
+        const int cur = work.back();
+        work.pop_back();
+        for (const int p : producers_[cur]) {
+            if (p < 0 || seen[p])
+                continue;
+            if (p == static_cast<int>(earlier))
+                return true;
+            if (p > static_cast<int>(earlier)) {
+                seen[p] = true;
+                work.push_back(p);
+            }
+        }
+    }
+    return false;
+}
+
+bool
+canSwap(const StaticInst &a, const StaticInst &b)
+{
+    // Never move control transfers or format-switch markers.
+    if (a.isControl() || b.isControl() || a.isCdp() || b.isCdp())
+        return false;
+
+    const auto &ia = a.arch;
+    const auto &ib = b.arch;
+
+    // RAW: b reads a's destination.
+    if (ia.dst != isa::NoReg &&
+        (ib.src1 == ia.dst || ib.src2 == ia.dst))
+        return false;
+    // WAR: a reads b's destination.
+    if (ib.dst != isa::NoReg &&
+        (ia.src1 == ib.dst || ia.src2 == ib.dst))
+        return false;
+    // WAW: both write the same register.
+    if (ia.dst != isa::NoReg && ia.dst == ib.dst)
+        return false;
+
+    // Memory ordering: conservative unless provably disjoint regions.
+    const bool a_mem = a.isLoad() || a.isStore();
+    const bool b_mem = b.isLoad() || b.isStore();
+    if (a_mem && b_mem) {
+        if (a.isStore() || b.isStore()) {
+            if (a.memRegionId == b.memRegionId &&
+                (a.aliasClass == 0xFF || b.aliasClass == 0xFF ||
+                 a.aliasClass == b.aliasClass)) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::size_t
+hoistUpTo(BasicBlock &block, std::size_t from, std::size_t anchor)
+{
+    critics_assert(from < block.insts.size(), "hoist index range");
+    critics_assert(anchor < from, "hoist anchor must precede source");
+    std::size_t pos = from;
+    while (pos > anchor + 1) {
+        if (!canSwap(block.insts[pos - 1], block.insts[pos]))
+            break;
+        std::swap(block.insts[pos - 1], block.insts[pos]);
+        --pos;
+    }
+    return pos;
+}
+
+} // namespace critics::program

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Intra-block data-flow analysis: producer/consumer edges by register,
+ * and the code-motion legality checks the hoist pass relies on.
+ */
+
+#ifndef CRITICS_PROGRAM_DFG_HH
+#define CRITICS_PROGRAM_DFG_HH
+
+#include <array>
+#include <vector>
+
+#include "program/program.hh"
+
+namespace critics::program
+{
+
+/**
+ * Data-flow graph of one basic block.  Edges are register true
+ * dependences (RAW) between instruction indices within the block.
+ */
+class BlockDfg
+{
+  public:
+    explicit BlockDfg(const BasicBlock &block);
+
+    /** Producer index of each source operand (-1 = defined outside the
+     *  block). [i][0] is src1's producer, [i][1] src2's. */
+    const std::array<int, 2> &producers(std::size_t i) const
+    {
+        return producers_[i];
+    }
+
+    /** Direct consumer indices of instruction i's destination. */
+    const std::vector<int> &consumers(std::size_t i) const
+    {
+        return consumers_[i];
+    }
+
+    std::size_t size() const { return producers_.size(); }
+
+    /** @return true if `later` transitively depends on `earlier`. */
+    bool dependsOn(std::size_t later, std::size_t earlier) const;
+
+  private:
+    std::vector<std::array<int, 2>> producers_;
+    std::vector<std::vector<int>> consumers_;
+};
+
+/**
+ * @return true if instructions `a` (earlier) and `b` (later) can be
+ * reordered to b-before-a without changing register dataflow or memory
+ * semantics.  Conservative on memory: loads may bypass loads; anything
+ * involving a store only reorders when the two references are to
+ * different regions; control transfers never move.
+ */
+bool canSwap(const StaticInst &a, const StaticInst &b);
+
+/**
+ * Hoist the instruction at `from` upward so it lands immediately after
+ * position `anchor` (anchor < from), bubbling it past intervening
+ * instructions as long as each swap is legal.  Stops early at the first
+ * illegal swap.
+ *
+ * @return the final index of the moved instruction.
+ */
+std::size_t hoistUpTo(BasicBlock &block, std::size_t from,
+                      std::size_t anchor);
+
+} // namespace critics::program
+
+#endif // CRITICS_PROGRAM_DFG_HH

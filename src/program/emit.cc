@@ -1,0 +1,155 @@
+#include "program/emit.hh"
+
+#include <array>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace critics::program
+{
+
+namespace
+{
+
+/** Deterministic per-(uid, occurrence) data address. */
+std::uint32_t
+dataAddress(const Program &prog, const StaticInst &si, std::uint32_t occ)
+{
+    critics_assert(si.memRegionId < prog.memRegions.size(),
+                   "bad mem region ", si.memRegionId);
+    const MemRegionDesc &region = prog.memRegions[si.memRegionId];
+    critics_assert(region.size > 0, "empty mem region");
+    // Alias classes partition the region into disjoint banks so the
+    // compiler's disjointness knowledge is architecturally true.
+    const unsigned banks = si.aliasClass == 0xFF ? 1 : 16;
+    const std::uint32_t bankSize =
+        std::max<std::uint32_t>(region.size / banks, 64);
+    const std::uint32_t bankBase =
+        si.aliasClass == 0xFF ? 0
+            : (si.aliasClass % banks) * bankSize;
+
+    std::uint32_t offset = 0;
+    switch (si.memPattern) {
+      case MemPattern::Stride:
+        offset = (occ * std::max<std::uint32_t>(region.stride, 4))
+                 % bankSize;
+        break;
+      case MemPattern::HotRegion:
+      case MemPattern::ColdRegion: {
+        const std::uint64_t h = hashCombine(
+            static_cast<std::uint64_t>(si.uid) * 0x9E3779B1ULL, occ);
+        offset = static_cast<std::uint32_t>(h % bankSize) & ~3u;
+        break;
+      }
+      case MemPattern::None:
+        critics_panic("memory instruction without a pattern, uid ",
+                      si.uid);
+    }
+    return region.base + bankBase + offset;
+}
+
+} // namespace
+
+Trace
+emitTrace(const Program &prog, const ControlPath &path)
+{
+    Trace trace;
+
+    // Pre-size: count instructions along the path.
+    std::size_t total = 0;
+    for (const BlockVisit &v : path.visits)
+        total += prog.funcs[v.func].blocks[v.block].insts.size();
+    trace.insts.reserve(total);
+
+    // Block start addresses for control-transfer targets.
+    std::vector<std::vector<std::uint32_t>> blockStart(prog.funcs.size());
+    for (std::size_t f = 0; f < prog.funcs.size(); ++f) {
+        const Function &fn = prog.funcs[f];
+        blockStart[f].resize(fn.blocks.size(), 0);
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            blockStart[f][b] = fn.blocks[b].insts.empty()
+                ? 0 : fn.blocks[b].insts.front().address;
+        }
+    }
+
+    // Last dynamic writer of each architectural register.
+    std::array<DynIdx, isa::NumArchRegs> lastWriter;
+    lastWriter.fill(NoDep);
+
+    // Per-uid occurrence counters (uids are dense).
+    std::vector<std::uint32_t> occurrences;
+
+    std::size_t outcomeIdx = 0;
+
+    for (std::size_t v = 0; v < path.visits.size(); ++v) {
+        const BlockVisit &visit = path.visits[v];
+        const BasicBlock &bb =
+            prog.funcs[visit.func].blocks[visit.block];
+
+        const std::uint32_t nextVisitAddr =
+            (v + 1 < path.visits.size())
+                ? blockStart[path.visits[v + 1].func]
+                            [path.visits[v + 1].block]
+                : 0;
+
+        for (std::size_t i = 0; i < bb.insts.size(); ++i) {
+            const StaticInst &si = bb.insts[i];
+            DynInst d;
+            d.staticUid = si.uid;
+            d.address = si.address;
+            d.sizeBytes = static_cast<std::uint8_t>(si.bytes());
+            d.op = si.arch.op;
+            d.cdpRun = si.cdpRun;
+
+            if (si.arch.src1 != isa::NoReg)
+                d.dep0 = lastWriter[si.arch.src1];
+            if (si.arch.src2 != isa::NoReg)
+                d.dep1 = lastWriter[si.arch.src2];
+
+            if (si.isLoad() || si.isStore()) {
+                if (si.uid >= occurrences.size())
+                    occurrences.resize(si.uid + 1, 0);
+                d.memAddr = dataAddress(prog, si, occurrences[si.uid]++);
+            }
+
+            const bool is_term = (i + 1 == bb.insts.size());
+            if (si.isControl() && is_term) {
+                switch (si.flow) {
+                  case FlowKind::CondBranch: {
+                    critics_assert(outcomeIdx < path.branchOutcomes.size(),
+                                   "path branch outcomes exhausted");
+                    d.isCond = true;
+                    d.taken = path.branchOutcomes[outcomeIdx++] != 0;
+                    d.branchTarget = d.taken ? nextVisitAddr
+                                             : d.address + d.sizeBytes;
+                    break;
+                  }
+                  case FlowKind::Jump:
+                  case FlowKind::CallFn:
+                  case FlowKind::Ret:
+                    d.taken = true;
+                    d.branchTarget = nextVisitAddr;
+                    break;
+                  case FlowKind::FallThrough:
+                    break;
+                }
+            } else if (si.isControl()) {
+                // Control instruction inserted mid-block by a compiler
+                // pass (approach-1 switch branches): always taken to the
+                // next sequential instruction.
+                d.taken = true;
+                d.branchTarget = (i + 1 < bb.insts.size())
+                    ? bb.insts[i + 1].address : d.address + d.sizeBytes;
+            }
+
+            if (si.arch.dst != isa::NoReg) {
+                lastWriter[si.arch.dst] =
+                    static_cast<DynIdx>(trace.insts.size());
+            }
+            trace.insts.push_back(d);
+        }
+    }
+    return trace;
+}
+
+} // namespace critics::program

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Trace emission: replay a ControlPath against a (possibly transformed)
+ * program, producing the dynamic instruction stream the CPU model
+ * executes.  Emission is fully deterministic: data addresses are hashed
+ * from (instruction uid, occurrence index), so a transformed program
+ * touches the same data in the same order as the baseline.
+ */
+
+#ifndef CRITICS_PROGRAM_EMIT_HH
+#define CRITICS_PROGRAM_EMIT_HH
+
+#include "program/program.hh"
+#include "program/trace.hh"
+
+namespace critics::program
+{
+
+/**
+ * Emit the dynamic trace for one path.
+ *
+ * @param prog program whose current layout/contents are executed; its
+ *             (func, block) structure must match the one the path was
+ *             walked on
+ * @param path the recorded control path
+ */
+Trace emitTrace(const Program &prog, const ControlPath &path);
+
+} // namespace critics::program
+
+#endif // CRITICS_PROGRAM_EMIT_HH

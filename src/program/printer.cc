@@ -1,0 +1,134 @@
+#include "program/printer.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace critics::program
+{
+
+namespace
+{
+
+std::string
+reg(std::uint8_t r)
+{
+    if (r == isa::NoReg)
+        return "--";
+    return "r" + std::to_string(r);
+}
+
+} // namespace
+
+std::string
+formatOperands(const StaticInst &si)
+{
+    std::ostringstream os;
+    if (si.isCdp()) {
+        os << "CDP #" << unsigned(si.cdpRun);
+        return os.str();
+    }
+    os << isa::opClassName(si.arch.op);
+    if (si.arch.predicated)
+        os << ".pred";
+    bool first = true;
+    auto emit = [&](const std::string &text) {
+        os << (first ? " " : ", ") << text;
+        first = false;
+    };
+    if (si.arch.dst != isa::NoReg)
+        emit(reg(si.arch.dst));
+    if (si.arch.src1 != isa::NoReg)
+        emit(reg(si.arch.src1));
+    if (si.arch.src2 != isa::NoReg)
+        emit(reg(si.arch.src2));
+    if (si.arch.imm != 0)
+        emit("#" + std::to_string(si.arch.imm));
+    switch (si.flow) {
+      case FlowKind::CondBranch:
+        emit("->b" + std::to_string(si.targetBlock));
+        break;
+      case FlowKind::Jump:
+        emit("->b" + std::to_string(si.targetBlock));
+        break;
+      case FlowKind::CallFn:
+        emit(si.indirectTable == NoTable
+                 ? "fn" + std::to_string(si.targetFunc)
+                 : std::string("[indirect]"));
+        break;
+      default:
+        break;
+    }
+    return os.str();
+}
+
+std::string
+formatEncoding(const StaticInst &si)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << std::uppercase << std::setfill('0');
+    if (si.isCdp()) {
+        os << std::setw(4) << isa::encodeCdp(si.cdpRun);
+    } else if (si.format == isa::Format::Thumb16) {
+        os << std::setw(4) << isa::encodeThumb16(si.arch);
+    } else {
+        os << std::setw(8) << isa::encodeArm32(si.arch);
+    }
+    return os.str();
+}
+
+std::string
+formatInst(const StaticInst &si)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << std::setfill('0') << std::setw(8)
+       << si.address << std::dec << std::setfill(' ') << "  uid "
+       << std::left << std::setw(6) << si.uid
+       << (si.format == isa::Format::Thumb16 ? "Thumb16 " : "Arm32   ")
+       << std::setw(28) << formatOperands(si) << " " << formatEncoding(si);
+    return os.str();
+}
+
+std::string
+formatBlock(const BasicBlock &block)
+{
+    std::ostringstream os;
+    unsigned bytes = 0;
+    for (const auto &si : block.insts) {
+        os << "  " << formatInst(si) << "\n";
+        bytes += si.bytes();
+    }
+    os << "  ; " << block.insts.size() << " instructions, " << bytes
+       << " bytes\n";
+    return os.str();
+}
+
+std::string
+summarizeProgram(const Program &prog)
+{
+    std::size_t blocks = 0, thumb = 0, cdps = 0, controls = 0, mems = 0;
+    const std::size_t insts = prog.instCount();
+    for (const auto &fn : prog.funcs) {
+        blocks += fn.blocks.size();
+        for (const auto &block : fn.blocks) {
+            for (const auto &si : block.insts) {
+                if (si.format == isa::Format::Thumb16)
+                    ++thumb;
+                if (si.isCdp())
+                    ++cdps;
+                if (si.isControl())
+                    ++controls;
+                if (si.isLoad() || si.isStore())
+                    ++mems;
+            }
+        }
+    }
+    std::ostringstream os;
+    os << prog.funcs.size() << " functions, " << blocks << " blocks, "
+       << insts << " instructions (" << (prog.textBytes() >> 10)
+       << " KB text); " << thumb << " in 16-bit format, " << cdps
+       << " CDP switches, " << controls << " control transfers, "
+       << mems << " memory ops";
+    return os.str();
+}
+
+} // namespace critics::program

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Human-readable printing of programs, blocks and instructions, with
+ * the real bit-level encodings — the library's "disassembler".  Used
+ * by the examples and invaluable when debugging compiler passes.
+ */
+
+#ifndef CRITICS_PROGRAM_PRINTER_HH
+#define CRITICS_PROGRAM_PRINTER_HH
+
+#include <string>
+
+#include "program/program.hh"
+
+namespace critics::program
+{
+
+/** One-line rendering: "0x00010004  uid 12  Thumb16  IntAlu r1 <- r2". */
+std::string formatInst(const StaticInst &si);
+
+/** Assembly-style operand text without address/uid decoration. */
+std::string formatOperands(const StaticInst &si);
+
+/** Hex encoding of the instruction in its current format. */
+std::string formatEncoding(const StaticInst &si);
+
+/** Multi-line rendering of a block (one formatInst line per inst plus
+ *  a byte-count trailer). */
+std::string formatBlock(const BasicBlock &block);
+
+/** Program-level summary: functions, blocks, instructions, text bytes,
+ *  format mix. */
+std::string summarizeProgram(const Program &prog);
+
+} // namespace critics::program
+
+#endif // CRITICS_PROGRAM_PRINTER_HH

@@ -1,0 +1,114 @@
+#include "program/program.hh"
+
+#include "support/logging.hh"
+
+namespace critics::program
+{
+
+void
+Program::layout()
+{
+    uidIndex_.clear();
+    std::uint32_t addr = TextBase;
+    for (std::uint32_t f = 0; f < funcs.size(); ++f) {
+        // Functions start 4-byte aligned.
+        addr = (addr + 3u) & ~3u;
+        for (std::uint32_t b = 0; b < funcs[f].blocks.size(); ++b) {
+            auto &block = funcs[f].blocks[b];
+            for (std::uint32_t i = 0; i < block.insts.size(); ++i) {
+                auto &si = block.insts[i];
+                // 32-bit instructions must sit on 4-byte boundaries;
+                // account the implied 2-byte pad.  A CDP switch must
+                // start a 32-bit word (Fig. 9: CDP in the first half,
+                // the first 16-bit instruction in the second half).
+                if ((si.format == isa::Format::Arm32 || si.isCdp()) &&
+                    (addr & 3u)) {
+                    addr += 2;
+                }
+                si.address = addr;
+                addr += si.bytes();
+                critics_assert(si.uid != NoUid, "instruction without uid");
+                const bool inserted = uidIndex_.emplace(
+                    si.uid, InstLoc{f, b, i}).second;
+                critics_assert(inserted, "duplicate uid ", si.uid);
+                noteUid(si.uid);
+            }
+        }
+    }
+    textBytes_ = addr - TextBase;
+}
+
+std::size_t
+Program::instCount() const
+{
+    std::size_t n = 0;
+    for (const auto &fn : funcs)
+        for (const auto &blk : fn.blocks)
+            n += blk.insts.size();
+    return n;
+}
+
+const InstLoc &
+Program::locate(InstUid uid) const
+{
+    const auto it = uidIndex_.find(uid);
+    critics_assert(it != uidIndex_.end(), "unknown uid ", uid,
+                   " (layout() stale?)");
+    return it->second;
+}
+
+bool
+Program::contains(InstUid uid) const
+{
+    return uidIndex_.find(uid) != uidIndex_.end();
+}
+
+const StaticInst &
+Program::inst(const InstLoc &loc) const
+{
+    return funcs[loc.func].blocks[loc.block].insts[loc.index];
+}
+
+StaticInst &
+Program::inst(const InstLoc &loc)
+{
+    return funcs[loc.func].blocks[loc.block].insts[loc.index];
+}
+
+const StaticInst &
+Program::instByUid(InstUid uid) const
+{
+    return inst(locate(uid));
+}
+
+StaticInst &
+Program::instByUid(InstUid uid)
+{
+    return inst(locate(uid));
+}
+
+void
+Program::noteUid(InstUid uid)
+{
+    if (uid != NoUid && uid >= nextUid_)
+        nextUid_ = uid + 1;
+}
+
+double
+Program::thumbFraction() const
+{
+    std::size_t thumb = 0, total = 0;
+    for (const auto &fn : funcs) {
+        for (const auto &blk : fn.blocks) {
+            for (const auto &si : blk.insts) {
+                ++total;
+                if (si.format == isa::Format::Thumb16)
+                    ++thumb;
+            }
+        }
+    }
+    return total ? static_cast<double>(thumb) /
+                   static_cast<double>(total) : 0.0;
+}
+
+} // namespace critics::program

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Dynamic execution traces.
+ *
+ * The key reproducibility trick of this codebase: a ControlPath (which
+ * blocks executed, each conditional branch's outcome, each indirect call's
+ * target) is generated *once* from the baseline program and depends only on
+ * control-flow structure — never on block contents.  The same path can then
+ * be re-emitted against a compiler-transformed program, so the baseline and
+ * optimized simulations execute the *same work* and differ only in code
+ * layout, formats and intra-block ordering, exactly like re-running the
+ * same app input on a rewritten binary.
+ */
+
+#ifndef CRITICS_PROGRAM_TRACE_HH
+#define CRITICS_PROGRAM_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "program/program.hh"
+
+namespace critics::program
+{
+
+/** Index into Trace::insts; signed so -1 can mean "no producer". */
+using DynIdx = std::int32_t;
+constexpr DynIdx NoDep = -1;
+
+/** One executed instruction. */
+struct DynInst
+{
+    InstUid staticUid = NoUid;
+    std::uint32_t address = 0;      ///< PC
+    std::uint32_t memAddr = 0;      ///< loads/stores
+    std::uint32_t branchTarget = 0; ///< control: target PC
+    DynIdx dep0 = NoDep;            ///< producer of src1
+    DynIdx dep1 = NoDep;            ///< producer of src2
+    isa::OpClass op = isa::OpClass::IntAlu;
+    std::uint8_t sizeBytes = 4;
+    std::uint8_t cdpRun = 0;        ///< CDP: following 16-bit run length
+    bool taken = false;             ///< control: was the transfer taken
+    bool isCond = false;            ///< conditional branch
+
+    bool isLoad() const { return op == isa::OpClass::Load; }
+    bool isStore() const { return op == isa::OpClass::Store; }
+    bool isControl() const { return isa::isControl(op); }
+};
+
+/** A dynamic instruction stream. */
+struct Trace
+{
+    std::vector<DynInst> insts;
+
+    std::size_t size() const { return insts.size(); }
+    const DynInst &operator[](std::size_t i) const { return insts[i]; }
+};
+
+/** Packed (function, block) visit. */
+struct BlockVisit
+{
+    std::uint32_t func;
+    std::uint32_t block;
+};
+
+/**
+ * The content-independent record of one execution: block visit sequence,
+ * conditional-branch outcomes (in visit order) and indirect-call targets
+ * (in visit order).
+ */
+struct ControlPath
+{
+    std::vector<BlockVisit> visits;
+    std::vector<std::uint8_t> branchOutcomes;
+    std::vector<std::uint32_t> indirectTargets;
+};
+
+} // namespace critics::program
+
+#endif // CRITICS_PROGRAM_TRACE_HH

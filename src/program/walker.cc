@@ -1,0 +1,136 @@
+#include "program/walker.hh"
+
+#include "support/logging.hh"
+
+namespace critics::program
+{
+
+ControlPath
+walkProgram(const Program &prog, Rng &rng, const WalkLimits &limits)
+{
+    critics_assert(!prog.funcs.empty(), "walk of empty program");
+    ControlPath path;
+
+    struct Frame
+    {
+        std::uint32_t func;
+        std::uint32_t block;
+    };
+    std::vector<Frame> stack;
+    std::uint32_t func = 0;
+    std::uint32_t block = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t visits = 0;
+
+    while (insts < limits.targetInsts && visits < limits.maxVisits) {
+        critics_assert(func < prog.funcs.size(), "walk: bad func ", func);
+        const Function &fn = prog.funcs[func];
+        critics_assert(block < fn.blocks.size(), "walk: bad block ", block,
+                       " in ", fn.name);
+        const BasicBlock &bb = fn.blocks[block];
+        path.visits.push_back({func, block});
+        insts += bb.insts.size();
+        ++visits;
+
+        // Follow the terminator (last instruction) if it transfers
+        // control; otherwise fall through.
+        FlowKind flow = FlowKind::FallThrough;
+        const StaticInst *term = nullptr;
+        if (!bb.insts.empty() && bb.insts.back().isControl()) {
+            term = &bb.insts.back();
+            flow = term->flow;
+        }
+
+        auto fallthrough = [&]() {
+            if (block + 1 < fn.blocks.size()) {
+                ++block;
+                return;
+            }
+            // Implicit return at function end.
+            if (!stack.empty()) {
+                func = stack.back().func;
+                block = stack.back().block;
+                stack.pop_back();
+            } else {
+                func = 0;
+                block = 0;
+            }
+        };
+
+        switch (flow) {
+          case FlowKind::FallThrough:
+            fallthrough();
+            break;
+          case FlowKind::CondBranch: {
+            const bool taken = rng.chance(term->takenBias);
+            path.branchOutcomes.push_back(taken ? 1 : 0);
+            if (taken) {
+                critics_assert(term->targetBlock < fn.blocks.size(),
+                               "walk: bad branch target");
+                block = term->targetBlock;
+            } else {
+                fallthrough();
+            }
+            break;
+          }
+          case FlowKind::Jump:
+            critics_assert(term->targetBlock < fn.blocks.size(),
+                           "walk: bad jump target");
+            block = term->targetBlock;
+            break;
+          case FlowKind::CallFn: {
+            std::uint32_t callee = term->targetFunc;
+            if (term->indirectTable != NoTable) {
+                const auto &table =
+                    prog.indirectTables[term->indirectTable];
+                critics_assert(!table.callees.empty(),
+                               "walk: empty indirect table");
+                // Sample the dynamic target; record it so emission can
+                // replay the exact same path.
+                Rng *r = &rng;
+                std::size_t pick = 0;
+                if (table.callees.size() > 1) {
+                    std::vector<double> w = table.weights;
+                    if (w.size() != table.callees.size())
+                        w.assign(table.callees.size(), 1.0);
+                    pick = r->weighted(w);
+                }
+                callee = table.callees[pick];
+                path.indirectTargets.push_back(callee);
+            }
+            if (stack.size() >= limits.maxCallDepth) {
+                // Depth guard: skip the call.  Emission replays this
+                // decision because it uses the same guard on the same
+                // recorded path (the skipped call is simply followed by
+                // the fallthrough visit).
+                fallthrough();
+                break;
+            }
+            critics_assert(callee < prog.funcs.size(),
+                           "walk: bad callee ", callee);
+            // Return continues after the call block.
+            Frame ret{func, block + 1 < fn.blocks.size()
+                                ? block + 1 : block};
+            if (block + 1 < fn.blocks.size()) {
+                stack.push_back(ret);
+            } // else: tail call, nothing to return to in this function
+            func = callee;
+            block = 0;
+            break;
+          }
+          case FlowKind::Ret:
+            if (!stack.empty()) {
+                func = stack.back().func;
+                block = stack.back().block;
+                stack.pop_back();
+            } else {
+                func = 0;
+                block = 0;
+            }
+            break;
+        }
+    }
+    return path;
+}
+
+} // namespace critics::program

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Control-flow walker: produces a ControlPath from a program's control
+ * structure only.  The walk models an event-driven execution — when the
+ * call stack empties, control returns to function 0 ("the event loop").
+ */
+
+#ifndef CRITICS_PROGRAM_WALKER_HH
+#define CRITICS_PROGRAM_WALKER_HH
+
+#include <cstdint>
+
+#include "program/program.hh"
+#include "program/trace.hh"
+#include "support/rng.hh"
+
+namespace critics::program
+{
+
+struct WalkLimits
+{
+    /** Stop once the path covers at least this many instructions. */
+    std::uint64_t targetInsts = 200000;
+    /** Hard cap on call depth; deeper calls are skipped. */
+    unsigned maxCallDepth = 24;
+    /** Hard cap on block visits (runaway guard). */
+    std::uint64_t maxVisits = 1u << 26;
+};
+
+/**
+ * Walk the program's control flow and record a ControlPath.
+ *
+ * @param prog   the (baseline) program whose flow metadata is followed
+ * @param rng    drives branch outcomes and indirect-target sampling
+ * @param limits stop conditions
+ */
+ControlPath walkProgram(const Program &prog, Rng &rng,
+                        const WalkLimits &limits);
+
+} // namespace critics::program
+
+#endif // CRITICS_PROGRAM_WALKER_HH

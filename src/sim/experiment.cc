@@ -1,0 +1,238 @@
+#include "sim/experiment.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace critics::sim
+{
+
+using analysis::SelectOptions;
+using analysis::Selection;
+using compiler::CritIcPassOptions;
+
+AppExperiment::AppExperiment(const workload::AppProfile &profile,
+                             const ExperimentOptions &options)
+    : profile_(profile),
+      options_(options),
+      program_(workload::synthesize(profile))
+{
+    Rng walkRng(hashCombine(profile.seed, 0xA117ULL));
+    program::WalkLimits limits;
+    limits.targetInsts = options_.traceInsts;
+    path_ = program::walkProgram(program_, walkRng, limits);
+    trace_ = program::emitTrace(program_, path_);
+}
+
+const analysis::FanoutInfo &
+AppExperiment::fanout()
+{
+    if (!fanout_)
+        fanout_ = analysis::computeFanout(trace_, options_.crit);
+    return *fanout_;
+}
+
+const analysis::DynChains &
+AppExperiment::chains()
+{
+    if (!chains_)
+        chains_ = analysis::extractChains(trace_, fanout(), options_.crit);
+    return *chains_;
+}
+
+const analysis::ChainStats &
+AppExperiment::chainStats()
+{
+    if (!chainStats_) {
+        chainStats_ = analysis::chainStatistics(trace_, chains(),
+                                                fanout(), options_.crit);
+    }
+    return *chainStats_;
+}
+
+const analysis::MineResult &
+AppExperiment::mined()
+{
+    return minedAt(options_.profileFraction);
+}
+
+const analysis::MineResult &
+AppExperiment::minedAt(double fraction)
+{
+    const int key = static_cast<int>(fraction * 1000.0 + 0.5);
+    auto it = mined_.find(key);
+    if (it == mined_.end()) {
+        it = mined_.emplace(key,
+            analysis::mineCritIcs(trace_, program_, chains(), fanout(),
+                                  options_.crit, fraction)).first;
+    }
+    return it->second;
+}
+
+const std::unordered_set<program::InstUid> &
+AppExperiment::criticalSet()
+{
+    if (!criticalSet_)
+        criticalSet_ = analysis::buildCriticalSet(trace_, fanout());
+    return *criticalSet_;
+}
+
+const RunResult &
+AppExperiment::baseline()
+{
+    if (!baseline_)
+        baseline_ = run(Variant{});
+    return *baseline_;
+}
+
+RunResult
+AppExperiment::run(const Variant &variant)
+{
+    RunResult result;
+
+    // ---- Software transform ------------------------------------------
+    program::Program prog = program_; // transformed copy
+    const double fraction =
+        variant.profileFraction.value_or(options_.profileFraction);
+
+    auto selectChains = [&](bool ideal) {
+        SelectOptions sel;
+        sel.maxLen = variant.maxChainLen;
+        sel.exactLen = variant.exactChainLen;
+        sel.ideal = ideal;
+        const Selection selection =
+            analysis::selectCritIcs(minedAt(fraction), sel);
+        result.selectionCoverage = selection.expectedCoverage;
+        return selection;
+    };
+
+    switch (variant.transform) {
+      case Transform::None:
+        break;
+      case Transform::Hoist: {
+        CritIcPassOptions opt;
+        opt.convertToThumb = false;
+        opt.switchMode = compiler::SwitchMode::None;
+        result.pass = compiler::applyCritIcPass(
+            prog, selectChains(false).chains, opt);
+        break;
+      }
+      case Transform::CritIc: {
+        CritIcPassOptions opt;
+        opt.switchMode = variant.switchMode;
+        result.pass = compiler::applyCritIcPass(
+            prog, selectChains(false).chains, opt);
+        break;
+      }
+      case Transform::CritIcIdeal: {
+        CritIcPassOptions opt;
+        opt.switchMode = variant.switchMode;
+        opt.forceConvert = true;
+        result.pass = compiler::applyCritIcPass(
+            prog, selectChains(true).chains, opt);
+        break;
+      }
+      case Transform::Opp16:
+        result.pass = compiler::applyOpp16Pass(prog);
+        break;
+      case Transform::Compress:
+        result.pass = compiler::applyCompressPass(prog);
+        break;
+      case Transform::Opp16PlusCritIc: {
+        CritIcPassOptions opt;
+        opt.switchMode = variant.switchMode;
+        result.pass = compiler::applyCritIcPass(
+            prog, selectChains(false).chains, opt);
+        const compiler::PassStats opp = compiler::applyOpp16Pass(prog);
+        result.pass.instsConverted += opp.instsConverted;
+        result.pass.instsExpanded += opp.instsExpanded;
+        result.pass.cdpsInserted += opp.cdpsInserted;
+        break;
+      }
+    }
+    result.staticThumbFraction = prog.thumbFraction();
+
+    // ---- Trace re-emission against the transformed binary -------------
+    const bool transformed = variant.transform != Transform::None;
+    program::Trace localTrace;
+    const program::Trace *tracePtr = &trace_;
+    if (transformed) {
+        localTrace = program::emitTrace(prog, path_);
+        tracePtr = &localTrace;
+    }
+
+    std::uint64_t thumbDyn = 0, dynTotal = 0;
+    for (const auto &d : tracePtr->insts) {
+        if (d.op == isa::OpClass::Cdp)
+            continue;
+        ++dynTotal;
+        if (d.sizeBytes == 2)
+            ++thumbDyn;
+    }
+    result.dynThumbFraction = dynTotal
+        ? static_cast<double>(thumbDyn) / static_cast<double>(dynTotal)
+        : 0.0;
+
+    // ---- Hardware configuration ----------------------------------------
+    cpu::CpuConfig cpuCfg;
+    cpuCfg.warmupCommits = static_cast<std::uint64_t>(
+        static_cast<double>(tracePtr->size()) *
+        options_.warmupFraction);
+    if (variant.doubleFrontend)
+        cpuCfg.doubleFrontend();
+    cpuCfg.aluPrioritization = variant.aluPrio;
+    cpuCfg.backendPrio = variant.backendPrio;
+    cpuCfg.criticalLoadPrefetch = variant.criticalLoadPrefetch;
+    cpuCfg.efetch = variant.efetch;
+
+    mem::MemConfig memCfg;
+    if (variant.icache4x)
+        memCfg.icache.sizeBytes *= 4;
+
+    std::unique_ptr<bpu::BranchPredictor> predictor;
+    if (variant.perfectBranch)
+        predictor = std::make_unique<bpu::PerfectPredictor>();
+    else
+        predictor = std::make_unique<bpu::TwoLevelPredictor>();
+
+    const bool needsCritSet = variant.aluPrio || variant.backendPrio ||
+                              variant.criticalLoadPrefetch;
+    const std::vector<std::uint8_t> *mask =
+        transformed ? nullptr : &fanout().critMask;
+
+    result.cpu = cpu::runTrace(*tracePtr, cpuCfg, memCfg, *predictor,
+                               mask,
+                               needsCritSet ? &criticalSet() : nullptr);
+    result.energy = energy::computeEnergy(result.cpu);
+    return result;
+}
+
+double
+AppExperiment::speedup(const RunResult &result)
+{
+    const double base = static_cast<double>(baseline().cpu.cycles);
+    const double var = static_cast<double>(result.cpu.cycles);
+    critics_assert(var > 0, "zero-cycle run");
+    return base / var;
+}
+
+std::string
+describeBaselineConfig()
+{
+    std::ostringstream os;
+    os << "Baseline configuration (Table I):\n"
+       << "  CPU: 4-wide Fetch/Decode/Rename/ROB/Issue/Execute/Commit "
+          "superscalar; 128-entry ROB;\n"
+       << "       4k-entry 2-level BPU; 8-byte/cycle fetch/decode "
+          "datapath (DESIGN.md par.6);\n"
+       << "       2 ALUs, 1 mul/div, 1 FPU, 2 mem ports\n"
+       << "  Mem: 2-way 32KB i-cache + 64KB d-cache (2-cycle hit); "
+          "8-way 2MB L2 (10-cycle hit)\n"
+       << "       with CLPT stride prefetcher (1024 entries)\n"
+       << "  DRAM: LPDDR3, 1 channel, 2 ranks, 8 banks/rank, "
+          "open-page; tCL,tRP,tRCD = 13,13,13 ns\n";
+    return os.str();
+}
+
+} // namespace critics::sim

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The top-level experiment facade.  An AppExperiment owns everything
+ * derived from one workload profile: the synthesized program, the
+ * recorded control path, the baseline trace, the offline criticality
+ * profile (fanout, ICs, mined CritICs), and runs named design points
+ * ("variants") against the same path so speedups are apples-to-apples.
+ *
+ * This is the public API the examples and every figure bench drive.
+ */
+
+#ifndef CRITICS_SIM_EXPERIMENT_HH
+#define CRITICS_SIM_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "analysis/criticality.hh"
+#include "analysis/miner.hh"
+#include "compiler/passes.hh"
+#include "cpu/cpu.hh"
+#include "energy/energy.hh"
+#include "program/emit.hh"
+#include "program/walker.hh"
+#include "workload/profile.hh"
+#include "workload/synth.hh"
+
+namespace critics::sim
+{
+
+struct ExperimentOptions
+{
+    /** Dynamic instructions per simulated sample. */
+    std::uint64_t traceInsts = 600000;
+    /** Fraction of each run treated as cache/predictor warmup. */
+    double warmupFraction = 0.35;
+    analysis::CriticalityConfig crit{};
+    /** Fraction of the execution the offline profiler sees
+     *  (Sec. IV-I: the headline results use 72%). */
+    double profileFraction = 0.72;
+};
+
+/** Software design points. */
+enum class Transform : std::uint8_t
+{
+    None,
+    Hoist,          ///< Fig. 10: motion only
+    CritIc,         ///< the proposed design
+    CritIcIdeal,    ///< Fig. 10: no length/convertibility limits
+    Opp16,          ///< Fig. 13
+    Compress,       ///< Fig. 13 ([78])
+    Opp16PlusCritIc ///< Fig. 13
+};
+
+/** One design point: a software transform + hardware knobs. */
+struct Variant
+{
+    std::string label = "baseline";
+    Transform transform = Transform::None;
+    compiler::SwitchMode switchMode = compiler::SwitchMode::Cdp;
+    unsigned maxChainLen = 5;
+    unsigned exactChainLen = 0; ///< Fig. 12a: only exactly-n chains
+    std::optional<double> profileFraction; ///< override (Fig. 12b)
+
+    // Hardware mechanisms (Figs. 1a / 11).
+    bool perfectBranch = false;
+    bool efetch = false;
+    bool icache4x = false;
+    bool doubleFrontend = false;
+    bool aluPrio = false;
+    bool backendPrio = false;
+    bool criticalLoadPrefetch = false;
+};
+
+struct RunResult
+{
+    cpu::CpuStats cpu;
+    energy::EnergyBreakdown energy;
+    compiler::PassStats pass;
+    double selectionCoverage = 0.0; ///< expected dyn coverage of chains
+    double staticThumbFraction = 0.0;
+    double dynThumbFraction = 0.0;  ///< Fig. 13b (excl. switch overhead)
+};
+
+class AppExperiment
+{
+  public:
+    explicit AppExperiment(const workload::AppProfile &profile,
+                           const ExperimentOptions &options = {});
+
+    const workload::AppProfile &profile() const { return profile_; }
+    const program::Program &baseProgram() const { return program_; }
+    const program::Trace &baseTrace() const { return trace_; }
+    const program::ControlPath &path() const { return path_; }
+
+    // ---- Offline profile (lazy, cached) ----------------------------------
+    const analysis::FanoutInfo &fanout();
+    const analysis::DynChains &chains();
+    const analysis::ChainStats &chainStats();
+    /** Mined unique CritICs at the experiment's profile fraction. */
+    const analysis::MineResult &mined();
+    const analysis::MineResult &minedAt(double fraction);
+    const std::unordered_set<program::InstUid> &criticalSet();
+
+    // ---- Design-point runs -----------------------------------------------
+    const RunResult &baseline();
+    RunResult run(const Variant &variant);
+
+    /** baselineCycles / variantCycles. */
+    double speedup(const RunResult &result);
+
+  private:
+    workload::AppProfile profile_;
+    ExperimentOptions options_;
+    program::Program program_;
+    program::ControlPath path_;
+    program::Trace trace_;
+
+    std::optional<analysis::FanoutInfo> fanout_;
+    std::optional<analysis::DynChains> chains_;
+    std::optional<analysis::ChainStats> chainStats_;
+    std::map<int, analysis::MineResult> mined_;
+    std::optional<std::unordered_set<program::InstUid>> criticalSet_;
+    std::optional<RunResult> baseline_;
+};
+
+/** Render Table I (the baseline configuration) for bench headers. */
+std::string describeBaselineConfig();
+
+} // namespace critics::sim
+
+#endif // CRITICS_SIM_EXPERIMENT_HH

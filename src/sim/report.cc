@@ -1,0 +1,146 @@
+#include "sim/report.hh"
+
+#include <sstream>
+
+namespace critics::sim
+{
+
+namespace
+{
+
+class JsonWriter
+{
+  public:
+    void
+    open()
+    {
+        os_ << "{";
+        first_ = true;
+    }
+
+    void
+    close()
+    {
+        os_ << "}";
+    }
+
+    template <typename T>
+    void
+    field(const char *key, const T &value)
+    {
+        sep();
+        os_ << "\"" << key << "\":" << value;
+    }
+
+    void
+    field(const char *key, const std::string &value)
+    {
+        sep();
+        os_ << "\"" << key << "\":\"" << value << "\"";
+    }
+
+    void
+    raw(const char *key, const std::string &value)
+    {
+        sep();
+        os_ << "\"" << key << "\":" << value;
+    }
+
+    std::string str() const { return os_.str(); }
+
+  private:
+    void
+    sep()
+    {
+        if (!first_)
+            os_ << ",";
+        first_ = false;
+    }
+
+    std::ostringstream os_;
+    bool first_ = true;
+};
+
+std::string
+cpuJson(const cpu::CpuStats &stats)
+{
+    JsonWriter w;
+    w.open();
+    w.field("cycles", stats.cycles);
+    w.field("committed", stats.committed);
+    w.field("ipc", stats.ipc());
+    w.field("stallForIIcache", stats.stallForIIcache);
+    w.field("stallForIRedirect", stats.stallForIRedirect);
+    w.field("stallForRd", stats.stallForRd);
+    w.field("fracStallForI", stats.fracStallForI());
+    w.field("fracStallForRd", stats.fracStallForRd());
+    w.field("mispredicts", stats.mispredicts);
+    w.field("condBranches", stats.condBranches);
+    w.field("fetchWindows", stats.fetchWindows);
+    w.field("fetchedBytes", stats.fetchedBytes);
+    w.field("icacheMisses", stats.mem.icache.misses);
+    w.field("icacheAccesses", stats.mem.icache.accesses);
+    w.field("dcacheMisses", stats.mem.dcache.misses);
+    w.field("l2Misses", stats.mem.l2.misses);
+    w.field("dramReads", stats.mem.dram.reads);
+    w.close();
+    return w.str();
+}
+
+std::string
+energyJson(const energy::EnergyBreakdown &e)
+{
+    JsonWriter w;
+    w.open();
+    w.field("cpuCore", e.cpuCore);
+    w.field("icache", e.icache);
+    w.field("dcache", e.dcache);
+    w.field("l2", e.l2);
+    w.field("dram", e.dram);
+    w.field("socRest", e.socRest);
+    w.field("total", e.total());
+    w.close();
+    return w.str();
+}
+
+} // namespace
+
+std::string
+toJson(const RunResult &result, const std::string &label)
+{
+    JsonWriter w;
+    w.open();
+    w.field("label", label);
+    w.raw("cpu", cpuJson(result.cpu));
+    w.raw("energy", energyJson(result.energy));
+    w.field("selectionCoverage", result.selectionCoverage);
+    w.field("staticThumbFraction", result.staticThumbFraction);
+    w.field("dynThumbFraction", result.dynThumbFraction);
+    w.field("chainsTransformed", result.pass.chainsTransformed);
+    w.field("chainsAttempted", result.pass.chainsAttempted);
+    w.field("instsConverted", result.pass.instsConverted);
+    w.field("cdpsInserted", result.pass.cdpsInserted);
+    w.field("localRenames", result.pass.localRenames);
+    w.close();
+    return w.str();
+}
+
+std::string
+comparisonJson(const RunResult &baseline, const RunResult &variant,
+               const std::string &label)
+{
+    JsonWriter w;
+    w.open();
+    w.field("label", label);
+    w.field("speedup",
+            static_cast<double>(baseline.cpu.cycles) /
+                static_cast<double>(variant.cpu.cycles));
+    w.field("energyRatio",
+            variant.energy.total() / baseline.energy.total());
+    w.raw("baseline", toJson(baseline, "baseline"));
+    w.raw("variant", toJson(variant, label));
+    w.close();
+    return w.str();
+}
+
+} // namespace critics::sim

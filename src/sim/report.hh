@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Machine-readable result export: serialize RunResult/CpuStats to a
+ * small JSON document so external tooling (plotting scripts, CI
+ * regression checks) can consume bench output without parsing tables.
+ */
+
+#ifndef CRITICS_SIM_REPORT_HH
+#define CRITICS_SIM_REPORT_HH
+
+#include <string>
+
+#include "sim/experiment.hh"
+
+namespace critics::sim
+{
+
+/** Serialize one run as a JSON object (no external dependencies; keys
+ *  are stable API). */
+std::string toJson(const RunResult &result,
+                   const std::string &label = "run");
+
+/** Serialize a labelled baseline/variant pair with the speedup. */
+std::string comparisonJson(const RunResult &baseline,
+                           const RunResult &variant,
+                           const std::string &label);
+
+} // namespace critics::sim
+
+#endif // CRITICS_SIM_REPORT_HH

@@ -1,0 +1,58 @@
+#include "support/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace critics
+{
+
+namespace
+{
+bool quietFlag = false;
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+quiet()
+{
+    return quietFlag;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    // Throw instead of abort() so tests can assert on panics.
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quietFlag)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quietFlag)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace critics

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic() for internal invariant
+ * violations, fatal() for user/configuration errors, warn()/inform()
+ * for status messages.
+ */
+
+#ifndef CRITICS_SUPPORT_LOGGING_HH
+#define CRITICS_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace critics
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Globally silence warn()/inform() (used by tests and benches). */
+void setQuiet(bool quiet);
+bool quiet();
+
+namespace detail
+{
+
+inline void
+streamAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamAll(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    streamAll(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    streamAll(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace critics
+
+/** Internal invariant violated: a bug in the simulator itself. */
+#define critics_panic(...) \
+    ::critics::panicImpl(__FILE__, __LINE__, \
+                         ::critics::detail::concat(__VA_ARGS__))
+
+/** The simulation cannot continue due to a user/configuration error. */
+#define critics_fatal(...) \
+    ::critics::fatalImpl(__FILE__, __LINE__, \
+                         ::critics::detail::concat(__VA_ARGS__))
+
+#define critics_warn(...) \
+    ::critics::warnImpl(::critics::detail::concat(__VA_ARGS__))
+
+#define critics_inform(...) \
+    ::critics::informImpl(::critics::detail::concat(__VA_ARGS__))
+
+/** Cheap always-on invariant check (simulation correctness beats speed). */
+#define critics_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::critics::panicImpl(__FILE__, __LINE__, \
+                ::critics::detail::concat("assertion failed: " #cond " ", \
+                                          ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // CRITICS_SUPPORT_LOGGING_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Minimal thread-pool-free parallel loop for the benchmark harness
+ * (each iteration is one independent app simulation).
+ */
+
+#ifndef CRITICS_SUPPORT_PARALLEL_HH
+#define CRITICS_SUPPORT_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace critics
+{
+
+/**
+ * Run body(0..n-1) on up to std::thread::hardware_concurrency()
+ * threads.  Exceptions propagate (the first one wins).
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace critics
+
+#endif // CRITICS_SUPPORT_PARALLEL_HH

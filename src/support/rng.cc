@@ -1,0 +1,163 @@
+#include "support/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace critics
+{
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t state = a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6));
+    return splitMix64(state);
+}
+
+namespace
+{
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Expand the seed through SplitMix64 as recommended by the xoshiro
+    // authors; guarantees a non-zero state.
+    for (auto &word : s_)
+        word = splitMix64(seed);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    if (bound <= 1)
+        return 0;
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        std::uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    return lo + static_cast<std::int64_t>(
+        below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    p = std::clamp(p, 1e-9, 1.0);
+    if (p >= 1.0)
+        return 0;
+    const double u = std::max(uniform(), 1e-300);
+    return static_cast<std::uint64_t>(
+        std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::size_t
+Rng::weighted(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += std::max(w, 0.0);
+    if (total <= 0.0)
+        return 0;
+    double pick = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        pick -= std::max(weights[i], 0.0);
+        if (pick < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::size_t
+Rng::zipf(std::size_t n, double s)
+{
+    if (n <= 1)
+        return 0;
+    std::vector<double> weights(n);
+    for (std::size_t r = 0; r < n; ++r)
+        weights[r] = 1.0 / std::pow(static_cast<double>(r + 1), s);
+    return weighted(weights);
+}
+
+DiscreteDist::DiscreteDist(std::vector<double> weights)
+{
+    cumulative_.reserve(weights.size());
+    double total = 0.0;
+    for (double w : weights) {
+        total += std::max(w, 0.0);
+        cumulative_.push_back(total);
+    }
+}
+
+std::size_t
+DiscreteDist::sample(Rng &rng) const
+{
+    if (cumulative_.empty() || cumulative_.back() <= 0.0)
+        return 0;
+    const double pick = rng.uniform() * cumulative_.back();
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), pick);
+    return static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                                 cumulative_.size() - 1));
+}
+
+} // namespace critics

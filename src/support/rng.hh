@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * Everything in the reproduction must be reproducible from a seed, so we
+ * avoid std::mt19937 (whose distributions are implementation-defined) and
+ * implement SplitMix64 seeding + xoshiro256** generation with our own
+ * distribution helpers.
+ */
+
+#ifndef CRITICS_SUPPORT_RNG_HH
+#define CRITICS_SUPPORT_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace critics
+{
+
+/** SplitMix64 step; used to expand seeds and for stateless hashing. */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/** Stateless 64-bit mix of two values; used for per-key deterministic
+ *  streams (e.g., per-static-instruction address sequences). */
+std::uint64_t hashCombine(std::uint64_t a, std::uint64_t b);
+
+/**
+ * xoshiro256** PRNG with explicit, portable distribution helpers.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform in [0, bound) using Lemire reduction; bound > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform in [lo, hi] inclusive; requires lo <= hi. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /** Geometric draw: number of failures before first success,
+     *  success probability p in (0, 1]. */
+    std::uint64_t geometric(double p);
+
+    /** Sample an index from a discrete, not-necessarily-normalized
+     *  weight vector. Empty or all-zero weights return 0. */
+    std::size_t weighted(const std::vector<double> &weights);
+
+    /** Zipf-like draw over [0, n): rank r with weight 1/(r+1)^s. */
+    std::size_t zipf(std::size_t n, double s);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Pre-normalized discrete distribution with cached cumulative weights;
+ * much faster than Rng::weighted for repeated sampling.
+ */
+class DiscreteDist
+{
+  public:
+    DiscreteDist() = default;
+    explicit DiscreteDist(std::vector<double> weights);
+
+    /** Sample an index; empty distribution returns 0. */
+    std::size_t sample(Rng &rng) const;
+
+    bool empty() const { return cumulative_.empty(); }
+    std::size_t size() const { return cumulative_.size(); }
+
+  private:
+    std::vector<double> cumulative_;
+};
+
+} // namespace critics
+
+#endif // CRITICS_SUPPORT_RNG_HH

@@ -1,0 +1,81 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace critics
+{
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    critics_assert(cells.size() == header_.size(),
+                   "table row width ", cells.size(), " != header width ",
+                   header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ")
+               << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+        }
+        os << " |\n";
+    };
+    auto emitRule = [&]() {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << (c == 0 ? "|" : "+") << std::string(widths[c] + 2, '-');
+        }
+        os << "|\n";
+    };
+
+    emitRule();
+    emitRow(header_);
+    emitRule();
+    for (const auto &row : rows_)
+        emitRow(row);
+    emitRule();
+    return os.str();
+}
+
+std::string
+fmt(double value, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+std::string
+pct(double ratio, int decimals)
+{
+    return fmt(ratio * 100.0, decimals) + "%";
+}
+
+std::string
+gainPct(double speedupRatio, int decimals)
+{
+    return fmt((speedupRatio - 1.0) * 100.0, decimals) + "%";
+}
+
+} // namespace critics

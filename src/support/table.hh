@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harness to render the paper's
+ * tables and figure series in a uniform way.
+ */
+
+#ifndef CRITICS_SUPPORT_TABLE_HH
+#define CRITICS_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace critics
+{
+
+/**
+ * Column-aligned text table.  Cells are strings; helpers format numbers
+ * and percentages consistently across all benches.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+    std::string render() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format with fixed decimals, e.g. fmt(12.3456, 2) == "12.35". */
+std::string fmt(double value, int decimals = 2);
+
+/** Format a ratio as a percentage, e.g. pct(0.1265) == "12.65%". */
+std::string pct(double ratio, int decimals = 2);
+
+/** Format a speedup ratio (new/old time based) as a percent gain. */
+std::string gainPct(double speedupRatio, int decimals = 2);
+
+} // namespace critics
+
+#endif // CRITICS_SUPPORT_TABLE_HH

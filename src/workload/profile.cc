@@ -1,0 +1,300 @@
+#include "workload/profile.hh"
+
+#include "support/logging.hh"
+
+namespace critics::workload
+{
+
+const char *
+suiteName(Suite suite)
+{
+    switch (suite) {
+      case Suite::Mobile:    return "Mobile";
+      case Suite::SpecInt:   return "SPEC.int";
+      case Suite::SpecFloat: return "SPEC.float";
+      default: return "?";
+    }
+}
+
+namespace
+{
+
+/** Common starting point for mobile apps (Sec. II: large code bases,
+ *  frequent calls, short clustered critical chains, few long-latency
+ *  instructions). */
+AppProfile
+mobileBase()
+{
+    return AppProfile{};
+}
+
+/** Common starting point for SPEC.int: loopy, moderate code base, critical
+ *  instructions mostly isolated, loads with mixed locality. */
+AppProfile
+specIntBase()
+{
+    AppProfile p;
+    p.suite = Suite::SpecInt;
+    p.numFunctions = 160;
+    p.dispatchTargets = 12;
+    p.minBlocksPerFn = 3;
+    p.maxBlocksPerFn = 8;
+    p.minBlockInsts = 12;
+    p.maxBlockInsts = 40;
+    p.funcZipfSkew = 1.6;
+    p.callDensity = 0.08;
+    p.loopBackProb = 0.42;
+    p.loopContinueBias = 0.955;
+    p.unpredictableBranchFrac = 0.05;
+
+    p.wCritChain = 0.10;
+    p.wBroadcast = 0.26;
+    p.wSerial = 0.30;
+    p.wIndependent = 0.34;
+    // Fig. 1b: ~35% of SPEC.int high-fanout instructions have no
+    // dependent high-fanout successor; chains that do exist are mostly
+    // direct (gap 0).
+    p.chainCritNodesW = {0.40, 0.42, 0.18};
+    p.chainGapW = {0.55, 0.22, 0.12, 0.06, 0.03, 0.02};
+    p.critNodeLoadFrac = 0.60;
+    p.loopCarriedFrac = 0.30;
+    p.serialLenW = {0.25, 0.30, 0.25, 0.20};
+
+    p.fracLoad = 0.24;
+    p.fracStore = 0.10;
+    p.fracMul = 0.05;
+    p.fracDiv = 0.008;
+    p.fracFpAdd = 0.01;
+    p.fracFpMul = 0.005;
+    p.fracFpDiv = 0.001;
+
+    p.predicatedFrac = 0.24;
+    p.highRegFrac = 0.12;
+
+    p.hotRegionBytes = 40u << 10;
+    p.coldRegionBytes = 64u << 20;
+    p.strideRegionBytes = 16u << 20;
+    p.memHotFrac = 0.55;
+    p.memStrideFrac = 0.18;
+    return p;
+}
+
+/** Common starting point for SPEC.float: long loop-carried chains, lots
+ *  of FP and streaming memory. */
+AppProfile
+specFloatBase()
+{
+    AppProfile p = specIntBase();
+    p.suite = Suite::SpecFloat;
+    p.numFunctions = 120;
+    p.funcZipfSkew = 1.8;
+    p.loopBackProb = 0.50;
+    p.loopContinueBias = 0.985;
+    p.unpredictableBranchFrac = 0.015;
+
+    p.wCritChain = 0.06;
+    p.wBroadcast = 0.30;
+    p.wSerial = 0.34;
+    p.wIndependent = 0.30;
+    // Fig. 1b: ~60% isolated for SPEC.float.
+    p.chainCritNodesW = {0.78, 0.16, 0.06};
+    p.chainGapW = {0.60, 0.20, 0.10, 0.05, 0.03, 0.02};
+    p.critNodeLoadFrac = 0.62;
+    p.loopCarriedFrac = 0.45;
+
+    p.fracLoad = 0.26;
+    p.fracStore = 0.08;
+    p.fracMul = 0.02;
+    p.fracDiv = 0.002;
+    p.fracFpAdd = 0.14;
+    p.fracFpMul = 0.11;
+    p.fracFpDiv = 0.012;
+
+    p.memHotFrac = 0.30;
+    p.memStrideFrac = 0.25;
+    p.strideRegionBytes = 48u << 20;
+    p.coldRegionBytes = 96u << 20;
+    return p;
+}
+
+AppProfile
+makeMobile(const std::string &name, const std::string &activity,
+           const std::string &domain, std::uint64_t seed)
+{
+    AppProfile p = mobileBase();
+    p.name = name;
+    p.activity = activity;
+    p.domain = domain;
+    p.seed = seed;
+    return p;
+}
+
+} // namespace
+
+std::vector<AppProfile>
+mobileApps()
+{
+    std::vector<AppProfile> apps;
+
+    // Per-app deltas encode the qualitative spread the paper reports:
+    // Acrobat gets the largest CritIC speedup (15%), Music the smallest
+    // (9%); Maps/Youtube are the most F.StallForR+D-bound; Browser and
+    // PhotoGallery benefit least from hoisting alone.
+
+    AppProfile acrobat = makeMobile("Acrobat", "View, add comment",
+                                    "Document readers", 101);
+    acrobat.wCritChain = 0.62;
+    acrobat.numFunctions = 340;
+    apps.push_back(acrobat);
+
+    AppProfile angry = makeMobile("Angrybirds", "1 Level of game",
+                                  "Physics games", 102);
+    angry.fracFpAdd = 0.05;
+    angry.fracFpMul = 0.03;
+    angry.wCritChain = 0.55;
+    angry.loopBackProb = 0.24;
+    apps.push_back(angry);
+
+    AppProfile browser = makeMobile("Browser", "Search and load pages",
+                                    "Web interfaces", 103);
+    browser.numFunctions = 380;
+    browser.dispatchTargets = 128;
+    browser.funcZipfSkew = 0.65;
+    browser.wCritChain = 0.50;
+    browser.wIndependent = 0.36;
+    apps.push_back(browser);
+
+    AppProfile facebook = makeMobile("Facebook", "RT-texting",
+                                     "Instant messengers", 104);
+    facebook.numFunctions = 330;
+    facebook.callDensity = 0.34;
+    apps.push_back(facebook);
+
+    AppProfile email = makeMobile("Email", "Send,receive mail",
+                                  "Email clients", 105);
+    email.numFunctions = 270;
+    email.callDensity = 0.32;
+    apps.push_back(email);
+
+    AppProfile maps = makeMobile("Maps", "Search directions",
+                                 "Navigation", 106);
+    maps.wSerial = 0.32;
+    maps.serialLenW = {0.2, 0.3, 0.3, 0.2};
+    maps.loopCarriedFrac = 0.06;
+    maps.fracMul = 0.05;
+    apps.push_back(maps);
+
+    AppProfile music = makeMobile("Music", "2 minutes song",
+                                  "Music/audio players", 107);
+    music.wCritChain = 0.36;
+    music.wIndependent = 0.42;
+    music.numFunctions = 210;
+    music.loopBackProb = 0.26;
+    apps.push_back(music);
+
+    AppProfile office = makeMobile("Office", "Slide edit, present",
+                                   "Interactive displays", 108);
+    office.wCritChain = 0.58;
+    office.numFunctions = 320;
+    apps.push_back(office);
+
+    AppProfile gallery = makeMobile("PhotoGallery", "Browse Images",
+                                    "Image browsing", 109);
+    gallery.wIndependent = 0.40;
+    gallery.memStrideFrac = 0.14;
+    gallery.numFunctions = 300;
+    apps.push_back(gallery);
+
+    AppProfile youtube = makeMobile("Youtube", "HQ video stream",
+                                    "Video streaming", 110);
+    youtube.wSerial = 0.34;
+    youtube.serialLenW = {0.15, 0.30, 0.30, 0.25};
+    youtube.loopCarriedFrac = 0.08;
+    youtube.memStrideFrac = 0.16;
+    apps.push_back(youtube);
+
+    return apps;
+}
+
+std::vector<AppProfile>
+specIntApps()
+{
+    struct Row { const char *name; double loopBias; double hot; };
+    const Row rows[] = {
+        {"bzip2",      0.960, 0.55},
+        {"hmmer",      0.975, 0.62},
+        {"libquantum", 0.985, 0.30},
+        {"mcf",        0.940, 0.25},
+        {"gcc",        0.930, 0.50},
+        {"gobmk",      0.915, 0.58},
+        {"sjeng",      0.930, 0.60},
+        {"h264ref",    0.965, 0.55},
+    };
+    std::vector<AppProfile> apps;
+    std::uint64_t seed = 201;
+    for (const Row &row : rows) {
+        AppProfile p = specIntBase();
+        p.name = row.name;
+        p.activity = "SPEC CPU2006 ref-like input";
+        p.domain = "SPEC.int";
+        p.seed = seed++;
+        p.loopContinueBias = row.loopBias;
+        p.memHotFrac = row.hot;
+        apps.push_back(p);
+    }
+    return apps;
+}
+
+std::vector<AppProfile>
+specFloatApps()
+{
+    struct Row { const char *name; double stride; double fp; };
+    const Row rows[] = {
+        {"sperand",  0.40, 0.22},
+        {"namd",     0.42, 0.28},
+        {"gromacs",  0.44, 0.26},
+        {"calculix", 0.40, 0.24},
+        {"lbm",      0.58, 0.26},
+        {"milc",     0.52, 0.24},
+        {"dealII",   0.38, 0.22},
+        {"leslie3d", 0.50, 0.28},
+    };
+    std::vector<AppProfile> apps;
+    std::uint64_t seed = 301;
+    for (const Row &row : rows) {
+        AppProfile p = specFloatBase();
+        p.name = row.name;
+        p.activity = "SPEC CPU2006 ref-like input";
+        p.domain = "SPEC.float";
+        p.seed = seed++;
+        p.memStrideFrac = row.stride;
+        const double fp = row.fp;
+        p.fracFpAdd = fp * 0.55;
+        p.fracFpMul = fp * 0.40;
+        p.fracFpDiv = fp * 0.05;
+        apps.push_back(p);
+    }
+    return apps;
+}
+
+std::vector<AppProfile>
+allApps()
+{
+    std::vector<AppProfile> apps = mobileApps();
+    for (auto &&p : specIntApps())
+        apps.push_back(std::move(p));
+    for (auto &&p : specFloatApps())
+        apps.push_back(std::move(p));
+    return apps;
+}
+
+AppProfile
+findApp(const std::string &name)
+{
+    for (const AppProfile &p : allApps())
+        if (p.name == name)
+            return p;
+    critics_fatal("unknown app profile: ", name);
+}
+
+} // namespace critics::workload

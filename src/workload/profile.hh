@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Statistical workload profiles.
+ *
+ * Each profile describes one app/benchmark as the distributions the paper's
+ * evaluation actually depends on: code-structure parameters (drive i-cache
+ * and branch behaviour), dataflow-motif weights (drive the fanout and
+ * chain-gap statistics of Figs. 1b/5a), instruction mix (drives Fig. 3c)
+ * and memory locality (drives load latencies).  The registry contains the
+ * ten Play-Store apps of Table II plus the SPEC.int/SPEC.float proxies.
+ */
+
+#ifndef CRITICS_WORKLOAD_PROFILE_HH
+#define CRITICS_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace critics::workload
+{
+
+/** Which suite a profile belongs to (Table II groups). */
+enum class Suite : std::uint8_t
+{
+    Mobile,
+    SpecInt,
+    SpecFloat,
+};
+
+const char *suiteName(Suite suite);
+
+/**
+ * All synthesis knobs for one workload.  Defaults describe a generic
+ * mobile app; the registry overrides per app/suite.
+ */
+struct AppProfile
+{
+    std::string name;
+    std::string activity; ///< Table II "Activities Performed"
+    std::string domain;   ///< Table II "Domain"
+    Suite suite = Suite::Mobile;
+    std::uint64_t seed = 1;
+
+    // -- Code structure ---------------------------------------------------
+    unsigned numFunctions = 300;   ///< code-base size (drives i-cache)
+    unsigned dispatchTargets = 96; ///< event-handler entry points
+    unsigned minBlocksPerFn = 2;
+    unsigned maxBlocksPerFn = 5;
+    unsigned minBlockInsts = 12;
+    unsigned maxBlockInsts = 30;
+    double funcZipfSkew = 0.80;     ///< popularity skew of handlers
+    double callDensity = 0.32;      ///< P(block ends in a call)
+    double loopBackProb = 0.26;     ///< P(block ends in a loop branch)
+    double loopContinueBias = 0.93; ///< taken bias of loop back-edges
+    double unpredictableBranchFrac = 0.02; ///< ~50/50 branches
+
+    // -- Dataflow motifs (relative weights) -------------------------------
+    double wCritChain = 0.55;   ///< chained high-fanout producers
+    double wBroadcast = 0.06;   ///< isolated high-fanout producer
+    double wSerial = 0.22;      ///< plain dependent chain
+    double wIndependent = 0.17; ///< ILP filler
+
+    /** # high-fanout nodes per critical chain: weights for 1,2,3,... */
+    std::vector<double> chainCritNodesW = {0.15, 0.60, 0.25};
+    /** # low-fanout links between successive high-fanout nodes:
+     *  weights for gap = 0,1,2,3,4,5. */
+    std::vector<double> chainGapW = {0.03, 0.64, 0.26, 0.04, 0.02, 0.01};
+    /** Fan-out target of a high-fanout node: weights for
+     *  critFanoutBase + k*critFanoutStep, k = 0..4. */
+    std::vector<double> critFanoutW = {0.35, 0.30, 0.20, 0.10, 0.05};
+    unsigned critFanoutBase = 16;
+    unsigned critFanoutStep = 2;
+    /** Plain serial-chain length: weights for 2,4,6,8. */
+    std::vector<double> serialLenW = {0.4, 0.3, 0.2, 0.1};
+    /** Fraction of serial chains that are loop-carried recurrences. */
+    double loopCarriedFrac = 0.02;
+    /** Fraction of high-fanout nodes that are loads. */
+    double critNodeLoadFrac = 0.30;
+
+    // -- Instruction mix of fillers/consumers (non-control) ---------------
+    double fracLoad = 0.19;
+    double fracStore = 0.09;
+    double fracMul = 0.02;
+    double fracDiv = 0.001;
+    double fracFpAdd = 0.015;
+    double fracFpMul = 0.010;
+    double fracFpDiv = 0.001;
+
+    // -- 16-bit convertibility pressure ------------------------------------
+    double predicatedFrac = 0.18;  ///< fraction of predicated ALU ops
+    double smallImmFrac = 0.45;    ///< fillers without immediate payload
+    double highRegFrac = 0.10;     ///< fraction forced above Thumb limits
+
+    // -- Memory locality ---------------------------------------------------
+    std::uint32_t hotRegionBytes = 32u << 10;
+    std::uint32_t coldRegionBytes = 6u << 20;
+    std::uint32_t strideRegionBytes = 4u << 20;
+    std::uint32_t strideStep = 64;
+    double memHotFrac = 0.88;    ///< loads/stores hitting the hot region
+    double memStrideFrac = 0.03; ///< streaming accesses
+    // remainder: cold region
+};
+
+/** The ten Play-Store apps of Table II. */
+std::vector<AppProfile> mobileApps();
+
+/** SPEC.int proxies (bzip2, hmmer, libquantum, mcf, gcc, gobmk, sjeng,
+ *  h264ref). */
+std::vector<AppProfile> specIntApps();
+
+/** SPEC.float proxies (sperand, namd, gromacs, calculix, lbm, milc,
+ *  dealII, leslie3d). */
+std::vector<AppProfile> specFloatApps();
+
+/** All suites concatenated. */
+std::vector<AppProfile> allApps();
+
+/** Look up a profile by name across all suites; fatal if unknown. */
+AppProfile findApp(const std::string &name);
+
+} // namespace critics::workload
+
+#endif // CRITICS_WORKLOAD_PROFILE_HH

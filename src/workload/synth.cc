@@ -1,0 +1,523 @@
+#include "workload/synth.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace critics::workload
+{
+
+using namespace critics::program;
+using critics::isa::NoReg;
+using critics::isa::OpClass;
+
+namespace
+{
+
+constexpr std::uint8_t AccReg = 7;       ///< loop-carried accumulator
+constexpr std::uint8_t FirstLeafReg = 8; ///< leaf consumer destinations
+constexpr std::uint8_t NumLeafRegs = 3;
+constexpr std::uint8_t FirstHighReg = 11;
+
+/** Mutable state while filling one basic block. */
+class BlockGen
+{
+  public:
+    BlockGen(Program &prog, const AppProfile &profile, Rng &rng)
+        : prog_(prog), profile_(profile), rng_(rng)
+    {
+        pending_.fill(0);
+    }
+
+    BasicBlock take() { return std::move(block_); }
+    std::size_t size() const { return block_.insts.size(); }
+
+    /** Append one instruction, assigning a fresh uid. */
+    StaticInst &
+    emit(OpClass op, std::uint8_t dst, std::uint8_t src1,
+         std::uint8_t src2)
+    {
+        StaticInst si;
+        si.uid = prog_.allocUid();
+        si.arch.op = op;
+        si.arch.dst = dst;
+        si.arch.src1 = src1;
+        si.arch.src2 = src2;
+        si.arch.imm = static_cast<std::uint8_t>(rng_.next() & 0xFF);
+        block_.insts.push_back(si);
+        return block_.insts.back();
+    }
+
+    /** Allocate a dataflow temporary (r0..r6), preferring registers with
+     *  no planned-but-unemitted consumers.  Falls back to forced reuse. */
+    std::uint8_t
+    allocTemp(unsigned planned_readers, unsigned avoid_mask = 0)
+    {
+        for (unsigned tries = 0; tries < 7; ++tries) {
+            cursor_ = static_cast<std::uint8_t>((cursor_ + 1) % 7);
+            if (pending_[cursor_] == 0 &&
+                ((avoid_mask >> cursor_) & 1u) == 0) {
+                pending_[cursor_] = planned_readers;
+                return cursor_;
+            }
+        }
+        // All temporaries still have planned readers; reuse the next one
+        // anyway (the clobbered fanout is acceptable noise).
+        cursor_ = static_cast<std::uint8_t>((cursor_ + 1) % 7);
+        pending_[cursor_] = planned_readers;
+        return cursor_;
+    }
+
+    /** Note one planned reader of `reg` was emitted. */
+    void
+    consumed(std::uint8_t reg)
+    {
+        if (reg < 7 && pending_[reg] > 0)
+            --pending_[reg];
+    }
+
+    std::uint8_t
+    allocLeaf()
+    {
+        leafCursor_ = static_cast<std::uint8_t>(
+            (leafCursor_ + 1) % NumLeafRegs);
+        return static_cast<std::uint8_t>(FirstLeafReg + leafCursor_);
+    }
+
+    /** Random non-control op class from the profile's filler mix. */
+    OpClass
+    fillerOp()
+    {
+        const AppProfile &p = profile_;
+        const double u = rng_.uniform();
+        double acc = p.fracLoad;
+        if (u < acc) return OpClass::Load;
+        if (u < (acc += p.fracStore)) return OpClass::Store;
+        if (u < (acc += p.fracMul)) return OpClass::IntMult;
+        if (u < (acc += p.fracDiv)) return OpClass::IntDiv;
+        if (u < (acc += p.fracFpAdd)) return OpClass::FloatAdd;
+        if (u < (acc += p.fracFpMul)) return OpClass::FloatMul;
+        if (u < (acc += p.fracFpDiv)) return OpClass::FloatDiv;
+        return OpClass::IntAlu;
+    }
+
+    /** Attach memory metadata to a load/store. */
+    void
+    memify(StaticInst &si)
+    {
+        const double u = rng_.uniform();
+        if (u < profile_.memHotFrac) {
+            si.memPattern = MemPattern::HotRegion;
+            si.memRegionId = RegionHot;
+            si.aliasClass = static_cast<std::uint8_t>(si.uid % 16);
+        } else if (u < profile_.memHotFrac + profile_.memStrideFrac) {
+            si.memPattern = MemPattern::Stride;
+            si.memRegionId = RegionStride;
+            si.aliasClass = static_cast<std::uint8_t>(si.uid % 16);
+        } else {
+            // Cold pointer chases stay may-alias (0xFF), like real
+            // heap traffic a compiler cannot disambiguate.
+            si.memPattern = MemPattern::ColdRegion;
+            si.memRegionId = RegionCold;
+        }
+    }
+
+    /**
+     * Apply the profile's non-convertible pressure to a filler.
+     *
+     * @param allow_dst_rewrite only instructions whose destination no
+     *        later instruction reads (leaf consumers, independent
+     *        fillers) may have it moved to a high register; rewriting
+     *        a value another motif member will read would leave a
+     *        dangling register read.
+     */
+    void
+    pressure(StaticInst &si, bool allow_dst_rewrite = true)
+    {
+        if (rng_.chance(profile_.smallImmFrac))
+            si.arch.imm = 0;
+        if (rng_.chance(profile_.predicatedFrac))
+            si.arch.predicated = true;
+        if (allow_dst_rewrite && rng_.chance(profile_.highRegFrac) &&
+            si.arch.dst != NoReg) {
+            si.arch.dst = static_cast<std::uint8_t>(
+                FirstHighReg + rng_.below(4));
+        }
+    }
+
+    /** Rare convertibility blocker on chain members: per the paper only
+     *  ~4.5% of unique CritIC sequences end up non-representable. */
+    void
+    chainPressure(StaticInst &si)
+    {
+        // Chain members are simple single-source ops; per the paper
+        // only ~4.5% of unique CritIC sequences are non-representable.
+        if (rng_.chance(0.01))
+            si.arch.predicated = true;
+    }
+
+    // ---- Motifs ---------------------------------------------------------
+
+    /** Chained high-fanout producers with low-fanout links between them
+     *  (the structure of Figs. 1b/2/4). */
+    void
+    emitCritChain()
+    {
+        const AppProfile &p = profile_;
+        const unsigned n_crit = 1 + static_cast<unsigned>(
+            rng_.weighted(p.chainCritNodesW));
+        const unsigned fanout = p.critFanoutBase +
+            p.critFanoutStep * static_cast<unsigned>(
+                rng_.weighted(p.critFanoutW));
+
+        // The chain is *spread* through the block, interleaved with its
+        // fanout consumers, exactly the shape Fig. 2 motivates: the
+        // compiler's hoist pass later has real motion to perform.
+        std::vector<std::uint8_t> critRegs;
+        std::vector<unsigned> remaining; // fanout left to satisfy
+        std::uint8_t prev = NoReg;
+        unsigned chainRegMask = 0; // keep chain-element dsts distinct
+
+        auto emitConsumers = [&](unsigned count) {
+            for (unsigned c = 0; c < count; ++c) {
+                // Read the one or two emitted critical registers with
+                // the most unsatisfied fanout.
+                std::size_t first = 0;
+                for (std::size_t k = 1; k < critRegs.size(); ++k)
+                    if (remaining[k] > remaining[first])
+                        first = k;
+                if (remaining[first] == 0)
+                    return;
+                std::size_t second = critRegs.size();
+                for (std::size_t k = 0; k < critRegs.size(); ++k) {
+                    if (k == first || remaining[k] == 0)
+                        continue;
+                    if (second == critRegs.size() ||
+                        remaining[k] > remaining[second]) {
+                        second = k;
+                    }
+                }
+                const std::uint8_t a = critRegs[first];
+                const std::uint8_t b = second < critRegs.size()
+                    ? critRegs[second] : NoReg;
+                StaticInst &leaf =
+                    emit(OpClass::IntAlu, allocLeaf(), a, b);
+                pressure(leaf);
+                consumed(a);
+                --remaining[first];
+                if (b != NoReg) {
+                    consumed(b);
+                    --remaining[second];
+                }
+            }
+        };
+
+        for (unsigned k = 0; k < n_crit; ++k) {
+            const bool is_load = rng_.chance(p.critNodeLoadFrac);
+            const std::uint8_t dst = allocTemp(fanout, chainRegMask);
+            chainRegMask |= 1u << dst;
+            StaticInst &node = emit(
+                is_load ? OpClass::Load : OpClass::IntAlu,
+                dst, prev, NoReg);
+            node.arch.imm = 0; // simple dataflow op, 16-bit encodable
+            if (is_load)
+                memify(node);
+            chainPressure(node);
+            if (prev != NoReg)
+                consumed(prev);
+            critRegs.push_back(dst);
+            remaining.push_back(fanout);
+            prev = dst;
+
+            if (k + 1 == n_crit)
+                break;
+            const unsigned gap =
+                static_cast<unsigned>(rng_.weighted(p.chainGapW));
+            for (unsigned g = 0; g < gap; ++g) {
+                // Consumers of already-emitted critical nodes sit
+                // between the chain links.
+                emitConsumers(2 + static_cast<unsigned>(rng_.below(3)));
+                const std::uint8_t link_dst =
+                    allocTemp(1, chainRegMask);
+                chainRegMask |= 1u << link_dst;
+                StaticInst &link =
+                    emit(OpClass::IntAlu, link_dst, prev, NoReg);
+                link.arch.imm = 0;
+                chainPressure(link);
+                consumed(prev);
+                prev = link_dst;
+            }
+        }
+        // Drain the rest of the fanout demand (each consumer reads two
+        // critical registers, so this halves the apparent count).
+        emitConsumers(fanout * n_crit);
+    }
+
+    /** Isolated high-fanout producer (the common SPEC shape). */
+    void
+    emitBroadcast()
+    {
+        const AppProfile &p = profile_;
+        const unsigned fanout = p.critFanoutBase +
+            p.critFanoutStep * static_cast<unsigned>(
+                rng_.weighted(p.critFanoutW));
+        const bool is_load = rng_.chance(p.critNodeLoadFrac);
+        const std::uint8_t dst = allocTemp(fanout);
+        StaticInst &node = emit(
+            is_load ? OpClass::Load : OpClass::IntAlu, dst, NoReg, NoReg);
+        if (is_load)
+            memify(node);
+        for (unsigned c = 0; c < fanout; ++c) {
+            StaticInst &leaf =
+                emit(fillerNonMem(), allocLeaf(), dst, NoReg);
+            pressure(leaf);
+            consumed(dst);
+        }
+    }
+
+    /** Plain dependent chain; optionally a loop-carried recurrence
+     *  through the accumulator register (SPEC's very long ICs). */
+    void
+    emitSerial()
+    {
+        const AppProfile &p = profile_;
+        const unsigned len = 2 + 2 * static_cast<unsigned>(
+            rng_.weighted(p.serialLenW));
+        const bool carried = rng_.chance(p.loopCarriedFrac);
+        std::uint8_t prev = carried ? AccReg : NoReg;
+        for (unsigned i = 0; i < len; ++i) {
+            const bool last = (i + 1 == len);
+            std::uint8_t dst =
+                (carried && last) ? AccReg : allocTemp(1);
+            StaticInst &si = emit(fillerNonMem(), dst, prev, NoReg);
+            pressure(si, false); // the next member reads this dst
+            if (prev != NoReg)
+                consumed(prev);
+            prev = dst;
+        }
+    }
+
+    /** Independent fillers: plain ILP. */
+    void
+    emitIndependent()
+    {
+        const unsigned len = 2 + static_cast<unsigned>(rng_.below(5));
+        for (unsigned i = 0; i < len; ++i) {
+            const OpClass op = fillerOp();
+            const std::uint8_t dst =
+                op == OpClass::Store ? NoReg : allocTemp(0);
+            // Stores read a leaf register so dataflow temporaries are
+            // never live across blocks (enables local renaming).
+            const std::uint8_t src = op == OpClass::Store
+                ? static_cast<std::uint8_t>(
+                      FirstLeafReg + rng_.below(NumLeafRegs))
+                : NoReg;
+            StaticInst &si = emit(op, dst, src, NoReg);
+            if (si.isLoad() || si.isStore())
+                memify(si);
+            pressure(si);
+        }
+    }
+
+    /** Fill to the instruction budget with motifs sampled from the
+     *  profile weights. */
+    void
+    fill(std::size_t budget)
+    {
+        const AppProfile &p = profile_;
+        const std::vector<double> weights{
+            p.wCritChain, p.wBroadcast, p.wSerial, p.wIndependent};
+        while (size() < budget) {
+            switch (rng_.weighted(weights)) {
+              case 0: emitCritChain(); break;
+              case 1: emitBroadcast(); break;
+              case 2: emitSerial(); break;
+              default: emitIndependent(); break;
+            }
+        }
+    }
+
+  private:
+    OpClass
+    fillerNonMem()
+    {
+        OpClass op = fillerOp();
+        while (isa::isMemory(op))
+            op = fillerOp();
+        return op;
+    }
+
+    Program &prog_;
+    const AppProfile &profile_;
+    Rng &rng_;
+    BasicBlock block_;
+    std::array<unsigned, 7> pending_;
+    std::uint8_t cursor_ = 0;
+    std::uint8_t leafCursor_ = 0;
+};
+
+/** Call-graph layer of a function (0 = dispatcher). */
+unsigned
+layerOf(unsigned func, const AppProfile &p)
+{
+    if (func == 0)
+        return 0;
+    if (func <= p.dispatchTargets)
+        return 1;
+    // Remaining library functions split 60/30/10 into layers 2..4.
+    const unsigned libIdx = func - p.dispatchTargets - 1;
+    const unsigned libCount =
+        p.numFunctions > p.dispatchTargets + 1
+            ? p.numFunctions - p.dispatchTargets - 1 : 1;
+    const double frac =
+        static_cast<double>(libIdx) / static_cast<double>(libCount);
+    if (frac < 0.60)
+        return 2;
+    if (frac < 0.90)
+        return 3;
+    return 4;
+}
+
+} // namespace
+
+Program
+synthesize(const AppProfile &profile)
+{
+    critics_assert(profile.numFunctions > profile.dispatchTargets + 8,
+                   "profile needs more functions than dispatch targets");
+    Rng rng(hashCombine(profile.seed, 0xC417C5ULL));
+    Program prog;
+
+    prog.memRegions = {
+        {0x40000000u, profile.hotRegionBytes, 0},
+        {0x50000000u, profile.coldRegionBytes, 0},
+        {0x60000000u, profile.strideRegionBytes, profile.strideStep},
+    };
+
+    // Pre-compute layer membership so call sites can target layer+1.
+    std::array<std::vector<std::uint32_t>, 5> layers;
+    for (unsigned f = 0; f < profile.numFunctions; ++f)
+        layers[layerOf(f, profile)].push_back(f);
+    for (unsigned l = 1; l <= 4; ++l)
+        critics_assert(!layers[l].empty(), "empty call-graph layer ", l);
+
+    // Indirect dispatch table: all handlers, zipf-weighted popularity.
+    IndirectTable dispatch;
+    for (std::uint32_t f : layers[1]) {
+        dispatch.callees.push_back(f);
+        dispatch.weights.push_back(
+            1.0 / std::pow(static_cast<double>(dispatch.callees.size()),
+                           profile.funcZipfSkew));
+    }
+    prog.indirectTables.push_back(std::move(dispatch));
+
+    prog.funcs.resize(profile.numFunctions);
+
+    // Function 0: the event loop.  Two blocks: indirect call to a
+    // handler, then jump back.
+    {
+        Function &fn = prog.funcs[0];
+        fn.name = "event_loop";
+        BlockGen gen(prog, profile, rng);
+        gen.fill(4);
+        BasicBlock b0 = gen.take();
+        StaticInst call;
+        call.uid = prog.allocUid();
+        call.arch.op = OpClass::Call;
+        call.flow = FlowKind::CallFn;
+        call.indirectTable = 0;
+        b0.insts.push_back(call);
+        fn.blocks.push_back(std::move(b0));
+
+        BlockGen gen2(prog, profile, rng);
+        gen2.fill(3);
+        BasicBlock b1 = gen2.take();
+        StaticInst jump;
+        jump.uid = prog.allocUid();
+        jump.arch.op = OpClass::Branch;
+        jump.flow = FlowKind::Jump;
+        jump.targetBlock = 0;
+        b1.insts.push_back(jump);
+        fn.blocks.push_back(std::move(b1));
+    }
+
+    for (unsigned f = 1; f < profile.numFunctions; ++f) {
+        Function &fn = prog.funcs[f];
+        fn.name = (layerOf(f, profile) == 1 ? "handler_" : "lib_") +
+                  std::to_string(f);
+        const unsigned layer = layerOf(f, profile);
+        const unsigned n_blocks = static_cast<unsigned>(rng.range(
+            profile.minBlocksPerFn, profile.maxBlocksPerFn));
+
+        for (unsigned b = 0; b < n_blocks; ++b) {
+            BlockGen gen(prog, profile, rng);
+            const auto budget = static_cast<std::size_t>(rng.range(
+                profile.minBlockInsts, profile.maxBlockInsts));
+            gen.fill(budget);
+            BasicBlock block = gen.take();
+
+            if (b == 0) {
+                // Initialize the per-function recurrence accumulator so
+                // loop-carried chains do not leak across functions.
+                StaticInst init;
+                init.uid = prog.allocUid();
+                init.arch.op = OpClass::IntAlu;
+                init.arch.dst = AccReg;
+                init.arch.imm =
+                    static_cast<std::uint8_t>(rng.next() & 0xFF);
+                block.insts.insert(block.insts.begin(), init);
+            }
+
+            const bool last = (b + 1 == n_blocks);
+            StaticInst term;
+            term.uid = prog.allocUid();
+            if (last) {
+                term.arch.op = OpClass::Return;
+                term.flow = FlowKind::Ret;
+            } else if (b > 0 && rng.chance(profile.loopBackProb)) {
+                // Loop back-edge.
+                term.arch.op = OpClass::Branch;
+                term.flow = FlowKind::CondBranch;
+                term.targetBlock = static_cast<std::uint32_t>(
+                    rng.range(b >= 2 ? b - 2 : 0, b));
+                term.takenBias =
+                    static_cast<float>(profile.loopContinueBias);
+                term.arch.src1 = static_cast<std::uint8_t>(
+                    8 + rng.below(3));
+            } else if (layer < 4 && rng.chance(profile.callDensity)) {
+                // Static call one layer deeper.
+                const auto &pool = layers[layer + 1];
+                term.arch.op = OpClass::Call;
+                term.flow = FlowKind::CallFn;
+                term.targetFunc =
+                    pool[rng.below(pool.size())];
+            } else if (rng.chance(0.45)) {
+                // Forward conditional skip.
+                term.arch.op = OpClass::Branch;
+                term.flow = FlowKind::CondBranch;
+                term.targetBlock = static_cast<std::uint32_t>(
+                    std::min<unsigned>(n_blocks - 1, b + 2));
+                const bool wild =
+                    rng.chance(profile.unpredictableBranchFrac);
+                term.takenBias = wild ? 0.5f
+                    : (rng.chance(0.5) ? 0.04f : 0.96f);
+                term.arch.src1 = static_cast<std::uint8_t>(
+                    8 + rng.below(3));
+            } else {
+                // Plain fall-through; no terminator instruction.
+                term.uid = NoUid;
+            }
+            if (term.uid != NoUid)
+                block.insts.push_back(term);
+            fn.blocks.push_back(std::move(block));
+        }
+    }
+
+    prog.layout();
+    return prog;
+}
+
+} // namespace critics::workload

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Program synthesis: expand an AppProfile into a static Program whose
+ * control structure, dataflow motifs, instruction mix and memory
+ * behaviour follow the profile's distributions.
+ *
+ * Register discipline (keeps the generated dataflow analyzable and the
+ * Thumb-convertibility statistics controllable):
+ *   r0..r6  — rotating dataflow temporaries (chain members, producers)
+ *   r7      — per-function recurrence accumulator (loop-carried chains)
+ *   r8..r10 — leaf destinations (fanout consumers)
+ *   r11+    — used only by the deliberately non-convertible fraction
+ */
+
+#ifndef CRITICS_WORKLOAD_SYNTH_HH
+#define CRITICS_WORKLOAD_SYNTH_HH
+
+#include "program/program.hh"
+#include "workload/profile.hh"
+
+namespace critics::workload
+{
+
+/** Memory region ids assigned by the synthesizer. */
+enum : std::uint32_t
+{
+    RegionHot = 0,
+    RegionCold = 1,
+    RegionStride = 2,
+};
+
+/**
+ * Build the program for a profile.  Deterministic in profile.seed.
+ * The returned program is laid out (addresses assigned).
+ */
+program::Program synthesize(const AppProfile &profile);
+
+} // namespace critics::workload
+
+#endif // CRITICS_WORKLOAD_SYNTH_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Branch predictor tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpu/bpu.hh"
+#include "support/rng.hh"
+
+using namespace critics;
+
+TEST(PerfectPredictor, AlwaysCorrect)
+{
+    bpu::PerfectPredictor bp;
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(bp.predictAndTrain(0x1000 + 4 * (i % 7),
+                                       rng.chance(0.5)));
+    EXPECT_EQ(bp.stats().mispredicts, 0u);
+    EXPECT_EQ(bp.stats().lookups, 1000u);
+}
+
+TEST(TwoLevel, LearnsAlwaysTaken)
+{
+    bpu::TwoLevelPredictor bp;
+    for (int i = 0; i < 64; ++i)
+        bp.predictAndTrain(0x1000, true);
+    bp.resetStats();
+    for (int i = 0; i < 512; ++i)
+        bp.predictAndTrain(0x1000, true);
+    EXPECT_EQ(bp.stats().mispredicts, 0u);
+}
+
+TEST(TwoLevel, LearnsAlternatingPattern)
+{
+    bpu::TwoLevelPredictor bp;
+    for (int i = 0; i < 256; ++i)
+        bp.predictAndTrain(0x2000, i % 2 == 0);
+    bp.resetStats();
+    for (int i = 0; i < 512; ++i)
+        bp.predictAndTrain(0x2000, i % 2 == 0);
+    // Pattern fits trivially in global history.
+    EXPECT_LT(bp.stats().mispredictRate(), 0.02);
+}
+
+TEST(TwoLevel, StrugglesWithRandom)
+{
+    bpu::TwoLevelPredictor bp;
+    Rng rng(42);
+    for (int i = 0; i < 4000; ++i)
+        bp.predictAndTrain(0x3000, rng.chance(0.5));
+    EXPECT_GT(bp.stats().mispredictRate(), 0.30);
+}
+
+class TwoLevelBias : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TwoLevelBias, BeatsStaticPrediction)
+{
+    const double bias = GetParam();
+    bpu::TwoLevelPredictor bp;
+    Rng rng(7);
+    for (int i = 0; i < 8000; ++i)
+        bp.predictAndTrain(0x4000, rng.chance(bias));
+    // Must do no worse than always predicting the majority direction
+    // (with a small training allowance).
+    const double staticMiss = std::min(bias, 1.0 - bias);
+    EXPECT_LE(bp.stats().mispredictRate(), staticMiss + 0.08)
+        << "bias " << bias;
+}
+
+INSTANTIATE_TEST_SUITE_P(Biases, TwoLevelBias,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.75, 0.9,
+                                           0.95));
+
+TEST(TwoLevel, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(bpu::TwoLevelPredictor(1000, 10), std::logic_error);
+}

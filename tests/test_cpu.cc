@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Pipeline-model tests: throughput bounds, dependence serialization,
+ * functional-unit structural hazards, stall attribution, warmup
+ * accounting, branch redirects, format handling and the hardware
+ * mechanism hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cpu.hh"
+#include "helpers.hh"
+#include "support/rng.hh"
+
+using namespace critics;
+using namespace critics::test;
+using cpu::CpuConfig;
+using cpu::CpuStats;
+
+namespace
+{
+
+CpuStats
+run(const program::Trace &trace, CpuConfig cfg = CpuConfig{},
+    mem::MemConfig memCfg = mem::MemConfig{})
+{
+    bpu::PerfectPredictor bp;
+    return cpu::runTrace(trace, cfg, memCfg, bp);
+}
+
+} // namespace
+
+TEST(Pipeline, CommitsEverything)
+{
+    const auto trace = independentAluTrace(5000);
+    const auto stats = run(trace);
+    EXPECT_EQ(stats.committed, trace.size());
+    EXPECT_GT(stats.cycles, 0u);
+}
+
+TEST(Pipeline, IpcNeverExceedsCommitWidth)
+{
+    const auto stats = run(independentAluTrace(20000));
+    EXPECT_LE(stats.ipc(), 4.0 + 1e-9);
+}
+
+TEST(Pipeline, ArmCodeIsFetchBandwidthLimited)
+{
+    // 8-byte front end: 32-bit code cannot exceed 2 IPC.
+    const auto stats = run(independentAluTrace(20000));
+    EXPECT_LE(stats.ipc(), 2.0 + 1e-9);
+    EXPECT_GT(stats.ipc(), 1.6);
+}
+
+TEST(Pipeline, ThumbCodeDoublesFrontendRate)
+{
+    program::Trace thumb;
+    for (int i = 0; i < 20000; ++i) {
+        thumb.insts.push_back(dyn(i % 256, 0x10000 + 2 * (i % 256),
+                                  OpClass::IntAlu, program::NoDep,
+                                  program::NoDep, 2));
+    }
+    // Give the back end headroom so only the front end limits.
+    CpuConfig cfg;
+    cfg.intAluUnits = 6;
+    const auto armIpc = run(independentAluTrace(20000), cfg).ipc();
+    const auto thumbIpc = run(thumb, cfg).ipc();
+    EXPECT_GT(thumbIpc, armIpc * 1.5);
+}
+
+TEST(Pipeline, SerialChainRunsAtOneIpc)
+{
+    const auto stats = run(serialChainTrace(10000));
+    EXPECT_NEAR(stats.ipc(), 1.0, 0.1);
+}
+
+TEST(Pipeline, DivStallsStructurally)
+{
+    // Unpipelined divides on the single mul/div unit bound throughput
+    // at 1/latency.
+    program::Trace divs;
+    for (int i = 0; i < 2000; ++i)
+        divs.insts.push_back(dyn(i % 64, 0x10000 + 4 * (i % 64),
+                                 OpClass::IntDiv));
+    const auto stats = run(divs);
+    EXPECT_LT(stats.ipc(), 1.0 / (isa::execLatency(OpClass::IntDiv) - 2));
+}
+
+TEST(Pipeline, MulsArePipelined)
+{
+    program::Trace muls;
+    for (int i = 0; i < 4000; ++i)
+        muls.insts.push_back(dyn(i % 64, 0x10000 + 4 * (i % 64),
+                                 OpClass::IntMult));
+    // One mul/div unit, pipelined: ~1 per cycle.
+    EXPECT_NEAR(run(muls).ipc(), 1.0, 0.1);
+}
+
+TEST(Pipeline, LoadsLimitedByMemPorts)
+{
+    program::Trace loads;
+    for (int i = 0; i < 4000; ++i) {
+        auto d = dyn(i % 64, 0x10000 + 4 * (i % 64), OpClass::Load);
+        d.memAddr = 0x40000000 + 64 * (i % 16); // hot, always L1
+        loads.insts.push_back(d);
+    }
+    // 2 ports but the front end supplies only 2/cycle anyway.
+    EXPECT_LE(run(loads).ipc(), 2.0 + 1e-9);
+}
+
+TEST(Pipeline, ColdLoadsStallBackend)
+{
+    program::Trace loads;
+    for (int i = 0; i < 3000; ++i) {
+        auto d = dyn(static_cast<std::uint32_t>(i),
+                     0x10000 + 4 * (i % 64), OpClass::Load);
+        d.memAddr = 0x50000000u + 4096u * static_cast<std::uint32_t>(i);
+        if (i > 0)
+            d.dep0 = i - 1; // dependent chain of misses
+        loads.insts.push_back(d);
+    }
+    const auto stats = run(loads);
+    EXPECT_LT(stats.ipc(), 0.1);
+}
+
+TEST(Pipeline, MispredictsBlockFetch)
+{
+    // Unpredictable conditional branches with a real predictor.
+    program::Trace trace;
+    Rng rng(5);
+    for (int i = 0; i < 8000; ++i) {
+        auto d = dyn(i % 128, 0x10000 + 4 * (i % 128), OpClass::IntAlu);
+        if (i % 8 == 7) {
+            d.op = OpClass::Branch;
+            d.isCond = true;
+            d.taken = rng.chance(0.5);
+            d.branchTarget = 0x10000 + 4 * ((i + 1) % 128);
+        }
+        trace.insts.push_back(d);
+    }
+    CpuConfig cfg;
+    mem::MemConfig memCfg;
+    bpu::TwoLevelPredictor real;
+    const auto realStats = cpu::runTrace(trace, cfg, memCfg, real);
+    bpu::PerfectPredictor perfect;
+    const auto perfectStats = cpu::runTrace(trace, cfg, memCfg, perfect);
+    EXPECT_GT(realStats.mispredicts, 100u);
+    EXPECT_GT(realStats.stallForIRedirect, 1000u);
+    EXPECT_LT(perfectStats.cycles, realStats.cycles);
+    EXPECT_EQ(perfectStats.mispredicts, 0u);
+}
+
+TEST(Pipeline, TakenBranchesBreakFetchGroups)
+{
+    // Tight loop of taken branches: every instruction ends its group.
+    program::Trace trace;
+    for (int i = 0; i < 4000; ++i) {
+        auto d = dyn(0, 0x10000, OpClass::Branch);
+        d.taken = true;
+        d.branchTarget = 0x10000;
+        trace.insts.push_back(d);
+    }
+    const auto stats = run(trace);
+    EXPECT_LT(stats.ipc(), 1.1);
+}
+
+TEST(Pipeline, IcacheMissesAttributedToStallForI)
+{
+    // March through far more code than the i-cache holds.
+    program::Trace trace;
+    for (int i = 0; i < 60000; ++i)
+        trace.insts.push_back(dyn(static_cast<std::uint32_t>(i),
+                                  0x10000 + 4u * static_cast<std::uint32_t>(i),
+                                  OpClass::IntAlu));
+    const auto stats = run(trace);
+    EXPECT_GT(stats.stallForIIcache, stats.cycles / 20);
+    EXPECT_GT(stats.mem.icache.misses, 1000u);
+}
+
+TEST(Pipeline, StallRdWhenBackendClogged)
+{
+    // Serial chain of multiplies: the window fills, the fetch queue
+    // backs up, and F.StallForR+D dominates.
+    program::Trace trace;
+    for (int i = 0; i < 8000; ++i) {
+        auto d = dyn(i % 128, 0x10000 + 4 * (i % 128), OpClass::IntMult);
+        if (i > 0)
+            d.dep0 = i - 1;
+        trace.insts.push_back(d);
+    }
+    const auto stats = run(trace);
+    EXPECT_GT(stats.fracStallForRd(), 0.3);
+    EXPECT_LT(stats.fracStallForI(), 0.05);
+}
+
+TEST(Pipeline, StageBreakdownSumsToResidency)
+{
+    const auto trace = serialChainTrace(4000);
+    const auto stats = run(trace);
+    const auto &b = stats.all;
+    EXPECT_EQ(b.insts, trace.size());
+    EXPECT_GT(b.total(), 0.0);
+    // Execute time of a 1-cycle ALU chain is exactly 1 per instruction.
+    EXPECT_NEAR(b.execute / static_cast<double>(b.insts), 1.0, 1e-9);
+}
+
+TEST(Pipeline, CritMaskSelectsSubset)
+{
+    const auto trace = independentAluTrace(4000);
+    std::vector<std::uint8_t> mask(trace.size(), 0);
+    for (std::size_t i = 0; i < mask.size(); i += 10)
+        mask[i] = 1;
+    CpuConfig cfg;
+    mem::MemConfig memCfg;
+    bpu::PerfectPredictor bp;
+    const auto stats = cpu::runTrace(trace, cfg, memCfg, bp, &mask);
+    EXPECT_EQ(stats.crit.insts, trace.size() / 10);
+    EXPECT_LT(stats.crit.total(), stats.all.total());
+}
+
+TEST(Pipeline, WarmupExcludesColdStart)
+{
+    // Code footprint bigger than L1 but revisited: warm IPC beats cold.
+    program::Trace trace;
+    const std::size_t loop = 20000; // 80KB of code
+    for (int rep = 0; rep < 4; ++rep)
+        for (std::size_t i = 0; i < loop; ++i)
+            trace.insts.push_back(dyn(
+                static_cast<std::uint32_t>(i),
+                static_cast<std::uint32_t>(0x10000 + 4 * i),
+                OpClass::IntAlu));
+    CpuConfig cold;
+    const auto coldStats = run(trace, cold);
+    CpuConfig warm;
+    warm.warmupCommits = loop;
+    const auto warmStats = run(trace, warm);
+    EXPECT_EQ(warmStats.committed, trace.size() - loop);
+    EXPECT_LT(warmStats.cycles, coldStats.cycles);
+    EXPECT_LE(warmStats.mem.icache.misses, coldStats.mem.icache.misses);
+}
+
+TEST(Pipeline, CdpRetiresWithoutRobEntry)
+{
+    program::Trace trace;
+    for (int i = 0; i < 3000; ++i) {
+        if (i % 6 == 0) {
+            auto c = dyn(i % 60, 0x10000 + 2 * (i % 60), OpClass::Cdp,
+                         program::NoDep, program::NoDep, 2);
+            c.cdpRun = 5;
+            trace.insts.push_back(c);
+        } else {
+            trace.insts.push_back(dyn(i % 60, 0x10000 + 2 * (i % 60),
+                                      OpClass::IntAlu, program::NoDep,
+                                      program::NoDep, 2));
+        }
+    }
+    const auto stats = run(trace);
+    EXPECT_EQ(stats.committed, trace.size());
+    EXPECT_GT(stats.decodeCdpBubbles, 0u);
+    // CDPs never reach the breakdown (they retire at decode).
+    EXPECT_EQ(stats.all.insts, trace.size() - trace.size() / 6);
+}
+
+TEST(Pipeline, DoubleFrontendHelpsWideCode)
+{
+    const auto trace = independentAluTrace(20000);
+    CpuConfig base;
+    const auto baseStats = run(trace, base);
+    CpuConfig wide;
+    wide.doubleFrontend();
+    wide.intAluUnits = 6;
+    const auto wideStats = run(trace, wide);
+    EXPECT_LT(wideStats.cycles, baseStats.cycles);
+    EXPECT_GT(wideStats.ipc(), 2.5);
+}
+
+TEST(Pipeline, CriticalLoadPrefetchHidesMissLatency)
+{
+    // Loads that miss badly, marked critical; prefetch-at-fetch should
+    // cut cycles.
+    // Latency-bound (not bandwidth-bound): a miss every 25
+    // instructions whose consumer chain gates progress.
+    program::Trace trace;
+    std::unordered_set<program::InstUid> critSet;
+    for (int i = 0; i < 10000; ++i) {
+        if (i % 25 == 0) {
+            auto d = dyn(7, 0x10000 + 4 * (i % 200), OpClass::Load);
+            d.memAddr =
+                0x50000000u + 4096u * static_cast<std::uint32_t>(i);
+            trace.insts.push_back(d);
+        } else {
+            auto d = dyn(i % 200, 0x10000 + 4 * (i % 200),
+                         OpClass::IntAlu);
+            if (i % 25 >= 1 && i % 25 <= 8)
+                d.dep0 = i - 1; // dependent chain behind the load
+            trace.insts.push_back(d);
+        }
+    }
+    critSet.insert(7);
+    CpuConfig cfg;
+    mem::MemConfig memCfg;
+    bpu::PerfectPredictor bp1, bp2;
+    const auto off = cpu::runTrace(trace, cfg, memCfg, bp1);
+    cfg.criticalLoadPrefetch = true;
+    const auto on =
+        cpu::runTrace(trace, cfg, memCfg, bp2, nullptr, &critSet);
+    // The direct mechanism: loads complete faster (their execute-stage
+    // residency shrinks).  Whole-app cycles are exercised by the
+    // Fig. 1a bench at realistic memory utilization.
+    EXPECT_LT(on.all.execute, off.all.execute);
+    EXPECT_GT(on.mem.dcache.prefetchHits, 20u);
+}
+
+TEST(Pipeline, RejectsBadInput)
+{
+    program::Trace empty;
+    CpuConfig cfg;
+    mem::MemConfig memCfg;
+    bpu::PerfectPredictor bp;
+    EXPECT_THROW(cpu::runTrace(empty, cfg, memCfg, bp),
+                 std::logic_error);
+
+    const auto trace = independentAluTrace(16);
+    std::vector<std::uint8_t> badMask(3, 0);
+    EXPECT_THROW(cpu::runTrace(trace, cfg, memCfg, bp, &badMask),
+                 std::logic_error);
+}
+
+class PipelineWidths : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PipelineWidths, MoreAlusNeverSlower)
+{
+    program::Trace mixed;
+    Rng rng(3);
+    for (int i = 0; i < 8000; ++i) {
+        auto d = dyn(i % 128, 0x10000 + 4 * (i % 128), OpClass::IntAlu);
+        if (i % 3 == 0 && i > 0)
+            d.dep0 = i - 1;
+        mixed.insts.push_back(d);
+    }
+    CpuConfig narrow;
+    narrow.intAluUnits = 1;
+    CpuConfig wide;
+    wide.intAluUnits = GetParam();
+    EXPECT_LE(run(mixed, wide).cycles, run(mixed, narrow).cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(AluCounts, PipelineWidths,
+                         ::testing::Values(2u, 3u, 4u, 6u));

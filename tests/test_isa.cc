@@ -1,0 +1,197 @@
+/**
+ * @file
+ * ISA tests: encode/decode round-trips for both formats, the
+ * convertibility predicates, and the CDP format-switch command.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.hh"
+
+using namespace critics::isa;
+
+namespace
+{
+
+OperandInfo
+make(OpClass op, std::uint8_t dst, std::uint8_t src1, std::uint8_t src2,
+     bool predicated = false, std::uint8_t imm = 0)
+{
+    OperandInfo info;
+    info.op = op;
+    info.dst = dst;
+    info.src1 = src1;
+    info.src2 = src2;
+    info.predicated = predicated;
+    info.imm = imm;
+    return info;
+}
+
+bool
+sameArch(const OperandInfo &a, const OperandInfo &b)
+{
+    return a.op == b.op && a.dst == b.dst && a.src1 == b.src1 &&
+           a.src2 == b.src2 && a.predicated == b.predicated;
+}
+
+} // namespace
+
+TEST(OpClasses, NamesAndKinds)
+{
+    EXPECT_STREQ(opClassName(OpClass::IntAlu), "IntAlu");
+    EXPECT_STREQ(opClassName(OpClass::Cdp), "Cdp");
+    EXPECT_TRUE(isControl(OpClass::Branch));
+    EXPECT_TRUE(isControl(OpClass::Call));
+    EXPECT_TRUE(isControl(OpClass::Return));
+    EXPECT_FALSE(isControl(OpClass::Load));
+    EXPECT_TRUE(isMemory(OpClass::Load));
+    EXPECT_TRUE(isMemory(OpClass::Store));
+    EXPECT_FALSE(isMemory(OpClass::IntAlu));
+}
+
+TEST(OpClasses, LatenciesOrdered)
+{
+    EXPECT_EQ(execLatency(OpClass::IntAlu), 1u);
+    EXPECT_GT(execLatency(OpClass::IntDiv), execLatency(OpClass::IntMult));
+    EXPECT_GT(execLatency(OpClass::FloatDiv),
+              execLatency(OpClass::FloatMul));
+}
+
+TEST(Convertibility, PredicationBlocks)
+{
+    const auto plain = make(OpClass::IntAlu, 1, 2, NoReg);
+    const auto pred = make(OpClass::IntAlu, 1, 2, NoReg, true);
+    EXPECT_TRUE(thumbConvertible(plain));
+    EXPECT_FALSE(thumbConvertible(pred));
+    EXPECT_EQ(thumbRejectReason(pred), "predicated");
+}
+
+TEST(Convertibility, RegisterLimits)
+{
+    EXPECT_TRUE(thumbConvertible(make(OpClass::IntAlu, 10, 7, 7)));
+    EXPECT_FALSE(thumbConvertible(make(OpClass::IntAlu, 11, 0, NoReg)));
+    EXPECT_FALSE(thumbConvertible(make(OpClass::IntAlu, 0, 8, NoReg)));
+    EXPECT_FALSE(thumbConvertible(make(OpClass::IntAlu, 0, 0, 9)));
+}
+
+TEST(Convertibility, DividesHaveNoThumbEncoding)
+{
+    EXPECT_FALSE(hasThumbEncoding(OpClass::IntDiv));
+    EXPECT_FALSE(hasThumbEncoding(OpClass::FloatDiv));
+    EXPECT_FALSE(thumbConvertible(make(OpClass::IntDiv, 0, 1, NoReg)));
+}
+
+TEST(Convertibility, DirectRequiresTwoAddressAndNoImm)
+{
+    // single source: direct
+    EXPECT_TRUE(thumbDirectlyConvertible(make(OpClass::IntAlu, 1, 2,
+                                              NoReg)));
+    // dst == src1 accumulate form: direct
+    EXPECT_TRUE(thumbDirectlyConvertible(make(OpClass::IntAlu, 1, 1, 2)));
+    // three-address: needs expansion
+    EXPECT_FALSE(thumbDirectlyConvertible(make(OpClass::IntAlu, 1, 2, 3)));
+    // immediate payload: not representable
+    EXPECT_FALSE(thumbDirectlyConvertible(
+        make(OpClass::IntAlu, 1, 2, NoReg, false, 5)));
+}
+
+struct RoundTripCase
+{
+    OpClass op;
+    std::uint8_t dst, src1, src2;
+    bool predicated;
+    std::uint8_t imm;
+};
+
+class Arm32RoundTrip : public ::testing::TestWithParam<RoundTripCase>
+{
+};
+
+TEST_P(Arm32RoundTrip, EncodeDecode)
+{
+    const auto &c = GetParam();
+    const auto info = make(c.op, c.dst, c.src1, c.src2, c.predicated,
+                           c.imm);
+    const auto decoded = decodeArm32(encodeArm32(info));
+    EXPECT_TRUE(sameArch(info, decoded))
+        << opClassName(info.op) << " dst=" << int(info.dst);
+    EXPECT_EQ(decoded.imm, info.imm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, Arm32RoundTrip,
+    ::testing::Values(
+        RoundTripCase{OpClass::IntAlu, 0, 1, 2, false, 0},
+        RoundTripCase{OpClass::IntAlu, 15, 14, 13, true, 0xFF},
+        RoundTripCase{OpClass::IntMult, 3, 3, 3, false, 1},
+        RoundTripCase{OpClass::IntDiv, 7, 8, NoReg, false, 0},
+        RoundTripCase{OpClass::FloatAdd, 1, 2, NoReg, true, 9},
+        RoundTripCase{OpClass::FloatMul, 9, 10, 11, false, 0},
+        RoundTripCase{OpClass::FloatDiv, 0, 0, 0, false, 0},
+        RoundTripCase{OpClass::Load, 5, 6, NoReg, false, 4},
+        RoundTripCase{OpClass::Store, NoReg, 2, NoReg, false, 0},
+        RoundTripCase{OpClass::Branch, NoReg, 9, NoReg, true, 0},
+        RoundTripCase{OpClass::Call, NoReg, NoReg, NoReg, false, 0},
+        RoundTripCase{OpClass::Return, NoReg, NoReg, NoReg, false, 0},
+        RoundTripCase{OpClass::Nop, NoReg, NoReg, NoReg, false, 0}));
+
+class Thumb16RoundTrip : public ::testing::TestWithParam<RoundTripCase>
+{
+};
+
+TEST_P(Thumb16RoundTrip, EncodeDecode)
+{
+    const auto &c = GetParam();
+    const auto info = make(c.op, c.dst, c.src1, c.src2, false, 0);
+    ASSERT_TRUE(thumbConvertible(info));
+    const auto decoded = decodeThumb16(encodeThumb16(info));
+    EXPECT_TRUE(sameArch(info, decoded)) << opClassName(info.op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThumbShapes, Thumb16RoundTrip,
+    ::testing::Values(
+        RoundTripCase{OpClass::IntAlu, 0, 1, 2, false, 0},
+        RoundTripCase{OpClass::IntAlu, 10, 7, 7, false, 0},
+        RoundTripCase{OpClass::IntMult, 4, 4, 5, false, 0},
+        RoundTripCase{OpClass::FloatAdd, 2, 3, NoReg, false, 0},
+        RoundTripCase{OpClass::Load, 6, 0, NoReg, false, 0},
+        RoundTripCase{OpClass::Store, NoReg, 1, 2, false, 0},
+        RoundTripCase{OpClass::Branch, NoReg, 3, NoReg, false, 0},
+        RoundTripCase{OpClass::Nop, NoReg, NoReg, NoReg, false, 0}));
+
+TEST(Thumb16, RejectsNonConvertible)
+{
+    EXPECT_THROW(encodeThumb16(make(OpClass::IntAlu, 11, 0, NoReg)),
+                 std::logic_error);
+    EXPECT_THROW(encodeThumb16(make(OpClass::IntDiv, 1, 0, NoReg)),
+                 std::logic_error);
+}
+
+TEST(Cdp, RoundTripAllRunLengths)
+{
+    for (unsigned run = 1; run <= MaxCdpRun; ++run)
+        EXPECT_EQ(decodeCdpRun(encodeCdp(run)), run);
+}
+
+TEST(Cdp, RejectsOutOfRange)
+{
+    EXPECT_THROW(encodeCdp(0), std::logic_error);
+    EXPECT_THROW(encodeCdp(MaxCdpRun + 1), std::logic_error);
+}
+
+TEST(Cdp, DistinctFromThumbOpcodes)
+{
+    // A CDP halfword must never decode as a regular thumb instruction.
+    const auto cdp = encodeCdp(5);
+    EXPECT_THROW(decodeThumb16(cdp), std::logic_error);
+    // ...and regular thumb encodings must never look like a CDP.
+    const auto alu = encodeThumb16(make(OpClass::IntAlu, 1, 2, NoReg));
+    EXPECT_NO_THROW(decodeThumb16(alu));
+}
+
+TEST(Formats, ByteSizes)
+{
+    EXPECT_EQ(formatBytes(Format::Arm32), 4u);
+    EXPECT_EQ(formatBytes(Format::Thumb16), 2u);
+}

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for CritIC mining and selection: signature aggregation,
+ * end-trimming, thresholding, length handling, convertibility and
+ * non-overlap constraints, and the coverage CDF.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/miner.hh"
+#include "helpers.hh"
+#include "program/emit.hh"
+#include "program/walker.hh"
+
+using namespace critics;
+using namespace critics::test;
+using analysis::CriticalityConfig;
+using analysis::MineResult;
+using analysis::SelectOptions;
+
+namespace
+{
+
+/** A single-block loop program containing one designed chain:
+ *  C1 (uid 1) -> link (uid 2) -> C2 (uid 3) with enough consumers for
+ *  both chain nodes to be high fanout. */
+Program
+chainLoopProgram()
+{
+    BasicBlock bb;
+    bb.insts.push_back(inst(0, OpClass::IntAlu, 6)); // filler def
+    bb.insts.push_back(inst(1, OpClass::IntAlu, 1));         // C1
+    bb.insts.push_back(inst(2, OpClass::IntAlu, 2, 1));      // link
+    bb.insts.push_back(inst(3, OpClass::IntAlu, 3, 2));      // C2
+    std::uint32_t uid = 4;
+    for (int c = 0; c < 12; ++c) // consumers of C1 and C2
+        bb.insts.push_back(inst(uid++, OpClass::IntAlu,
+                                static_cast<std::uint8_t>(8 + c % 3),
+                                1, 3));
+    StaticInst loop = inst(uid++, OpClass::Branch, isa::NoReg, 8);
+    loop.flow = program::FlowKind::CondBranch;
+    loop.targetBlock = 0;
+    loop.takenBias = 1.0f;
+    bb.insts.push_back(loop);
+    return makeProgram({bb});
+}
+
+struct Mined
+{
+    Program prog;
+    program::Trace trace;
+    analysis::FanoutInfo fanout;
+    analysis::DynChains chains;
+    MineResult result;
+};
+
+Mined
+mineChainLoop(double profileFraction = 1.0)
+{
+    Mined m;
+    m.prog = chainLoopProgram();
+    Rng rng(3);
+    program::WalkLimits limits;
+    limits.targetInsts = 6000;
+    const auto path = program::walkProgram(m.prog, rng, limits);
+    m.trace = program::emitTrace(m.prog, path);
+    CriticalityConfig cfg;
+    m.fanout = analysis::computeFanout(m.trace, cfg);
+    m.chains = analysis::extractChains(m.trace, m.fanout, cfg);
+    m.result = analysis::mineCritIcs(m.trace, m.prog, m.chains,
+                                     m.fanout, cfg, profileFraction);
+    return m;
+}
+
+} // namespace
+
+TEST(Miner, FindsTheDesignedChain)
+{
+    const auto m = mineChainLoop();
+    ASSERT_FALSE(m.result.chains.empty());
+    // The top chain by coverage must be (a superset of) 1 -> 2 -> 3.
+    const auto &top = m.result.chains.front();
+    ASSERT_GE(top.uids.size(), 3u);
+    EXPECT_EQ(top.uids[0], 1u);
+    EXPECT_EQ(top.uids[1], 2u);
+    EXPECT_EQ(top.uids[2], 3u);
+    EXPECT_GE(top.avgFanout, 8.0);
+    EXPECT_GT(top.dynCount, 100u);
+    EXPECT_TRUE(top.directlyConvertible);
+    EXPECT_EQ(top.memberFanout.size(), top.uids.size());
+}
+
+TEST(Miner, ChainsSortedByCoverage)
+{
+    const auto m = mineChainLoop();
+    for (std::size_t i = 1; i < m.result.chains.size(); ++i) {
+        EXPECT_GE(m.result.chains[i - 1].coverage(),
+                  m.result.chains[i].coverage());
+    }
+}
+
+TEST(Miner, ProfileFractionLimitsCounts)
+{
+    const auto full = mineChainLoop(1.0);
+    const auto half = mineChainLoop(0.5);
+    ASSERT_FALSE(full.result.chains.empty());
+    ASSERT_FALSE(half.result.chains.empty());
+    EXPECT_LT(half.result.chains.front().dynCount,
+              full.result.chains.front().dynCount);
+}
+
+TEST(Selection, PicksAndCoversNonOverlapping)
+{
+    const auto m = mineChainLoop();
+    const auto sel = analysis::selectCritIcs(m.result, {});
+    ASSERT_FALSE(sel.chains.empty());
+    EXPECT_GT(sel.expectedCoverage, 0.0);
+    std::unordered_set<program::InstUid> seen;
+    for (const auto &chain : sel.chains) {
+        for (const auto uid : chain) {
+            EXPECT_TRUE(seen.insert(uid).second)
+                << "uid " << uid << " selected twice";
+        }
+    }
+}
+
+TEST(Selection, MaxLenTruncatesToBestWindow)
+{
+    const auto m = mineChainLoop();
+    SelectOptions opt;
+    opt.maxLen = 2;
+    const auto sel = analysis::selectCritIcs(m.result, opt);
+    for (const auto &chain : sel.chains)
+        EXPECT_LE(chain.size(), 2u);
+}
+
+TEST(Selection, ExactLenFiltersStrictly)
+{
+    const auto m = mineChainLoop();
+    SelectOptions opt;
+    opt.exactLen = 3;
+    const auto sel = analysis::selectCritIcs(m.result, opt);
+    for (const auto &chain : sel.chains)
+        EXPECT_EQ(chain.size(), 3u);
+}
+
+TEST(Selection, ConvertibilityFilter)
+{
+    auto m = mineChainLoop();
+    // Poison every mined chain's convertibility.
+    for (auto &chain : m.result.chains)
+        chain.directlyConvertible = false;
+    SelectOptions strict;
+    strict.requireConvertible = true;
+    EXPECT_TRUE(analysis::selectCritIcs(m.result, strict).chains.empty());
+    SelectOptions ideal;
+    ideal.ideal = true;
+    EXPECT_FALSE(analysis::selectCritIcs(m.result, ideal).chains.empty());
+}
+
+TEST(Selection, MaxChainsCap)
+{
+    const auto m = mineChainLoop();
+    SelectOptions opt;
+    opt.maxChains = 1;
+    EXPECT_LE(analysis::selectCritIcs(m.result, opt).chains.size(), 1u);
+}
+
+TEST(CoverageCdf, MonotoneNormalized)
+{
+    const auto m = mineChainLoop();
+    const auto cdf = analysis::coverageCdf(m.result);
+    ASSERT_FALSE(cdf.all.empty());
+    for (std::size_t i = 1; i < cdf.all.size(); ++i) {
+        EXPECT_GE(cdf.all[i].x, cdf.all[i - 1].x);
+        EXPECT_GE(cdf.all[i].fraction, cdf.all[i - 1].fraction);
+    }
+    EXPECT_LE(cdf.all.back().fraction, 1.0 + 1e-9);
+    EXPECT_GE(cdf.convertibleChainFraction, 0.0);
+    EXPECT_LE(cdf.convertibleChainFraction, 1.0);
+}

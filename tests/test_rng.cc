@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and distribution helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hh"
+
+using namespace critics;
+
+TEST(SplitMix, Deterministic)
+{
+    std::uint64_t a = 42, b = 42;
+    EXPECT_EQ(splitMix64(a), splitMix64(b));
+    EXPECT_EQ(a, b);
+}
+
+TEST(SplitMix, AdvancesState)
+{
+    std::uint64_t state = 7;
+    const auto first = splitMix64(state);
+    const auto second = splitMix64(state);
+    EXPECT_NE(first, second);
+}
+
+TEST(HashCombine, OrderSensitive)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+    EXPECT_EQ(hashCombine(1, 2), hashCombine(1, 2));
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(123), b(123), c(124);
+    bool diverged = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (va != c.next())
+            diverged = true;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+class RngSeeded : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngSeeded, BelowStaysInBounds)
+{
+    Rng rng(GetParam());
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST_P(RngSeeded, RangeInclusive)
+{
+    Rng rng(GetParam());
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= (v == -3);
+        sawHi |= (v == 3);
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST_P(RngSeeded, UniformInUnitInterval)
+{
+    Rng rng(GetParam());
+    double sum = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 5000.0, 0.5, 0.03);
+}
+
+TEST_P(RngSeeded, ChanceMatchesProbability)
+{
+    Rng rng(GetParam());
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST_P(RngSeeded, GeometricMean)
+{
+    Rng rng(GetParam());
+    double sum = 0;
+    const double p = 0.25;
+    for (int i = 0; i < 20000; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    // mean of geometric (failures before success) = (1-p)/p = 3
+    EXPECT_NEAR(sum / 20000.0, 3.0, 0.25);
+}
+
+TEST_P(RngSeeded, WeightedRespectsWeights)
+{
+    Rng rng(GetParam());
+    std::vector<double> weights{1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 8000; ++i)
+        ++counts[rng.weighted(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST_P(RngSeeded, ZipfSkewsLow)
+{
+    Rng rng(GetParam());
+    int low = 0, high = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const auto r = rng.zipf(16, 1.0);
+        EXPECT_LT(r, 16u);
+        if (r < 4)
+            ++low;
+        else if (r >= 12)
+            ++high;
+    }
+    EXPECT_GT(low, high * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeeded,
+                         ::testing::Values(1, 7, 42, 0xDEADBEEF,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+TEST(Rng, WeightedEmptyReturnsZero)
+{
+    Rng rng(1);
+    std::vector<double> empty;
+    EXPECT_EQ(rng.weighted(empty), 0u);
+    std::vector<double> zeros{0.0, 0.0};
+    EXPECT_EQ(rng.weighted(zeros), 0u);
+}
+
+TEST(DiscreteDist, MatchesWeights)
+{
+    Rng rng(99);
+    DiscreteDist dist({2.0, 0.0, 2.0, 4.0});
+    int counts[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 16000; ++i)
+        ++counts[dist.sample(rng)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[3]) / counts[0], 2.0, 0.35);
+}
+
+TEST(DiscreteDist, EmptySafe)
+{
+    Rng rng(1);
+    DiscreteDist dist;
+    EXPECT_TRUE(dist.empty());
+    EXPECT_EQ(dist.sample(rng), 0u);
+}

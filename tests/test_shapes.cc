@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Calibration-regression tests: the paper's *qualitative* claims, as
+ * executable assertions over small-but-real experiment runs.  These
+ * guard the workload/pipeline calibration — if a future change breaks
+ * one of the orderings the reproduction stands on, it fails here
+ * rather than silently skewing EXPERIMENTS.md.
+ *
+ * Kept small (three apps, 120k-instruction samples) so the whole
+ * suite stays fast; the full-size numbers live in the benches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+using namespace critics;
+using sim::AppExperiment;
+using sim::Transform;
+using sim::Variant;
+
+namespace
+{
+
+sim::ExperimentOptions
+shapeOptions()
+{
+    sim::ExperimentOptions opt;
+    opt.traceInsts = 120000;
+    return opt;
+}
+
+double
+speedupOf(AppExperiment &exp, const Variant &variant)
+{
+    return exp.speedup(exp.run(variant));
+}
+
+} // namespace
+
+TEST(Shapes, MobileIsFrontEndBoundSpecIsBackEndBound)
+{
+    // Sec. II-D: the bottleneck shifts from the rear (SPEC) to the
+    // front (mobile) of the pipeline.
+    AppExperiment mobile(workload::findApp("Acrobat"), shapeOptions());
+    AppExperiment spec(workload::findApp("mcf"), shapeOptions());
+
+    const auto &m = mobile.baseline().cpu;
+    const auto &s = spec.baseline().cpu;
+    EXPECT_GT(m.fracStallForI(), s.fracStallForI());
+    EXPECT_GT(s.fracStallForRd(), m.fracStallForRd());
+    // Mobile i-cache pressure is the dominant supply stall.
+    EXPECT_GT(m.stallForIIcache, m.stallForIRedirect / 2);
+    EXPECT_LT(static_cast<double>(s.stallForIIcache) /
+                  static_cast<double>(s.cycles),
+              0.03);
+}
+
+TEST(Shapes, MobileHasMoreCriticalsButChainedOnes)
+{
+    // Fig. 1: mobile apps have MORE critical instructions, arranged in
+    // chains (gaps 1..5), while SPEC criticals are isolated.
+    AppExperiment mobile(workload::findApp("Office"), shapeOptions());
+    AppExperiment spec(workload::findApp("lbm"), shapeOptions());
+
+    EXPECT_GT(mobile.fanout().critFraction(),
+              spec.fanout().critFraction());
+    EXPECT_LT(mobile.chainStats().noDependentCritFrac,
+              spec.chainStats().noDependentCritFrac);
+    // Android chain gaps concentrate at 1..2.
+    const auto &gaps = mobile.chainStats().critGap;
+    EXPECT_GT(gaps.fraction(1) + gaps.fraction(2),
+              gaps.fraction(0));
+}
+
+TEST(Shapes, SpecChainsAreLongMobileChainsAreShort)
+{
+    // Fig. 5a: SPEC ICs run orders of magnitude longer (loop-carried
+    // recurrences accumulate with sample length, so this shape needs a
+    // slightly longer sample than the other tests).
+    sim::ExperimentOptions opt = shapeOptions();
+    opt.traceInsts = 300000;
+    AppExperiment mobile(workload::findApp("Facebook"), opt);
+    AppExperiment spec(workload::findApp("namd"), opt);
+    EXPECT_GT(spec.chainStats().icLength.maxBucket(),
+              4 * mobile.chainStats().icLength.maxBucket());
+}
+
+TEST(Shapes, CritIcBeatsHoistAlone)
+{
+    // Fig. 10a: conversion + hoisting >> hoisting alone, averaged over
+    // a few apps (per-app noise is real at this sample size).
+    double critic = 0, hoist = 0;
+    for (const char *app : {"Acrobat", "Office", "Music"}) {
+        AppExperiment exp(workload::findApp(app), shapeOptions());
+        Variant c;
+        c.transform = Transform::CritIc;
+        critic += speedupOf(exp, c);
+        Variant h;
+        h.transform = Transform::Hoist;
+        hoist += speedupOf(exp, h);
+    }
+    EXPECT_GT(critic, hoist);
+    EXPECT_GT(critic / 3.0, 1.0); // net positive on average
+}
+
+TEST(Shapes, BranchPairSwitchLosesMostOfTheGain)
+{
+    // Fig. 8: approach 1 keeps only a small fraction of the ideal.
+    double branchPair = 0, ideal = 0;
+    for (const char *app : {"Acrobat", "Office"}) {
+        AppExperiment exp(workload::findApp(app), shapeOptions());
+        Variant bp;
+        bp.transform = Transform::CritIc;
+        bp.switchMode = compiler::SwitchMode::BranchPair;
+        branchPair += speedupOf(exp, bp);
+        Variant zero;
+        zero.transform = Transform::CritIc;
+        zero.switchMode = compiler::SwitchMode::None;
+        ideal += speedupOf(exp, zero);
+    }
+    EXPECT_LT(branchPair, ideal - 0.01);
+}
+
+TEST(Shapes, ProfileCoverageMonotone)
+{
+    // Fig. 12b: more profiling -> more selected coverage.
+    AppExperiment exp(workload::findApp("Acrobat"), shapeOptions());
+    double prev = -1.0;
+    for (const double frac : {0.2, 0.5, 1.0}) {
+        Variant v;
+        v.transform = Transform::CritIc;
+        v.profileFraction = frac;
+        const auto result = exp.run(v);
+        EXPECT_GE(result.selectionCoverage, prev);
+        prev = result.selectionCoverage;
+    }
+}
+
+TEST(Shapes, HardwareMechanismsComposeWithCritIc)
+{
+    // Fig. 11a: CritIC adds on top of a hardware mechanism.
+    AppExperiment exp(workload::findApp("Office"), shapeOptions());
+    Variant hw;
+    hw.icache4x = true;
+    Variant both = hw;
+    both.transform = Transform::CritIc;
+    EXPECT_GT(speedupOf(exp, both), speedupOf(exp, hw));
+}
+
+TEST(Shapes, PrefetchHelpsSpecMoreThanMobile)
+{
+    // Fig. 1a: the classic criticality prefetch pays on SPEC, not on
+    // mobile.
+    AppExperiment spec(workload::findApp("mcf"), shapeOptions());
+    AppExperiment mobile(workload::findApp("Browser"), shapeOptions());
+    Variant pf;
+    pf.criticalLoadPrefetch = true;
+    EXPECT_GT(speedupOf(spec, pf), speedupOf(mobile, pf));
+}

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for histograms, summaries, CDFs, logging and the table
+ * renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/histogram.hh"
+#include "support/logging.hh"
+#include "support/parallel.hh"
+#include "support/table.hh"
+
+#include <atomic>
+
+using namespace critics;
+
+TEST(Summary, BasicMoments)
+{
+    Summary s;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.total(), 10.0);
+}
+
+TEST(Summary, MergeEqualsCombined)
+{
+    Summary a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = i * 0.37 - 3.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_NEAR(a.min(), all.min(), 1e-12);
+    EXPECT_NEAR(a.max(), all.max(), 1e-12);
+}
+
+TEST(Summary, MergeWithEmpty)
+{
+    Summary a, empty;
+    a.add(5.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(Histogram, FractionsAndPercentiles)
+{
+    Histogram h;
+    h.add(1, 1.0);
+    h.add(2, 2.0);
+    h.add(10, 1.0);
+    EXPECT_DOUBLE_EQ(h.total(), 4.0);
+    EXPECT_DOUBLE_EQ(h.fraction(2), 0.5);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(2), 0.75);
+    EXPECT_DOUBLE_EQ(h.mean(), (1 + 4 + 10) / 4.0);
+    EXPECT_EQ(h.minBucket(), 1);
+    EXPECT_EQ(h.maxBucket(), 10);
+    EXPECT_EQ(h.percentile(0.5), 2);
+    EXPECT_EQ(h.percentile(0.99), 10);
+}
+
+TEST(Histogram, MergeAdds)
+{
+    Histogram a, b;
+    a.add(1);
+    b.add(1);
+    b.add(5, 3.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.at(1), 2.0);
+    EXPECT_DOUBLE_EQ(a.at(5), 3.0);
+    EXPECT_DOUBLE_EQ(a.total(), 5.0);
+}
+
+TEST(Histogram, EmptyIsSafe)
+{
+    Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_DOUBLE_EQ(h.fraction(3), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, FormatClampsOverflow)
+{
+    Histogram h;
+    h.add(1);
+    h.add(100);
+    const std::string text = h.format(64);
+    EXPECT_NE(text.find("64+:"), std::string::npos);
+}
+
+TEST(Cdf, MonotoneAndNormalized)
+{
+    std::vector<std::pair<double, double>> values;
+    for (int i = 100; i > 0; --i)
+        values.push_back({static_cast<double>(i), 1.0});
+    const auto cdf = buildCdf(values, 16);
+    ASSERT_FALSE(cdf.empty());
+    EXPECT_LE(cdf.size(), 16u);
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GE(cdf[i].x, cdf[i - 1].x);
+        EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+    }
+    EXPECT_NEAR(cdf.back().fraction, 1.0, 1e-12);
+}
+
+TEST(Cdf, CollapsesDuplicates)
+{
+    const auto cdf = buildCdf({{1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0}});
+    ASSERT_EQ(cdf.size(), 2u);
+    EXPECT_DOUBLE_EQ(cdf[0].fraction, 0.5);
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(critics_panic("boom ", 42), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(critics_fatal("bad config"), std::runtime_error);
+}
+
+TEST(Logging, AssertPassesAndFails)
+{
+    EXPECT_NO_THROW(critics_assert(1 + 1 == 2, "fine"));
+    EXPECT_THROW(critics_assert(false, "nope"), std::logic_error);
+}
+
+TEST(Table, RendersAllCells)
+{
+    Table t({"app", "speedup"});
+    t.addRow({"Acrobat", "15%"});
+    t.addRow({"Music", "9%"});
+    const std::string text = t.render();
+    for (const char *needle : {"app", "speedup", "Acrobat", "15%",
+                               "Music", "9%"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsWrongWidth)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::logic_error);
+}
+
+TEST(Formatting, Helpers)
+{
+    EXPECT_EQ(fmt(12.3456, 2), "12.35");
+    EXPECT_EQ(pct(0.1265, 2), "12.65%");
+    EXPECT_EQ(gainPct(1.1265, 2), "12.65%");
+    EXPECT_EQ(gainPct(0.95, 1), "-5.0%");
+}
+
+TEST(Parallel, VisitsEveryIndexOnce)
+{
+    std::vector<std::atomic<int>> counts(257);
+    parallelFor(counts.size(), [&](std::size_t i) { ++counts[i]; });
+    for (const auto &c : counts)
+        EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Parallel, PropagatesException)
+{
+    EXPECT_THROW(
+        parallelFor(64, [](std::size_t i) {
+            if (i == 13)
+                throw std::runtime_error("boom");
+        }),
+        std::runtime_error);
+}
+
+TEST(Parallel, ZeroIterations)
+{
+    EXPECT_NO_THROW(parallelFor(0, [](std::size_t) { FAIL(); }));
+}
