@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_conventional_criticality.dir/fig01_conventional_criticality.cc.o"
+  "CMakeFiles/fig01_conventional_criticality.dir/fig01_conventional_criticality.cc.o.d"
+  "fig01_conventional_criticality"
+  "fig01_conventional_criticality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_conventional_criticality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

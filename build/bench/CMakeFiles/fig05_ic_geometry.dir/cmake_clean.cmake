@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ic_geometry.dir/fig05_ic_geometry.cc.o"
+  "CMakeFiles/fig05_ic_geometry.dir/fig05_ic_geometry.cc.o.d"
+  "fig05_ic_geometry"
+  "fig05_ic_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ic_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_branch_switch.dir/fig08_branch_switch.cc.o"
+  "CMakeFiles/fig08_branch_switch.dir/fig08_branch_switch.cc.o.d"
+  "fig08_branch_switch"
+  "fig08_branch_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_branch_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

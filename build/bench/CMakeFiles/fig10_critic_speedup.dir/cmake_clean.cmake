@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_critic_speedup.dir/fig10_critic_speedup.cc.o"
+  "CMakeFiles/fig10_critic_speedup.dir/fig10_critic_speedup.cc.o.d"
+  "fig10_critic_speedup"
+  "fig10_critic_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_critic_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

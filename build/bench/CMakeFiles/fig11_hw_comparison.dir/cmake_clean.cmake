@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_hw_comparison.dir/fig11_hw_comparison.cc.o"
+  "CMakeFiles/fig11_hw_comparison.dir/fig11_hw_comparison.cc.o.d"
+  "fig11_hw_comparison"
+  "fig11_hw_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hw_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_opportunistic.dir/fig13_opportunistic.cc.o"
+  "CMakeFiles/fig13_opportunistic.dir/fig13_opportunistic.cc.o.d"
+  "fig13_opportunistic"
+  "fig13_opportunistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_opportunistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

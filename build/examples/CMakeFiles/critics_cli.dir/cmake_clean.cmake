@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critics_cli.dir/critics_cli.cpp.o"
+  "CMakeFiles/critics_cli.dir/critics_cli.cpp.o.d"
+  "critics_cli"
+  "critics_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critics_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfg_walkthrough.dir/dfg_walkthrough.cpp.o"
+  "CMakeFiles/dfg_walkthrough.dir/dfg_walkthrough.cpp.o.d"
+  "dfg_walkthrough"
+  "dfg_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfg_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

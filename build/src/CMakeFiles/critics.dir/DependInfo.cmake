@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/criticality.cc" "src/CMakeFiles/critics.dir/analysis/criticality.cc.o" "gcc" "src/CMakeFiles/critics.dir/analysis/criticality.cc.o.d"
+  "/root/repo/src/analysis/miner.cc" "src/CMakeFiles/critics.dir/analysis/miner.cc.o" "gcc" "src/CMakeFiles/critics.dir/analysis/miner.cc.o.d"
+  "/root/repo/src/bpu/bpu.cc" "src/CMakeFiles/critics.dir/bpu/bpu.cc.o" "gcc" "src/CMakeFiles/critics.dir/bpu/bpu.cc.o.d"
+  "/root/repo/src/compiler/passes.cc" "src/CMakeFiles/critics.dir/compiler/passes.cc.o" "gcc" "src/CMakeFiles/critics.dir/compiler/passes.cc.o.d"
+  "/root/repo/src/cpu/cpu.cc" "src/CMakeFiles/critics.dir/cpu/cpu.cc.o" "gcc" "src/CMakeFiles/critics.dir/cpu/cpu.cc.o.d"
+  "/root/repo/src/energy/energy.cc" "src/CMakeFiles/critics.dir/energy/energy.cc.o" "gcc" "src/CMakeFiles/critics.dir/energy/energy.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/critics.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/critics.dir/isa/isa.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/critics.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/critics.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/critics.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/critics.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/critics.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/critics.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mem/prefetch.cc" "src/CMakeFiles/critics.dir/mem/prefetch.cc.o" "gcc" "src/CMakeFiles/critics.dir/mem/prefetch.cc.o.d"
+  "/root/repo/src/program/dfg.cc" "src/CMakeFiles/critics.dir/program/dfg.cc.o" "gcc" "src/CMakeFiles/critics.dir/program/dfg.cc.o.d"
+  "/root/repo/src/program/emit.cc" "src/CMakeFiles/critics.dir/program/emit.cc.o" "gcc" "src/CMakeFiles/critics.dir/program/emit.cc.o.d"
+  "/root/repo/src/program/printer.cc" "src/CMakeFiles/critics.dir/program/printer.cc.o" "gcc" "src/CMakeFiles/critics.dir/program/printer.cc.o.d"
+  "/root/repo/src/program/program.cc" "src/CMakeFiles/critics.dir/program/program.cc.o" "gcc" "src/CMakeFiles/critics.dir/program/program.cc.o.d"
+  "/root/repo/src/program/walker.cc" "src/CMakeFiles/critics.dir/program/walker.cc.o" "gcc" "src/CMakeFiles/critics.dir/program/walker.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/critics.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/critics.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/critics.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/critics.dir/sim/report.cc.o.d"
+  "/root/repo/src/support/histogram.cc" "src/CMakeFiles/critics.dir/support/histogram.cc.o" "gcc" "src/CMakeFiles/critics.dir/support/histogram.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/CMakeFiles/critics.dir/support/logging.cc.o" "gcc" "src/CMakeFiles/critics.dir/support/logging.cc.o.d"
+  "/root/repo/src/support/parallel.cc" "src/CMakeFiles/critics.dir/support/parallel.cc.o" "gcc" "src/CMakeFiles/critics.dir/support/parallel.cc.o.d"
+  "/root/repo/src/support/rng.cc" "src/CMakeFiles/critics.dir/support/rng.cc.o" "gcc" "src/CMakeFiles/critics.dir/support/rng.cc.o.d"
+  "/root/repo/src/support/table.cc" "src/CMakeFiles/critics.dir/support/table.cc.o" "gcc" "src/CMakeFiles/critics.dir/support/table.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/critics.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/critics.dir/workload/profile.cc.o.d"
+  "/root/repo/src/workload/synth.cc" "src/CMakeFiles/critics.dir/workload/synth.cc.o" "gcc" "src/CMakeFiles/critics.dir/workload/synth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

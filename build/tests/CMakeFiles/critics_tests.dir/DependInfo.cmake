@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/critics_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/critics_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_bpu.cc" "tests/CMakeFiles/critics_tests.dir/test_bpu.cc.o" "gcc" "tests/CMakeFiles/critics_tests.dir/test_bpu.cc.o.d"
+  "/root/repo/tests/test_cpu.cc" "tests/CMakeFiles/critics_tests.dir/test_cpu.cc.o" "gcc" "tests/CMakeFiles/critics_tests.dir/test_cpu.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/critics_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/critics_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/critics_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/critics_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/critics_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/critics_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_miner.cc" "tests/CMakeFiles/critics_tests.dir/test_miner.cc.o" "gcc" "tests/CMakeFiles/critics_tests.dir/test_miner.cc.o.d"
+  "/root/repo/tests/test_passes.cc" "tests/CMakeFiles/critics_tests.dir/test_passes.cc.o" "gcc" "tests/CMakeFiles/critics_tests.dir/test_passes.cc.o.d"
+  "/root/repo/tests/test_printer_report.cc" "tests/CMakeFiles/critics_tests.dir/test_printer_report.cc.o" "gcc" "tests/CMakeFiles/critics_tests.dir/test_printer_report.cc.o.d"
+  "/root/repo/tests/test_program.cc" "tests/CMakeFiles/critics_tests.dir/test_program.cc.o" "gcc" "tests/CMakeFiles/critics_tests.dir/test_program.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/critics_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/critics_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/critics_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/critics_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_shapes.cc" "tests/CMakeFiles/critics_tests.dir/test_shapes.cc.o" "gcc" "tests/CMakeFiles/critics_tests.dir/test_shapes.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/critics_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/critics_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/critics_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/critics_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/critics_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/critics_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/critics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
