@@ -42,23 +42,29 @@ main()
     header("Ablations", "CritIC design-choice sweeps");
 
     // ---- 1. Chain criticality threshold --------------------------------
+    // Each threshold changes ExperimentOptions, so each is its own
+    // batch (a distinct spec hash — and a distinct shared experiment).
     {
         Table table({"avg-fanout threshold", "speedup", "coverage",
                      "unique CritICs"});
         for (const double threshold : {4.0, 6.0, 8.0, 12.0, 16.0}) {
             sim::ExperimentOptions opt = benchOptions();
             opt.crit.chainCritThreshold = threshold;
-            auto exps = makeExperiments(apps(), opt);
-            std::vector<double> speed(exps.size()), cover(exps.size());
+            const auto sweep = runSweep(
+                "ablation-threshold" +
+                    std::to_string(static_cast<int>(threshold)),
+                apps(),
+                {variant("baseline"),
+                 variant("critic", sim::Transform::CritIc)},
+                opt);
+            std::vector<double> speed(sweep.apps.size()),
+                cover(sweep.apps.size());
+            for (std::size_t i = 0; i < sweep.apps.size(); ++i) {
+                speed[i] = sweep.speedup(i, 1);
+                cover[i] = sweep.at(i, 1).selectionCoverage;
+            }
             std::size_t unique = 0;
-            parallelFor(exps.size(), [&](std::size_t i) {
-                sim::Variant v;
-                v.transform = sim::Transform::CritIc;
-                const auto r = exps[i]->run(v);
-                speed[i] = exps[i]->speedup(r);
-                cover[i] = r.selectionCoverage;
-            });
-            for (auto &exp : exps)
+            for (auto &exp : experiments(sweep.apps, opt))
                 unique += exp->mined().chains.size();
             table.addRow({fmt(threshold, 0), gainPct(geoMean(speed)),
                           pct(mean(cover)), fmt(double(unique), 0)});
@@ -73,14 +79,18 @@ main()
         for (const unsigned window : {32u, 64u, 128u, 256u}) {
             sim::ExperimentOptions opt = benchOptions();
             opt.crit.window = window;
-            auto exps = makeExperiments(apps(), opt);
-            std::vector<double> speed(exps.size()), crit(exps.size());
-            parallelFor(exps.size(), [&](std::size_t i) {
-                sim::Variant v;
-                v.transform = sim::Transform::CritIc;
-                speed[i] = exps[i]->speedup(exps[i]->run(v));
+            const auto sweep = runSweep(
+                "ablation-window" + std::to_string(window), apps(),
+                {variant("baseline"),
+                 variant("critic", sim::Transform::CritIc)},
+                opt);
+            std::vector<double> speed(sweep.apps.size()),
+                crit(sweep.apps.size());
+            auto exps = experiments(sweep.apps, opt);
+            for (std::size_t i = 0; i < sweep.apps.size(); ++i) {
+                speed[i] = sweep.speedup(i, 1);
                 crit[i] = exps[i]->fanout().critFraction();
-            });
+            }
             table.addRow({fmt(window, 0), pct(mean(crit)),
                           gainPct(geoMean(speed))});
         }
@@ -91,19 +101,24 @@ main()
 
     // ---- 3. Chain-length cap ---------------------------------------------
     {
-        auto exps = makeExperiments(apps());
+        const std::vector<unsigned> caps{2, 3, 5, 7, 9};
+        std::vector<sim::Variant> variants{variant("baseline")};
+        for (const unsigned cap : caps) {
+            sim::Variant v = variant("critic-cap" + std::to_string(cap),
+                                     sim::Transform::CritIc);
+            v.maxChainLen = cap;
+            variants.push_back(v);
+        }
+        const auto sweep = runSweep("ablation-cap", apps(), variants);
         Table table({"max chain length", "speedup", "coverage"});
-        for (const unsigned cap : {2u, 3u, 5u, 7u, 9u}) {
-            std::vector<double> speed(exps.size()), cover(exps.size());
-            parallelFor(exps.size(), [&](std::size_t i) {
-                sim::Variant v;
-                v.transform = sim::Transform::CritIc;
-                v.maxChainLen = cap;
-                const auto r = exps[i]->run(v);
-                speed[i] = exps[i]->speedup(r);
-                cover[i] = r.selectionCoverage;
-            });
-            table.addRow({fmt(cap, 0), gainPct(geoMean(speed)),
+        for (std::size_t c = 0; c < caps.size(); ++c) {
+            std::vector<double> speed(sweep.apps.size()),
+                cover(sweep.apps.size());
+            for (std::size_t i = 0; i < sweep.apps.size(); ++i) {
+                speed[i] = sweep.speedup(i, 1 + c);
+                cover[i] = sweep.at(i, 1 + c).selectionCoverage;
+            }
+            table.addRow({fmt(caps[c], 0), gainPct(geoMean(speed)),
                           pct(mean(cover))});
         }
         std::printf("Ablation 3 — cumulative chain-length cap "
@@ -112,27 +127,26 @@ main()
 
     // ---- 4. Criticality targeting vs equal-volume random selection -------
     {
-        auto exps = makeExperiments(apps());
+        sim::Variant top = variant("critic", sim::Transform::CritIc);
+        // "Random": invert the coverage ranking by profiling only a
+        // sliver of the execution — the selection quality collapses
+        // while the mechanism stays identical.
+        sim::Variant sliver =
+            variant("critic-sliver", sim::Transform::CritIc);
+        sliver.profileFraction = 0.05;
+        const auto sweep = runSweep("ablation-selection", apps(),
+                                    {variant("baseline"), top, sliver});
+
         Table table({"selection policy", "speedup", "dyn 16-bit"});
-        std::vector<double> speedTop(exps.size()), convTop(exps.size());
-        std::vector<double> speedRnd(exps.size()), convRnd(exps.size());
-        parallelFor(exps.size(), [&](std::size_t i) {
-            auto &exp = *exps[i];
-            sim::Variant top;
-            top.transform = sim::Transform::CritIc;
-            const auto rTop = exp.run(top);
-            speedTop[i] = exp.speedup(rTop);
-            convTop[i] = rTop.dynThumbFraction;
-            // "Random": invert the coverage ranking by profiling only a
-            // sliver of the execution — the selection quality collapses
-            // while the mechanism stays identical.
-            sim::Variant sliver;
-            sliver.transform = sim::Transform::CritIc;
-            sliver.profileFraction = 0.05;
-            const auto rRnd = exp.run(sliver);
-            speedRnd[i] = exp.speedup(rRnd);
-            convRnd[i] = rRnd.dynThumbFraction;
-        });
+        std::vector<double> speedTop(sweep.apps.size()),
+            convTop(sweep.apps.size()), speedRnd(sweep.apps.size()),
+            convRnd(sweep.apps.size());
+        for (std::size_t i = 0; i < sweep.apps.size(); ++i) {
+            speedTop[i] = sweep.speedup(i, 1);
+            convTop[i] = sweep.at(i, 1).dynThumbFraction;
+            speedRnd[i] = sweep.speedup(i, 2);
+            convRnd[i] = sweep.at(i, 2).dynThumbFraction;
+        }
         table.addRow({"top-coverage CritICs (72% profile)",
                       gainPct(geoMean(speedTop)), pct(mean(convTop))});
         table.addRow({"5% profile sliver", gainPct(geoMean(speedRnd)),

@@ -17,6 +17,7 @@
  */
 
 #include "bench_common.hh"
+#include "support/histogram.hh"
 
 using namespace critics;
 using namespace critics::bench;
@@ -44,35 +45,42 @@ main()
         {"Android", workload::mobileApps()},
     };
 
+    sim::Variant pf = variant("prefetch");
+    pf.criticalLoadPrefetch = true;
+    sim::Variant prio = variant("aluprio");
+    prio.aluPrio = true;
+
     Table fig1a({"suite", "critical-load prefetch", "ALU prioritization",
                  "% critical insts (right axis)"});
     Table fig1b({"suite", "no dependent crit", "gap 0", "gap 1", "gap 2",
                  "gap 3", "gap 4", "gap 5", "cum 1..5"});
 
     for (auto &suite : suites) {
-        auto exps = makeExperiments(suite.apps);
+        const auto sweep =
+            runSweep(std::string("fig01-") + suite.name, suite.apps,
+                     {variant("baseline"), pf, prio});
 
-        std::vector<double> prefetch(exps.size()), prio(exps.size()),
-            critFrac(exps.size());
-        Histogram gaps;
-        std::vector<double> noDep(exps.size());
+        std::vector<double> prefetch(suite.apps.size()),
+            prioSpeed(suite.apps.size());
+        for (std::size_t i = 0; i < suite.apps.size(); ++i) {
+            prefetch[i] = sweep.speedup(i, 1);
+            prioSpeed[i] = sweep.speedup(i, 2);
+        }
 
+        // Offline chain statistics come from the shared experiments
+        // (not cacheable RunResults).
+        auto exps = experiments(suite.apps);
+        std::vector<double> critFrac(exps.size()), noDep(exps.size());
         parallelFor(exps.size(), [&](std::size_t i) {
-            auto &exp = *exps[i];
-            sim::Variant pf;
-            pf.criticalLoadPrefetch = true;
-            prefetch[i] = exp.speedup(exp.run(pf));
-            sim::Variant pr;
-            pr.aluPrio = true;
-            prio[i] = exp.speedup(exp.run(pr));
-            critFrac[i] = exp.fanout().critFraction();
-            noDep[i] = exp.chainStats().noDependentCritFrac;
+            critFrac[i] = exps[i]->fanout().critFraction();
+            noDep[i] = exps[i]->chainStats().noDependentCritFrac;
         });
+        Histogram gaps;
         for (auto &exp : exps)
             gaps.merge(exp->chainStats().critGap);
 
         fig1a.addRow({suite.name, gainPct(geoMean(prefetch)),
-                      gainPct(geoMean(prio)), pct(mean(critFrac))});
+                      gainPct(geoMean(prioSpeed)), pct(mean(critFrac))});
 
         double cum15 = 0.0;
         std::vector<std::string> row{suite.name, pct(mean(noDep))};

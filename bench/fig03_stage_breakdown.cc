@@ -43,13 +43,19 @@ main()
                  "high-latency total"});
 
     for (auto &suite : suites) {
-        auto exps = makeExperiments(suite.apps);
+        // The baseline runs are the sweep (cached after the first
+        // invocation); the instruction-mix scan needs the raw traces,
+        // which live on the shared experiments.
+        const auto sweep =
+            runSweep(std::string("fig03-") + suite.name, suite.apps,
+                     {variant("baseline")});
+        auto exps = experiments(suite.apps);
 
         cpu::StageBreakdown crit;
         double icacheStall = 0, redirectStall = 0, rdStall = 0, ipc = 0;
         double longLatOps = 0, missLoads = 0;
-        for (auto &expPtr : exps) {
-            const auto &stats = expPtr->baseline().cpu;
+        for (std::size_t i = 0; i < suite.apps.size(); ++i) {
+            const auto &stats = sweep.at(i, 0).cpu;
             const auto &b = stats.crit;
             crit.fetch += b.fetch;
             crit.decode += b.decode;
@@ -67,7 +73,7 @@ main()
 
             // Fig. 3c mix from the trace itself.
             std::uint64_t lat = 0, total = 0;
-            for (const auto &d : expPtr->baseTrace().insts) {
+            for (const auto &d : exps[i]->baseTrace().insts) {
                 ++total;
                 switch (d.op) {
                   case isa::OpClass::IntDiv:
@@ -87,7 +93,7 @@ main()
                               stats.mem.dcache.accesses) /
                           static_cast<double>(stats.committed));
         }
-        const auto n = static_cast<double>(exps.size());
+        const auto n = static_cast<double>(suite.apps.size());
         const double total = crit.total();
         fig3a.addRow({suite.name, pct(crit.fetch / total),
                       pct(crit.decode / total),

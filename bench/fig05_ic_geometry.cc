@@ -12,6 +12,7 @@
  */
 
 #include "bench_common.hh"
+#include "support/histogram.hh"
 
 using namespace critics;
 using namespace critics::bench;
@@ -40,8 +41,11 @@ main()
     double convertibleFrac = 0.0;
     std::size_t uniqueChains = 0;
 
+    // This figure is pure offline analysis (no design-point runs), so
+    // it drives the shared experiments directly; the profiling work is
+    // parallelized over the runner's pool.
     for (auto &suite : suites) {
-        auto exps = makeExperiments(suite.apps);
+        auto exps = experiments(suite.apps);
         parallelFor(exps.size(), [&](std::size_t i) {
             (void)exps[i]->chainStats();
             (void)exps[i]->mined();

@@ -19,33 +19,31 @@ main()
     setQuiet(true);
     header("Fig. 8", "approach 1 (branch switch) vs lost potential");
 
-    const auto apps = workload::mobileApps();
-    auto exps = makeExperiments(apps);
+    sim::Variant branchPair =
+        variant("critic-branchpair", sim::Transform::CritIc);
+    branchPair.switchMode = compiler::SwitchMode::BranchPair;
+    sim::Variant zero =
+        variant("critic-zeroswitch", sim::Transform::CritIc);
+    zero.switchMode = compiler::SwitchMode::None;
+    sim::Variant viaCdp = variant("critic", sim::Transform::CritIc);
 
-    std::vector<double> actual(exps.size()), ideal(exps.size()),
-        cdp(exps.size());
-    parallelFor(exps.size(), [&](std::size_t i) {
-        auto &exp = *exps[i];
-        sim::Variant branchPair;
-        branchPair.transform = sim::Transform::CritIc;
-        branchPair.switchMode = compiler::SwitchMode::BranchPair;
-        actual[i] = exp.speedup(exp.run(branchPair));
+    const auto sweep =
+        runSweep("fig08", workload::mobileApps(),
+                 {variant("baseline"), branchPair, zero, viaCdp});
 
-        sim::Variant zero;
-        zero.transform = sim::Transform::CritIc;
-        zero.switchMode = compiler::SwitchMode::None;
-        ideal[i] = exp.speedup(exp.run(zero));
-
-        sim::Variant viaCdp;
-        viaCdp.transform = sim::Transform::CritIc;
-        cdp[i] = exp.speedup(exp.run(viaCdp));
-    });
+    std::vector<double> actual(sweep.apps.size()),
+        ideal(sweep.apps.size()), cdp(sweep.apps.size());
+    for (std::size_t i = 0; i < sweep.apps.size(); ++i) {
+        actual[i] = sweep.speedup(i, 1);
+        ideal[i] = sweep.speedup(i, 2);
+        cdp[i] = sweep.speedup(i, 3);
+    }
 
     Table table({"app", "branch-pair switch (stock hw)",
                  "CDP switch (Sec. IV-B)", "zero-overhead (ideal)",
                  "lost potential"});
-    for (std::size_t i = 0; i < exps.size(); ++i) {
-        table.addRow({apps[i].name, gainPct(actual[i]),
+    for (std::size_t i = 0; i < sweep.apps.size(); ++i) {
+        table.addRow({sweep.apps[i].name, gainPct(actual[i]),
                       gainPct(cdp[i]), gainPct(ideal[i]),
                       gainPct(ideal[i] / actual[i])});
     }

@@ -23,61 +23,13 @@ main()
     setQuiet(true);
     header("Fig. 10", "Hoist / CritIC / CritIC.Ideal speedup & energy");
 
-    const auto apps = workload::mobileApps();
-    auto exps = makeExperiments(apps);
-
-    struct Row
-    {
-        double hoist, critic, ideal;
-        double dStallI, dStallRd; // stall-fraction savings
-        double eIcache, eCpu, eMem, eSoc, eCpuOnly;
-        double coverage, dynThumb;
-    };
-    std::vector<Row> rows(exps.size());
-
-    parallelFor(exps.size(), [&](std::size_t i) {
-        auto &exp = *exps[i];
-        Row &row = rows[i];
-        const auto &base = exp.baseline();
-
-        sim::Variant hoist;
-        hoist.transform = sim::Transform::Hoist;
-        row.hoist = exp.speedup(exp.run(hoist));
-
-        sim::Variant critic;
-        critic.transform = sim::Transform::CritIc;
-        const auto rc = exp.run(critic);
-        row.critic = exp.speedup(rc);
-        row.coverage = rc.selectionCoverage;
-        row.dynThumb = rc.dynThumbFraction;
-
-        sim::Variant ideal;
-        ideal.transform = sim::Transform::CritIcIdeal;
-        row.ideal = exp.speedup(exp.run(ideal));
-
-        // Cycles bought back, as a fraction of *baseline* cycles, so
-        // savings are additive with the speedup.
-        const auto baseCyc = static_cast<double>(base.cpu.cycles);
-        row.dStallI = (static_cast<double>(base.cpu.stallForIIcache +
-                                           base.cpu.stallForIRedirect) -
-                       static_cast<double>(rc.cpu.stallForIIcache +
-                                           rc.cpu.stallForIRedirect)) /
-                      baseCyc;
-        row.dStallRd = (static_cast<double>(base.cpu.stallForRd) -
-                        static_cast<double>(rc.cpu.stallForRd)) /
-                       baseCyc;
-
-        const auto &eb = base.energy;
-        const auto &ec = rc.energy;
-        const double socBase = eb.total();
-        row.eIcache = (eb.icache - ec.icache) / socBase;
-        row.eCpu = (eb.cpuCore + eb.dcache + eb.l2 - ec.cpuCore -
-                    ec.dcache - ec.l2) /
-                   socBase;
-        row.eMem = (eb.memory() - ec.memory()) / socBase;
-        row.eSoc = (socBase - ec.total()) / socBase;
-        row.eCpuOnly = (eb.cpu() - ec.cpu()) / eb.cpu();
-    });
+    sim::Variant hoist = variant("hoist", sim::Transform::Hoist);
+    sim::Variant critic = variant("critic", sim::Transform::CritIc);
+    sim::Variant ideal =
+        variant("critic-ideal", sim::Transform::CritIcIdeal);
+    const auto sweep =
+        runSweep("fig10", workload::mobileApps(),
+                 {variant("baseline"), hoist, critic, ideal});
 
     Table fig10a({"app", "Hoist", "CritIC", "CritIC.Ideal",
                   "coverage", "dyn 16-bit"});
@@ -88,28 +40,59 @@ main()
     std::vector<double> hoists, critics_, ideals;
     double dI = 0, dRd = 0, eIc = 0, eCpu = 0, eMem = 0, eSoc = 0,
            eCpuOnly = 0;
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const Row &row = rows[i];
-        fig10a.addRow({apps[i].name, gainPct(row.hoist),
-                       gainPct(row.critic), gainPct(row.ideal),
-                       pct(row.coverage), pct(row.dynThumb)});
-        fig10b.addRow({apps[i].name, pct(row.dStallI),
-                       pct(row.dStallRd)});
-        fig10c.addRow({apps[i].name, pct(row.eIcache), pct(row.eCpu),
-                       pct(row.eMem), pct(row.eSoc),
-                       pct(row.eCpuOnly)});
-        hoists.push_back(row.hoist);
-        critics_.push_back(row.critic);
-        ideals.push_back(row.ideal);
-        dI += row.dStallI;
-        dRd += row.dStallRd;
-        eIc += row.eIcache;
-        eCpu += row.eCpu;
-        eMem += row.eMem;
-        eSoc += row.eSoc;
-        eCpuOnly += row.eCpuOnly;
+    for (std::size_t i = 0; i < sweep.apps.size(); ++i) {
+        const auto &base = sweep.at(i, 0);
+        const auto &rc = sweep.at(i, 2);
+        const double sHoist = sweep.speedup(i, 1);
+        const double sCritic = sweep.speedup(i, 2);
+        const double sIdeal = sweep.speedup(i, 3);
+
+        fig10a.addRow({sweep.apps[i].name, gainPct(sHoist),
+                       gainPct(sCritic), gainPct(sIdeal),
+                       pct(rc.selectionCoverage),
+                       pct(rc.dynThumbFraction)});
+
+        // Cycles bought back, as a fraction of *baseline* cycles, so
+        // savings are additive with the speedup.
+        const auto baseCyc = static_cast<double>(base.cpu.cycles);
+        const double dStallI =
+            (static_cast<double>(base.cpu.stallForIIcache +
+                                 base.cpu.stallForIRedirect) -
+             static_cast<double>(rc.cpu.stallForIIcache +
+                                 rc.cpu.stallForIRedirect)) /
+            baseCyc;
+        const double dStallRd =
+            (static_cast<double>(base.cpu.stallForRd) -
+             static_cast<double>(rc.cpu.stallForRd)) /
+            baseCyc;
+        fig10b.addRow({sweep.apps[i].name, pct(dStallI),
+                       pct(dStallRd)});
+
+        const auto &eb = base.energy;
+        const auto &ec = rc.energy;
+        const double socBase = eb.total();
+        const double eIcache = (eb.icache - ec.icache) / socBase;
+        const double eCpuRow = (eb.cpuCore + eb.dcache + eb.l2 -
+                                ec.cpuCore - ec.dcache - ec.l2) /
+                               socBase;
+        const double eMemRow = (eb.memory() - ec.memory()) / socBase;
+        const double eSocRow = (socBase - ec.total()) / socBase;
+        const double eCpuOnlyRow = (eb.cpu() - ec.cpu()) / eb.cpu();
+        fig10c.addRow({sweep.apps[i].name, pct(eIcache), pct(eCpuRow),
+                       pct(eMemRow), pct(eSocRow), pct(eCpuOnlyRow)});
+
+        hoists.push_back(sHoist);
+        critics_.push_back(sCritic);
+        ideals.push_back(sIdeal);
+        dI += dStallI;
+        dRd += dStallRd;
+        eIc += eIcache;
+        eCpu += eCpuRow;
+        eMem += eMemRow;
+        eSoc += eSocRow;
+        eCpuOnly += eCpuOnlyRow;
     }
-    const auto n = static_cast<double>(rows.size());
+    const auto n = static_cast<double>(sweep.apps.size());
     fig10a.addRow({"average", gainPct(geoMean(hoists)),
                    gainPct(geoMean(critics_)), gainPct(geoMean(ideals)),
                    "", ""});
@@ -126,5 +109,7 @@ main()
                 "(fraction of baseline SoC energy; CPU-only relative "
                 "to CPU energy)\n%s\n",
                 fig10c.render().c_str());
+    std::printf("Per-app wall time (from the run manifest)\n%s\n",
+                timingTable(sweep.batch).render().c_str());
     return 0;
 }

@@ -28,6 +28,7 @@ struct Mechanism
 sim::Variant
 withCritIc(sim::Variant v)
 {
+    v.label += "+critic";
     v.transform = sim::Transform::CritIc;
     return v;
 }
@@ -42,24 +43,24 @@ main()
 
     std::vector<Mechanism> mechs;
     {
-        sim::Variant v;
+        sim::Variant v = variant("none");
         mechs.push_back({"none (CritIC only)", v});
-        v = {};
+        v = variant("2xfd");
         v.doubleFrontend = true;
         mechs.push_back({"2xFD", v});
-        v = {};
+        v = variant("icache4x");
         v.icache4x = true;
         mechs.push_back({"4x i-cache", v});
-        v = {};
+        v = variant("efetch");
         v.efetch = true;
         mechs.push_back({"EFetch", v});
-        v = {};
+        v = variant("perfectbr");
         v.perfectBranch = true;
         mechs.push_back({"PerfectBr", v});
-        v = {};
+        v = variant("backendprio");
         v.backendPrio = true;
         mechs.push_back({"BackendPrio", v});
-        v = {};
+        v = variant("allhw");
         v.doubleFrontend = true;
         v.icache4x = true;
         v.efetch = true;
@@ -68,21 +69,31 @@ main()
         mechs.push_back({"AllHW", v});
     }
 
-    const auto apps = workload::mobileApps();
-    auto exps = makeExperiments(apps);
+    // One grid: baseline + {hw, hw+critic} per mechanism.  "none" hw
+    // is the baseline itself, so the runner dedups that job.
+    std::vector<sim::Variant> variants{variant("baseline")};
+    for (const auto &mech : mechs) {
+        variants.push_back(mech.hw);
+        variants.push_back(withCritIc(mech.hw));
+    }
+    const auto sweep =
+        runSweep("fig11", workload::mobileApps(), variants);
 
     Table fig11a({"mechanism", "hw only", "hw + CritIC"});
     Table fig11b({"mechanism", "dF.StallForI", "dF.StallForR+D"});
 
-    for (const auto &mech : mechs) {
-        std::vector<double> hwOnly(exps.size()), combined(exps.size());
-        std::vector<double> dI(exps.size()), dRd(exps.size());
-        parallelFor(exps.size(), [&](std::size_t i) {
-            auto &exp = *exps[i];
-            const auto &base = exp.baseline().cpu;
-            const auto hw = exp.run(mech.hw);
-            hwOnly[i] = exp.speedup(hw);
-            combined[i] = exp.speedup(exp.run(withCritIc(mech.hw)));
+    for (std::size_t m = 0; m < mechs.size(); ++m) {
+        const std::size_t hwVar = 1 + 2 * m;
+        const std::size_t comboVar = hwVar + 1;
+        std::vector<double> hwOnly(sweep.apps.size()),
+            combined(sweep.apps.size());
+        std::vector<double> dI(sweep.apps.size()),
+            dRd(sweep.apps.size());
+        for (std::size_t i = 0; i < sweep.apps.size(); ++i) {
+            const auto &base = sweep.at(i, 0).cpu;
+            const auto &hw = sweep.at(i, hwVar);
+            hwOnly[i] = sweep.speedup(i, hwVar);
+            combined[i] = sweep.speedup(i, comboVar);
             const auto baseCyc = static_cast<double>(base.cycles);
             dI[i] = (static_cast<double>(base.stallForIIcache +
                                          base.stallForIRedirect) -
@@ -92,15 +103,16 @@ main()
             dRd[i] = (static_cast<double>(base.stallForRd) -
                       static_cast<double>(hw.cpu.stallForRd)) /
                      baseCyc;
-        });
+        }
         const bool isNone =
-            std::string(mech.name) == "none (CritIC only)";
-        fig11a.addRow({mech.name,
+            std::string(mechs[m].name) == "none (CritIC only)";
+        fig11a.addRow({mechs[m].name,
                        isNone ? std::string("baseline")
                               : gainPct(geoMean(hwOnly)),
                        gainPct(geoMean(combined))});
         if (!isNone)
-            fig11b.addRow({mech.name, pct(mean(dI)), pct(mean(dRd))});
+            fig11b.addRow({mechs[m].name, pct(mean(dI)),
+                           pct(mean(dRd))});
     }
 
     std::printf("Fig. 11a — speedup over baseline "

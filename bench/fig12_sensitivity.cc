@@ -20,29 +20,46 @@ main()
     setQuiet(true);
     header("Fig. 12", "sensitivity to CritIC length and profiling");
 
-    const auto apps = workload::mobileApps();
-    auto exps = makeExperiments(apps);
+    // Both sweeps in one grid: variant 0 is the baseline, 1..7 the
+    // exact-length points (n = 2..8), then the profile fractions.
+    const std::vector<unsigned> lengths{2, 3, 4, 5, 6, 7, 8};
+    const std::vector<double> fractions{0.15, 0.33, 0.5, 0.72, 1.0};
+
+    std::vector<sim::Variant> variants{variant("baseline")};
+    for (const unsigned n : lengths) {
+        sim::Variant v = variant("critic-len" + std::to_string(n),
+                                 sim::Transform::CritIc);
+        v.exactChainLen = n;
+        variants.push_back(v);
+    }
+    for (const double frac : fractions) {
+        sim::Variant v =
+            variant("critic-prof" + std::to_string(
+                        static_cast<int>(frac * 100)),
+                    sim::Transform::CritIc);
+        v.profileFraction = frac;
+        variants.push_back(v);
+    }
+    const auto sweep =
+        runSweep("fig12", workload::mobileApps(), variants);
 
     // ---- (a) exact-length sweep ---------------------------------------
     Table fig12a({"exact length n", "speedup", "fetch-stall savings",
                   "coverage"});
-    for (unsigned n = 2; n <= 8; ++n) {
-        std::vector<double> speed(exps.size()), dStall(exps.size()),
-            cover(exps.size());
-        parallelFor(exps.size(), [&](std::size_t i) {
-            auto &exp = *exps[i];
-            const auto &base = exp.baseline().cpu;
-            sim::Variant v;
-            v.transform = sim::Transform::CritIc;
-            v.exactChainLen = n;
-            const auto result = exp.run(v);
-            speed[i] = exp.speedup(result);
+    for (std::size_t l = 0; l < lengths.size(); ++l) {
+        const std::size_t var = 1 + l;
+        std::vector<double> speed(sweep.apps.size()),
+            dStall(sweep.apps.size()), cover(sweep.apps.size());
+        for (std::size_t i = 0; i < sweep.apps.size(); ++i) {
+            const auto &base = sweep.at(i, 0).cpu;
+            const auto &result = sweep.at(i, var);
+            speed[i] = sweep.speedup(i, var);
             dStall[i] = (base.fracStallForI() + base.fracStallForRd()) -
                         (result.cpu.fracStallForI() +
                          result.cpu.fracStallForRd());
             cover[i] = result.selectionCoverage;
-        });
-        fig12a.addRow({fmt(n, 0), gainPct(geoMean(speed)),
+        }
+        fig12a.addRow({fmt(lengths[l], 0), gainPct(geoMean(speed)),
                        pct(mean(dStall)), pct(mean(cover))});
     }
     std::printf("Fig. 12a — impact of exact CritIC length\n%s\n",
@@ -50,18 +67,15 @@ main()
 
     // ---- (b) profile-coverage sweep -------------------------------------
     Table fig12b({"profiled fraction", "speedup", "coverage"});
-    for (const double frac : {0.15, 0.33, 0.5, 0.72, 1.0}) {
-        std::vector<double> speed(exps.size()), cover(exps.size());
-        parallelFor(exps.size(), [&](std::size_t i) {
-            auto &exp = *exps[i];
-            sim::Variant v;
-            v.transform = sim::Transform::CritIc;
-            v.profileFraction = frac;
-            const auto result = exp.run(v);
-            speed[i] = exp.speedup(result);
-            cover[i] = result.selectionCoverage;
-        });
-        fig12b.addRow({pct(frac, 0), gainPct(geoMean(speed)),
+    for (std::size_t f = 0; f < fractions.size(); ++f) {
+        const std::size_t var = 1 + lengths.size() + f;
+        std::vector<double> speed(sweep.apps.size()),
+            cover(sweep.apps.size());
+        for (std::size_t i = 0; i < sweep.apps.size(); ++i) {
+            speed[i] = sweep.speedup(i, var);
+            cover[i] = sweep.at(i, var).selectionCoverage;
+        }
+        fig12b.addRow({pct(fractions[f], 0), gainPct(geoMean(speed)),
                        pct(mean(cover))});
     }
     std::printf("Fig. 12b — impact of profiling coverage "

@@ -12,6 +12,8 @@
  *     critical path and hoists them.
  */
 
+#include <algorithm>
+
 #include "bench_common.hh"
 
 using namespace critics;
@@ -23,44 +25,44 @@ main()
     setQuiet(true);
     header("Fig. 13", "criticality-blind 16-bit conversion vs CritIC");
 
-    const auto apps = workload::mobileApps();
-    auto exps = makeExperiments(apps);
-
     struct Scheme
     {
         const char *name;
-        sim::Transform transform;
+        sim::Variant v;
     };
     const std::vector<Scheme> schemes{
-        {"OPP16", sim::Transform::Opp16},
-        {"Compress [78]", sim::Transform::Compress},
-        {"CritIC", sim::Transform::CritIc},
-        {"OPP16+CritIC", sim::Transform::Opp16PlusCritIc},
+        {"OPP16", variant("opp16", sim::Transform::Opp16)},
+        {"Compress [78]", variant("compress", sim::Transform::Compress)},
+        {"CritIC", variant("critic", sim::Transform::CritIc)},
+        {"OPP16+CritIC",
+         variant("opp16+critic", sim::Transform::Opp16PlusCritIc)},
     };
+
+    std::vector<sim::Variant> variants{variant("baseline")};
+    for (const auto &scheme : schemes)
+        variants.push_back(scheme.v);
+    const auto sweep =
+        runSweep("fig13", workload::mobileApps(), variants);
 
     Table fig13a({"scheme", "speedup (geomean)", "min", "max"});
     Table fig13b({"scheme", "dyn insts in 16-bit", "insts expanded"});
 
-    for (const auto &scheme : schemes) {
-        std::vector<double> speed(exps.size()), conv(exps.size());
-        std::vector<double> expanded(exps.size());
-        parallelFor(exps.size(), [&](std::size_t i) {
-            auto &exp = *exps[i];
-            sim::Variant v;
-            v.transform = scheme.transform;
-            const auto result = exp.run(v);
-            speed[i] = exp.speedup(result);
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        const std::size_t var = 1 + s;
+        std::vector<double> speed(sweep.apps.size()),
+            conv(sweep.apps.size()), expanded(sweep.apps.size());
+        for (std::size_t i = 0; i < sweep.apps.size(); ++i) {
+            const auto &result = sweep.at(i, var);
+            speed[i] = sweep.speedup(i, var);
             conv[i] = result.dynThumbFraction;
-            expanded[i] = static_cast<double>(result.pass.instsExpanded);
-        });
-        double lo = speed[0], hi = speed[0];
-        for (const double s : speed) {
-            lo = std::min(lo, s);
-            hi = std::max(hi, s);
+            expanded[i] =
+                static_cast<double>(result.pass.instsExpanded);
         }
-        fig13a.addRow({scheme.name, gainPct(geoMean(speed)),
-                       gainPct(lo), gainPct(hi)});
-        fig13b.addRow({scheme.name, pct(mean(conv)),
+        const auto [lo, hi] =
+            std::minmax_element(speed.begin(), speed.end());
+        fig13a.addRow({schemes[s].name, gainPct(geoMean(speed)),
+                       gainPct(*lo), gainPct(*hi)});
+        fig13b.addRow({schemes[s].name, pct(mean(conv)),
                        fmt(mean(expanded), 0)});
     }
 

@@ -1,12 +1,21 @@
 /**
  * @file
- * Command-line driver: run any registered app under any design point
- * and emit either a human-readable summary or the JSON report (for
- * plotting scripts / CI regression checks).
+ * Command-line driver for the experiment orchestrator.
  *
- * Usage:
- *   critics_cli --app Acrobat --variant critic
- *   critics_cli --app mcf --variant prefetch --json
+ * Subcommands:
+ *   critics_cli run --apps Acrobat,Office --variants baseline,critic
+ *       Run an (apps × variants) sweep through the runner: cached
+ *       design points are served from the persistent JSONL store, the
+ *       rest simulate on the thread pool; prints a speedup table and
+ *       the manifest summary.
+ *   critics_cli report [manifest.json ...]
+ *       Summarize run manifests (default: every manifest in the cache
+ *       directory); exits non-zero if any batch recorded a failed job.
+ *   critics_cli cache [stats|path|clear]
+ *       Inspect or clear the persistent result cache.
+ *
+ * The original single-run interface still works:
+ *   critics_cli --app Acrobat --variant critic [--json]
  *   critics_cli --list
  *
  * Variants: baseline, hoist, critic, critic-ideal, critic-branchpair,
@@ -16,8 +25,11 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <vector>
 
+#include "runner/orchestrator.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "support/logging.hh"
@@ -73,29 +85,249 @@ parseVariant(const std::string &name)
     return v;
 }
 
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string current;
+    for (const char c : text) {
+        if (c == ',') {
+            if (!current.empty())
+                out.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty())
+        out.push_back(current);
+    return out;
+}
+
+/** --apps value: a suite name or a comma list of app names. */
+std::vector<workload::AppProfile>
+parseApps(const std::string &value)
+{
+    if (value == "mobile" || value == "android")
+        return workload::mobileApps();
+    if (value == "specint")
+        return workload::specIntApps();
+    if (value == "specfloat")
+        return workload::specFloatApps();
+    if (value == "all")
+        return workload::allApps();
+    std::vector<workload::AppProfile> apps;
+    for (const auto &name : splitList(value))
+        apps.push_back(workload::findApp(name));
+    if (apps.empty())
+        critics_fatal("--apps needs at least one app");
+    return apps;
+}
+
 int
 usage()
 {
     std::printf(
-        "critics_cli — run one app under one design point\n\n"
-        "  --app <name>        Table II app or SPEC benchmark\n"
-        "  --variant <name>    baseline|hoist|critic|critic-ideal|\n"
-        "                      critic-branchpair|opp16|compress|\n"
-        "                      opp16+critic|prefetch|aluprio|\n"
-        "                      backendprio|efetch|perfectbr|icache4x|\n"
-        "                      2xfd|allhw\n"
-        "  --insts <n>         dynamic instructions to sample\n"
-        "  --json              emit the JSON comparison report\n"
-        "  --list              list registered apps and exit\n");
+        "critics_cli — experiment orchestrator driver\n\n"
+        "critics_cli run [options]     run an apps × variants sweep\n"
+        "  --apps <list>       comma list of app names, or one of\n"
+        "                      mobile|specint|specfloat|all\n"
+        "  --variants <list>   comma list of variant names\n"
+        "  --insts <n>         dynamic instructions per sample\n"
+        "  --batch <name>      manifest name (default 'cli')\n"
+        "  --no-cache          bypass the persistent result cache\n"
+        "  --refresh           ignore cached records, re-simulate\n"
+        "  --json              emit per-job comparison JSON\n"
+        "critics_cli report [file ...] summarize run manifests\n"
+        "                      (default: all manifests in the cache\n"
+        "                      dir); exit 1 on any failed job\n"
+        "critics_cli cache [stats|path|clear]\n\n"
+        "critics_cli --app <name> --variant <name> [--insts n]\n"
+        "                      [--json]   single run (legacy)\n"
+        "critics_cli --list    list registered apps\n\n"
+        "  variants: baseline|hoist|critic|critic-ideal|\n"
+        "            critic-branchpair|opp16|compress|opp16+critic|\n"
+        "            prefetch|aluprio|backendprio|efetch|perfectbr|\n"
+        "            icache4x|2xfd|allhw\n");
     return 2;
 }
 
-} // namespace
+int
+cmdRun(int argc, char **argv)
+{
+    std::string appsArg = "mobile";
+    std::string variantsArg = "baseline,critic";
+    std::string batchName = "cli";
+    std::uint64_t insts = 400000;
+    bool json = false;
+    runner::RunnerOptions options;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                critics_fatal(arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--apps") {
+            appsArg = next();
+        } else if (arg == "--variants") {
+            variantsArg = next();
+        } else if (arg == "--insts") {
+            insts = std::stoull(next());
+        } else if (arg == "--batch") {
+            batchName = next();
+        } else if (arg == "--no-cache") {
+            options.useCache = false;
+        } else if (arg == "--refresh") {
+            options.refresh = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else {
+            return usage();
+        }
+    }
+
+    const auto apps = parseApps(appsArg);
+    std::vector<sim::Variant> variants;
+    for (const auto &name : splitList(variantsArg))
+        variants.push_back(parseVariant(name));
+    if (variants.empty())
+        critics_fatal("--variants needs at least one variant");
+
+    sim::ExperimentOptions expOptions;
+    expOptions.traceInsts = insts;
+
+    runner::Runner runner(options);
+    const auto batch = runner.run(
+        batchName, runner::makeGrid(apps, variants, expOptions));
+
+    if (json) {
+        for (std::size_t i = 0; i < batch.jobs.size(); ++i) {
+            if (batch.outcomes[i].ok) {
+                std::printf("%s\n",
+                            sim::toJson(batch.outcomes[i].result,
+                                        batch.jobs[i].profile.name +
+                                            "/" +
+                                            batch.jobs[i].variant.label)
+                                .c_str());
+            }
+        }
+    } else {
+        std::vector<std::string> header{"app"};
+        for (const auto &variant : variants)
+            header.push_back(variant.label);
+        Table table(std::move(header));
+        for (std::size_t a = 0; a < apps.size(); ++a) {
+            std::vector<std::string> row{apps[a].name};
+            for (std::size_t v = 0; v < variants.size(); ++v) {
+                const std::size_t i = a * variants.size() + v;
+                if (!batch.outcomes[i].ok) {
+                    row.push_back("FAILED");
+                } else if (v == 0) {
+                    row.push_back(
+                        fmt(double(batch.outcomes[i].result.cpu.cycles),
+                            0) +
+                        " cyc");
+                } else {
+                    row.push_back(gainPct(
+                        batch.speedup(a * variants.size(), i)));
+                }
+            }
+            table.addRow(std::move(row));
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+    std::printf("%s\n", batch.manifest.summaryLine().c_str());
+    if (!batch.manifestPath.empty())
+        std::printf("manifest: %s\n", batch.manifestPath.c_str());
+    return batch.allOk() ? 0 : 1;
+}
 
 int
-main(int argc, char **argv)
+cmdReport(int argc, char **argv)
 {
-    setQuiet(true);
+    std::vector<std::string> paths;
+    for (int i = 0; i < argc; ++i)
+        paths.emplace_back(argv[i]);
+    if (paths.empty()) {
+        const std::string dir = runner::cacheDir() + "/manifests";
+        std::error_code ec;
+        for (const auto &entry :
+             std::filesystem::directory_iterator(dir, ec)) {
+            if (entry.path().extension() == ".json")
+                paths.push_back(entry.path().string());
+        }
+        std::sort(paths.begin(), paths.end());
+        if (paths.empty()) {
+            std::printf("no manifests under %s\n", dir.c_str());
+            return 0;
+        }
+    }
+
+    std::size_t failures = 0;
+    bool interrupted = false;
+    for (const auto &path : paths) {
+        runner::RunManifest manifest;
+        if (!runner::RunManifest::read(path, manifest)) {
+            std::printf("%s: unreadable manifest\n", path.c_str());
+            ++failures;
+            continue;
+        }
+        std::printf("%s\n", manifest.summaryLine().c_str());
+        interrupted = interrupted || manifest.interrupted;
+        for (const auto &job : manifest.jobs) {
+            if (!job.ok) {
+                ++failures;
+                std::printf("  FAILED %s/%s (%u attempts): %s\n",
+                            job.app.c_str(), job.variant.c_str(),
+                            job.attempts, job.error.c_str());
+            }
+        }
+    }
+    if (failures > 0 || interrupted) {
+        std::printf("%zu failed job(s)%s\n", failures,
+                    interrupted ? ", batch interrupted" : "");
+        return 1;
+    }
+    return 0;
+}
+
+int
+cmdCache(int argc, char **argv)
+{
+    const std::string action = argc > 0 ? argv[0] : "stats";
+    runner::ResultStore store;
+    if (action == "stats") {
+        std::uintmax_t bytes = 0;
+        std::error_code ec;
+        bytes = std::filesystem::file_size(store.path(), ec);
+        if (ec)
+            bytes = 0;
+        std::printf("cache: %s\n  records: %zu (schema v%d)\n"
+                    "  size: %.1f KiB\n",
+                    store.path().c_str(), store.size(),
+                    runner::kResultSchemaVersion,
+                    static_cast<double>(bytes) / 1024.0);
+        return 0;
+    }
+    if (action == "path") {
+        std::printf("%s\n", store.path().c_str());
+        return 0;
+    }
+    if (action == "clear") {
+        const std::size_t had = store.size();
+        store.clear();
+        std::printf("cleared %zu record(s) from %s\n", had,
+                    store.path().c_str());
+        return 0;
+    }
+    return usage();
+}
+
+int
+legacySingleRun(int argc, char **argv)
+{
     std::string app = "Acrobat";
     std::string variantName = "critic";
     std::uint64_t insts = 400000;
@@ -160,4 +392,43 @@ main(int argc, char **argv)
                 variantName.c_str(), table.render().c_str(),
                 gainPct(exp.speedup(result)).c_str());
     return 0;
+}
+
+} // namespace
+
+int
+run(int argc, char **argv)
+{
+    setQuiet(true);
+    if (argc > 1) {
+        const std::string command = argv[1];
+        if (command == "run")
+            return cmdRun(argc - 2, argv + 2);
+        if (command == "report")
+            return cmdReport(argc - 2, argv + 2);
+        if (command == "cache")
+            return cmdCache(argc - 2, argv + 2);
+        if (command == "--help" || command == "-h" ||
+            command == "help") {
+            usage();
+            return 0;
+        }
+    }
+    return legacySingleRun(argc, argv);
+}
+
+int
+main(int argc, char **argv)
+{
+    // Bad input (unknown app, malformed number) surfaces as an
+    // exception from the layer that rejected it; exit cleanly
+    // instead of std::terminate.
+    try {
+        return run(argc, argv);
+    } catch (const std::invalid_argument &) {
+        std::fprintf(stderr, "error: malformed numeric argument\n");
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+    }
+    return 2;
 }

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A JobSpec names one experiment design point: an app profile, the
+ * simulation options and a variant.  Its canonical spec string covers
+ * every knob that can change a RunResult, so the FNV-1a content hash
+ * is a correct persistent-cache key: any change to the profile, the
+ * options or the variant produces a new hash, while presentation-only
+ * state (the variant label) does not.
+ */
+
+#ifndef CRITICS_RUNNER_JOB_HH
+#define CRITICS_RUNNER_JOB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "workload/profile.hh"
+
+namespace critics::runner
+{
+
+/**
+ * Bump when RunResult semantics change (new fields, simulator fixes
+ * that alter numbers, spec-string format changes): every cached record
+ * from an older schema is ignored.
+ */
+constexpr int kResultSchemaVersion = 1;
+
+struct JobSpec
+{
+    workload::AppProfile profile;
+    sim::Variant variant;
+    sim::ExperimentOptions options;
+
+    /**
+     * Canonical `key=value;` rendering of every result-affecting knob.
+     * Doubles are rendered as hex-floats so the string (and therefore
+     * the hash) is bit-stable.
+     */
+    std::string specString() const;
+
+    /** 64-bit FNV-1a over schema version + specString(). */
+    std::uint64_t hash() const;
+
+    /** hash() as a fixed-width lowercase hex string (the cache key). */
+    std::string hashHex() const;
+
+    /**
+     * The subset of specString() that identifies the shared
+     * AppExperiment (profile + options, no variant): jobs with equal
+     * appKey() reuse one program/trace/mined profile.
+     */
+    std::string appKey() const;
+};
+
+/** Cross-product convenience: one job per (app, variant) pair. */
+std::vector<JobSpec>
+makeGrid(const std::vector<workload::AppProfile> &apps,
+         const std::vector<sim::Variant> &variants,
+         const sim::ExperimentOptions &options);
+
+} // namespace critics::runner
+
+#endif // CRITICS_RUNNER_JOB_HH

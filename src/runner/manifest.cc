@@ -1,0 +1,201 @@
+#include "runner/manifest.hh"
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "runner/json.hh"
+#include "runner/result_store.hh"
+
+namespace critics::runner
+{
+
+std::size_t
+RunManifest::cachedCount() const
+{
+    std::size_t count = 0;
+    for (const auto &job : jobs)
+        count += job.fromCache ? 1 : 0;
+    return count;
+}
+
+std::size_t
+RunManifest::simulatedCount() const
+{
+    std::size_t count = 0;
+    for (const auto &job : jobs)
+        count += (job.ok && !job.fromCache) ? 1 : 0;
+    return count;
+}
+
+std::size_t
+RunManifest::failedCount() const
+{
+    std::size_t count = 0;
+    for (const auto &job : jobs)
+        count += job.ok ? 0 : 1;
+    return count;
+}
+
+std::uint64_t
+RunManifest::totalSimInsts() const
+{
+    std::uint64_t insts = 0;
+    for (const auto &job : jobs)
+        insts += job.simInsts;
+    return insts;
+}
+
+double
+RunManifest::throughput() const
+{
+    return wallSeconds > 0.0
+        ? static_cast<double>(totalSimInsts()) / wallSeconds : 0.0;
+}
+
+std::string
+RunManifest::toJson() const
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("schema", schema)
+        .field("batch", batch)
+        .field("git", gitDescribe)
+        .field("startedUnix", startedUnix)
+        .fieldReadable("wallSeconds", wallSeconds)
+        .field("interrupted", interrupted);
+    w.beginObject("totals")
+        .field("jobs", static_cast<std::uint64_t>(jobs.size()))
+        .field("cached", static_cast<std::uint64_t>(cachedCount()))
+        .field("simulated",
+               static_cast<std::uint64_t>(simulatedCount()))
+        .field("failed", static_cast<std::uint64_t>(failedCount()))
+        .field("simInsts", totalSimInsts())
+        .fieldReadable("instsPerSec", throughput())
+        .endObject();
+    w.beginArray("jobs");
+    for (const auto &job : jobs) {
+        w.elementObject()
+            .field("app", job.app)
+            .field("variant", job.variant)
+            .field("hash", job.hash)
+            .field("ok", job.ok)
+            .field("fromCache", job.fromCache)
+            .field("attempts", job.attempts)
+            .fieldReadable("wallSeconds", job.wallSeconds)
+            .field("simInsts", job.simInsts)
+            .fieldReadable("instsPerSec", job.instsPerSec())
+            .field("error", job.error)
+            .endObject();
+    }
+    w.endArray().endObject();
+    return w.str();
+}
+
+std::string
+RunManifest::write(const std::string &dir) const
+{
+    std::string outDir = dir;
+    if (outDir.empty())
+        outDir = cacheDir() + "/manifests";
+    std::error_code ec;
+    std::filesystem::create_directories(outDir, ec);
+    const std::string path = outDir + "/" + batch + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return "";
+    out << toJson() << "\n";
+    return out ? path : "";
+}
+
+bool
+RunManifest::read(const std::string &path, RunManifest &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto doc = parseJson(buffer.str());
+    if (!doc || !doc->isObject())
+        return false;
+
+    out = RunManifest{};
+    if (const JsonValue *v = doc->find("batch"))
+        out.batch = v->asString().value_or("");
+    if (const JsonValue *v = doc->find("git"))
+        out.gitDescribe = v->asString().value_or("");
+    if (const JsonValue *v = doc->find("schema"))
+        out.schema = static_cast<int>(v->asInt().value_or(0));
+    if (const JsonValue *v = doc->find("startedUnix"))
+        out.startedUnix = v->asUint().value_or(0);
+    if (const JsonValue *v = doc->find("wallSeconds"))
+        out.wallSeconds = v->asDouble().value_or(0.0);
+    if (const JsonValue *v = doc->find("interrupted"))
+        out.interrupted = v->asBool().value_or(false);
+    const JsonValue *jobs = doc->find("jobs");
+    if (jobs && jobs->isArray()) {
+        for (const auto &elem : jobs->elements) {
+            if (!elem.isObject())
+                continue;
+            JobRecord job;
+            if (const JsonValue *v = elem.find("app"))
+                job.app = v->asString().value_or("");
+            if (const JsonValue *v = elem.find("variant"))
+                job.variant = v->asString().value_or("");
+            if (const JsonValue *v = elem.find("hash"))
+                job.hash = v->asString().value_or("");
+            if (const JsonValue *v = elem.find("ok"))
+                job.ok = v->asBool().value_or(false);
+            if (const JsonValue *v = elem.find("fromCache"))
+                job.fromCache = v->asBool().value_or(false);
+            if (const JsonValue *v = elem.find("attempts")) {
+                job.attempts =
+                    static_cast<unsigned>(v->asUint().value_or(0));
+            }
+            if (const JsonValue *v = elem.find("wallSeconds"))
+                job.wallSeconds = v->asDouble().value_or(0.0);
+            if (const JsonValue *v = elem.find("simInsts"))
+                job.simInsts = v->asUint().value_or(0);
+            if (const JsonValue *v = elem.find("error"))
+                job.error = v->asString().value_or("");
+            out.jobs.push_back(std::move(job));
+        }
+    }
+    return true;
+}
+
+std::string
+RunManifest::summaryLine() const
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "[%s] %zu jobs: %zu simulated, %zu cached, %zu failed | "
+        "%.2fs wall | %.2fM sim-insts/s | git %s",
+        batch.c_str(), jobs.size(), simulatedCount(), cachedCount(),
+        failedCount(), wallSeconds, throughput() / 1e6,
+        gitDescribe.c_str());
+    return buf;
+}
+
+std::string
+gitDescribe()
+{
+    std::FILE *pipe = ::popen(
+        "git describe --always --dirty 2>/dev/null", "r");
+    if (!pipe)
+        return "unknown";
+    std::array<char, 128> buf{};
+    std::string out;
+    while (std::fgets(buf.data(), buf.size(), pipe))
+        out += buf.data();
+    ::pclose(pipe);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    return out.empty() ? "unknown" : out;
+}
+
+} // namespace critics::runner

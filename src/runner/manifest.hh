@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Run manifests: one JSON document per orchestrated batch recording
+ * provenance (git describe, schema, config), per-job wall time and
+ * simulation throughput, cache activity, and every failed-job record.
+ * `scripts/reproduce_all.sh` and `critics_cli report` consume these to
+ * gate on failures and to report suite timing in one format.
+ */
+
+#ifndef CRITICS_RUNNER_MANIFEST_HH
+#define CRITICS_RUNNER_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace critics::runner
+{
+
+struct JobRecord
+{
+    std::string app;
+    std::string variant;
+    std::string hash;
+    bool ok = false;
+    bool fromCache = false;
+    unsigned attempts = 0;
+    double wallSeconds = 0.0;
+    std::uint64_t simInsts = 0; ///< 0 for cache hits (nothing simulated)
+    std::string error;          ///< empty when ok
+
+    double
+    instsPerSec() const
+    {
+        return wallSeconds > 0.0
+            ? static_cast<double>(simInsts) / wallSeconds : 0.0;
+    }
+};
+
+struct RunManifest
+{
+    std::string batch;
+    std::string gitDescribe;
+    int schema = 0;
+    std::uint64_t startedUnix = 0;
+    double wallSeconds = 0.0;
+    bool interrupted = false;
+    std::vector<JobRecord> jobs;
+
+    std::size_t cachedCount() const;
+    std::size_t simulatedCount() const;
+    std::size_t failedCount() const;
+    std::uint64_t totalSimInsts() const;
+    /** Aggregate simulated-instructions/sec over the whole batch. */
+    double throughput() const;
+
+    std::string toJson() const;
+
+    /** Write to `<dir>/<batch>.json` (dir defaults to
+     *  cacheDir()/manifests); returns the path, "" on failure. */
+    std::string write(const std::string &dir = "") const;
+
+    /** Parse a manifest file; false on read/parse failure. */
+    static bool read(const std::string &path, RunManifest &out);
+
+    /** One-line human summary (per-batch timing in a shared format). */
+    std::string summaryLine() const;
+};
+
+/** `git describe --always --dirty`, or "unknown". */
+std::string gitDescribe();
+
+} // namespace critics::runner
+
+#endif // CRITICS_RUNNER_MANIFEST_HH

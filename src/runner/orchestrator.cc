@@ -1,0 +1,346 @@
+#include "runner/orchestrator.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <unordered_map>
+
+#include "runner/thread_pool.hh"
+#include "support/logging.hh"
+
+namespace critics::runner
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------------------
+// SIGINT: the handler only sets a flag; workers stop picking up new
+// jobs, already-completed results are on disk (the store flushes every
+// append), and the batch epilogue writes an `interrupted` manifest.
+
+std::atomic<bool> sigintSeen{false};
+
+void
+onSigint(int)
+{
+    sigintSeen.store(true);
+}
+
+class SigintGuard
+{
+  public:
+    SigintGuard()
+    {
+        sigintSeen.store(false);
+        struct sigaction action{};
+        action.sa_handler = onSigint;
+        sigemptyset(&action.sa_mask);
+        ::sigaction(SIGINT, &action, &previous_);
+    }
+
+    ~SigintGuard() { ::sigaction(SIGINT, &previous_, nullptr); }
+
+    static bool interrupted() { return sigintSeen.load(); }
+
+  private:
+    struct sigaction previous_{};
+};
+
+// ---------------------------------------------------------------------------
+// Progress line (stderr, overwritten in place).
+
+class Progress
+{
+  public:
+    Progress(bool enabled, const std::string &batch, std::size_t total)
+        : enabled_(enabled), batch_(batch), total_(total),
+          start_(Clock::now())
+    {
+    }
+
+    void
+    update(std::size_t done, std::size_t simulated)
+    {
+        if (!enabled_ || total_ == 0)
+            return;
+        std::lock_guard<std::mutex> guard(lock_);
+        const double elapsed = secondsSince(start_);
+        // ETA from the simulated-job rate; cache hits are ~free.
+        double eta = 0.0;
+        if (simulated > 0 && done < total_) {
+            const double perJob =
+                elapsed / static_cast<double>(simulated);
+            eta = perJob * static_cast<double>(total_ - done);
+        }
+        std::fprintf(stderr,
+                     "\r[%s] %zu/%zu jobs done, ETA %5.1fs   ",
+                     batch_.c_str(), done, total_, eta);
+        std::fflush(stderr);
+    }
+
+    void
+    finish()
+    {
+        if (!enabled_)
+            return;
+        std::fprintf(stderr, "\r%*s\r", 60, "");
+        std::fflush(stderr);
+    }
+
+  private:
+    bool enabled_;
+    std::string batch_;
+    std::size_t total_;
+    Clock::time_point start_;
+    std::mutex lock_;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// BatchResult
+
+bool
+BatchResult::allOk() const
+{
+    for (const auto &outcome : outcomes) {
+        if (!outcome.ok)
+            return false;
+    }
+    return true;
+}
+
+const sim::RunResult &
+BatchResult::result(std::size_t i) const
+{
+    critics_assert(i < outcomes.size(), "job index out of range");
+    if (!outcomes[i].ok) {
+        critics_fatal("job ", i, " (", jobs[i].profile.name, "/",
+                      jobs[i].variant.label,
+                      ") failed: ", outcomes[i].error);
+    }
+    return outcomes[i].result;
+}
+
+double
+BatchResult::speedup(std::size_t baseIdx, std::size_t variantIdx) const
+{
+    const auto &base = result(baseIdx);
+    const auto &variant = result(variantIdx);
+    critics_assert(variant.cpu.cycles > 0, "zero-cycle run");
+    return static_cast<double>(base.cpu.cycles) /
+           static_cast<double>(variant.cpu.cycles);
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+
+struct Runner::ExpSlot
+{
+    std::once_flag once;
+    std::shared_ptr<sim::AppExperiment> experiment;
+};
+
+Runner::Runner(RunnerOptions options)
+    : options_(std::move(options)), store_(options_.cachePath)
+{
+    if (!options_.executor) {
+        options_.executor = [](const JobSpec &spec,
+                               sim::AppExperiment &experiment) {
+            return experiment.run(spec.variant);
+        };
+    }
+}
+
+Runner::~Runner() = default;
+
+std::shared_ptr<sim::AppExperiment>
+Runner::experiment(const workload::AppProfile &profile,
+                   const sim::ExperimentOptions &options)
+{
+    const std::string key = JobSpec{profile, {}, options}.appKey();
+    std::shared_ptr<ExpSlot> slot;
+    {
+        std::lock_guard<std::mutex> guard(expLock_);
+        auto &entry = experiments_[key];
+        if (!entry)
+            entry = std::make_shared<ExpSlot>();
+        slot = entry;
+    }
+    // Construction (synthesis + trace emission) happens outside the
+    // map lock so different apps build concurrently; call_once makes
+    // same-app racers share one build.
+    std::call_once(slot->once, [&] {
+        slot->experiment =
+            std::make_shared<sim::AppExperiment>(profile, options);
+    });
+    return slot->experiment;
+}
+
+BatchResult
+Runner::run(const std::string &batchName,
+            const std::vector<JobSpec> &jobs)
+{
+    BatchResult batch;
+    batch.jobs = jobs;
+    batch.outcomes.resize(jobs.size());
+    batch.manifest.batch = batchName;
+    batch.manifest.schema = kResultSchemaVersion;
+    batch.manifest.gitDescribe = runner::gitDescribe();
+    batch.manifest.startedUnix = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+
+    const auto startWall = Clock::now();
+    SigintGuard sigint;
+
+    // ---- Phase 1: serve cache hits --------------------------------------
+    std::vector<std::size_t> misses;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (options_.useCache && !options_.refresh) {
+            if (auto cached = store_.lookup(jobs[i])) {
+                auto &outcome = batch.outcomes[i];
+                outcome.ok = true;
+                outcome.fromCache = true;
+                outcome.result = *cached;
+                continue;
+            }
+        }
+        misses.push_back(i);
+    }
+
+    // ---- Phase 2: dedup identical in-flight jobs -------------------------
+    // One representative simulates; duplicates copy its outcome.
+    std::vector<std::size_t> unique;
+    std::unordered_map<std::string, std::size_t> byHash;
+    std::vector<std::vector<std::size_t>> duplicates;
+    for (const std::size_t i : misses) {
+        const std::string hash = jobs[i].hashHex();
+        const auto it = byHash.find(hash);
+        if (it == byHash.end()) {
+            byHash.emplace(hash, unique.size());
+            unique.push_back(i);
+            duplicates.emplace_back();
+        } else {
+            duplicates[it->second].push_back(i);
+        }
+    }
+
+    const bool progressEnabled = options_.progress.value_or(
+        ::isatty(::fileno(stderr)) != 0);
+    Progress progress(progressEnabled, batchName, jobs.size());
+    std::atomic<std::size_t> doneCount{jobs.size() - misses.size()};
+    std::atomic<std::size_t> simulatedCount{0};
+    progress.update(doneCount.load(), 0);
+
+    // ---- Phase 3: run the misses on the pool -----------------------------
+    ThreadPool::shared().forEach(unique.size(), [&](std::size_t u) {
+        const std::size_t i = unique[u];
+        const JobSpec &spec = jobs[i];
+        JobOutcome outcome;
+        const auto jobStart = Clock::now();
+
+        if (SigintGuard::interrupted()) {
+            outcome.error = "interrupted before start";
+        } else {
+            for (outcome.attempts = 1;
+                 outcome.attempts <= options_.maxAttempts;
+                 ++outcome.attempts) {
+                try {
+                    auto exp =
+                        experiment(spec.profile, spec.options);
+                    outcome.result =
+                        options_.executor(spec, *exp);
+                    outcome.ok = true;
+                    break;
+                } catch (const std::exception &e) {
+                    outcome.error = e.what();
+                } catch (...) {
+                    outcome.error = "unknown exception";
+                }
+                if (SigintGuard::interrupted())
+                    break;
+            }
+            if (outcome.attempts > options_.maxAttempts)
+                outcome.attempts = options_.maxAttempts;
+        }
+        outcome.wallSeconds = secondsSince(jobStart);
+
+        if (outcome.ok && options_.useCache)
+            store_.insert(spec, outcome.result);
+
+        batch.outcomes[i] = outcome; // slot i is ours alone
+        for (const std::size_t dup : duplicates[u])
+            batch.outcomes[dup] = outcome;
+
+        const std::size_t done =
+            doneCount.fetch_add(1 + duplicates[u].size()) + 1 +
+            duplicates[u].size();
+        progress.update(done, simulatedCount.fetch_add(1) + 1);
+    });
+    progress.finish();
+
+    // ---- Phase 4: manifest ----------------------------------------------
+    batch.manifest.wallSeconds = secondsSince(startWall);
+    batch.manifest.interrupted = SigintGuard::interrupted();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const JobOutcome &outcome = batch.outcomes[i];
+        JobRecord record;
+        record.app = jobs[i].profile.name;
+        record.variant = jobs[i].variant.label;
+        record.hash = jobs[i].hashHex();
+        record.ok = outcome.ok;
+        record.fromCache = outcome.fromCache;
+        record.attempts = outcome.attempts;
+        record.wallSeconds = outcome.wallSeconds;
+        record.simInsts = (outcome.ok && !outcome.fromCache)
+            ? jobs[i].options.traceInsts : 0;
+        record.error = outcome.error;
+        batch.manifest.jobs.push_back(std::move(record));
+    }
+    if (options_.writeManifest)
+        batch.manifestPath = batch.manifest.write(options_.manifestDir);
+
+    for (const auto &record : batch.manifest.jobs) {
+        if (!record.ok) {
+            critics_warn("job failed: ", record.app, "/",
+                         record.variant, " after ", record.attempts,
+                         " attempt(s): ", record.error);
+        }
+    }
+
+    if (batch.manifest.interrupted) {
+        // Completed results are already flushed; leave a truthful
+        // manifest behind and propagate the conventional exit code.
+        std::fprintf(stderr,
+                     "[%s] interrupted: %zu/%zu jobs done, results "
+                     "flushed to %s\n",
+                     batchName.c_str(),
+                     jobs.size() - batch.manifest.failedCount(),
+                     jobs.size(), store_.path().c_str());
+        std::exit(130);
+    }
+    return batch;
+}
+
+Runner &
+sharedRunner()
+{
+    static Runner runner;
+    return runner;
+}
+
+} // namespace critics::runner

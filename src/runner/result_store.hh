@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Persistent experiment-result cache: an append-only JSONL file, one
+ * record per completed job, keyed by the JobSpec content hash and the
+ * result schema version.  Records round-trip every RunResult field
+ * bit-exactly (doubles as hex-floats), so a warm run reproduces a cold
+ * run's tables digit for digit.  Appends are flushed line-atomically,
+ * which makes the store safe to interrupt: a truncated tail line is
+ * skipped on the next load.
+ */
+
+#ifndef CRITICS_RUNNER_RESULT_STORE_HH
+#define CRITICS_RUNNER_RESULT_STORE_HH
+
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "runner/job.hh"
+
+namespace critics::runner
+{
+
+class JsonValue;
+
+/** Serialize every RunResult field (bit-exact doubles). */
+std::string resultToJson(const sim::RunResult &result);
+
+/** Inverse of resultToJson(); nullopt if any field is missing. */
+std::optional<sim::RunResult> resultFromJson(const JsonValue &json);
+
+/**
+ * Directory holding the cache and the run manifests.  Resolution:
+ * $CRITICS_CACHE_DIR if set, else `.critics-cache` under the current
+ * working directory.
+ */
+std::string cacheDir();
+
+class ResultStore
+{
+  public:
+    /** Opens (and loads) `path`; "" means cacheDir()/results.jsonl. */
+    explicit ResultStore(std::string path = "");
+    ~ResultStore();
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /**
+     * Cached result for this spec, or nullopt.  A hash match with a
+     * different stored spec string (a collision, or a hash-function
+     * change) is treated as a miss.
+     */
+    std::optional<sim::RunResult> lookup(const JobSpec &spec) const;
+
+    /** Append one completed job and flush the line to disk. */
+    void insert(const JobSpec &spec, const sim::RunResult &result);
+
+    std::size_t size() const;
+    const std::string &path() const { return path_; }
+
+    /** Delete the backing file and forget all records. */
+    void clear();
+
+  private:
+    void load();
+
+    struct Entry
+    {
+        std::string spec;
+        sim::RunResult result;
+    };
+
+    mutable std::mutex lock_;
+    std::string path_;
+    std::unordered_map<std::string, Entry> entries_;
+    std::FILE *out_ = nullptr; ///< lazily-opened append handle
+};
+
+} // namespace critics::runner
+
+#endif // CRITICS_RUNNER_RESULT_STORE_HH

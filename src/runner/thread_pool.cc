@@ -1,0 +1,156 @@
+#include "runner/thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace critics::runner
+{
+
+namespace
+{
+
+thread_local bool tlsInsideWorker = false;
+
+std::size_t
+defaultThreads()
+{
+    if (const char *env = std::getenv("CRITICS_THREADS"); env && *env) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<std::size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 4;
+}
+
+} // namespace
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    threads_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+bool
+ThreadPool::insideWorker()
+{
+    return tlsInsideWorker;
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tlsInsideWorker = true;
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> guard(lock_);
+            wake_.wait(guard,
+                       [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // task owns its error handling (see forEach)
+    }
+}
+
+void
+ThreadPool::forEach(std::size_t n,
+                    const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    // Serial fallbacks: a single iteration, or a nested parallel
+    // region on a worker thread (waiting for pool capacity from inside
+    // the pool would deadlock once all workers did it).
+    if (n == 1 || insideWorker()) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    struct Region
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> active{0};
+        std::atomic<bool> failed{false};
+        std::exception_ptr error;
+        std::mutex lock;
+        std::condition_variable done;
+    };
+    auto region = std::make_shared<Region>();
+
+    auto drain = [region, &body, n]() {
+        while (true) {
+            const std::size_t i = region->next.fetch_add(1);
+            if (i >= n || region->failed.load())
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> guard(region->lock);
+                if (!region->error)
+                    region->error = std::current_exception();
+                region->failed.store(true);
+                return;
+            }
+        }
+    };
+
+    const std::size_t helpers =
+        std::min<std::size_t>(n - 1, threadCount());
+    region->active.store(helpers);
+    for (std::size_t w = 0; w < helpers; ++w) {
+        submit([region, drain]() {
+            drain();
+            std::lock_guard<std::mutex> guard(region->lock);
+            if (--region->active == 0)
+                region->done.notify_all();
+        });
+    }
+
+    drain(); // the caller participates
+
+    std::unique_lock<std::mutex> guard(region->lock);
+    region->done.wait(guard,
+                      [&region] { return region->active.load() == 0; });
+    if (region->error)
+        std::rethrow_exception(region->error);
+}
+
+} // namespace critics::runner

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The process-wide worker pool behind both the runner's job scheduler
+ * and critics::parallelFor.  Threads are created once and reused, so a
+ * bench that issues dozens of parallel regions no longer pays a
+ * spawn/join per region (the old parallelFor started fresh threads on
+ * every call).
+ */
+
+#ifndef CRITICS_RUNNER_THREAD_POOL_HH
+#define CRITICS_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace critics::runner
+{
+
+class ThreadPool
+{
+  public:
+    /**
+     * The shared pool (hardware_concurrency workers, or
+     * $CRITICS_THREADS).  Created on first use, joined at exit.
+     */
+    static ThreadPool &shared();
+
+    /** @param threads 0 means hardware_concurrency. */
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t threadCount() const { return threads_.size(); }
+
+    /** Enqueue one task; runs as soon as a worker frees up. */
+    void submit(std::function<void()> task);
+
+    /** True on a thread owned by *any* ThreadPool (nested parallel
+     *  regions fall back to serial execution instead of deadlocking). */
+    static bool insideWorker();
+
+    /**
+     * Run body(0..n-1) across the pool and the calling thread, which
+     * participates instead of idling.  Returns when all n indices are
+     * done; the first exception is rethrown (remaining indices are
+     * abandoned once an error is seen).
+     */
+    void forEach(std::size_t n,
+                 const std::function<void(std::size_t)> &body);
+
+  private:
+    void workerLoop();
+
+    std::mutex lock_;
+    std::condition_variable wake_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> threads_;
+    bool stop_ = false;
+};
+
+} // namespace critics::runner
+
+#endif // CRITICS_RUNNER_THREAD_POOL_HH

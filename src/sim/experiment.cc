@@ -28,6 +28,7 @@ AppExperiment::AppExperiment(const workload::AppProfile &profile,
 const analysis::FanoutInfo &
 AppExperiment::fanout()
 {
+    std::lock_guard<std::recursive_mutex> guard(lazyLock_);
     if (!fanout_)
         fanout_ = analysis::computeFanout(trace_, options_.crit);
     return *fanout_;
@@ -36,6 +37,7 @@ AppExperiment::fanout()
 const analysis::DynChains &
 AppExperiment::chains()
 {
+    std::lock_guard<std::recursive_mutex> guard(lazyLock_);
     if (!chains_)
         chains_ = analysis::extractChains(trace_, fanout(), options_.crit);
     return *chains_;
@@ -44,6 +46,7 @@ AppExperiment::chains()
 const analysis::ChainStats &
 AppExperiment::chainStats()
 {
+    std::lock_guard<std::recursive_mutex> guard(lazyLock_);
     if (!chainStats_) {
         chainStats_ = analysis::chainStatistics(trace_, chains(),
                                                 fanout(), options_.crit);
@@ -60,6 +63,7 @@ AppExperiment::mined()
 const analysis::MineResult &
 AppExperiment::minedAt(double fraction)
 {
+    std::lock_guard<std::recursive_mutex> guard(lazyLock_);
     const int key = static_cast<int>(fraction * 1000.0 + 0.5);
     auto it = mined_.find(key);
     if (it == mined_.end()) {
@@ -73,6 +77,7 @@ AppExperiment::minedAt(double fraction)
 const std::unordered_set<program::InstUid> &
 AppExperiment::criticalSet()
 {
+    std::lock_guard<std::recursive_mutex> guard(lazyLock_);
     if (!criticalSet_)
         criticalSet_ = analysis::buildCriticalSet(trace_, fanout());
     return *criticalSet_;
@@ -81,6 +86,7 @@ AppExperiment::criticalSet()
 const RunResult &
 AppExperiment::baseline()
 {
+    std::lock_guard<std::recursive_mutex> guard(lazyLock_);
     if (!baseline_)
         baseline_ = run(Variant{});
     return *baseline_;

@@ -14,6 +14,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_set>
@@ -97,6 +98,10 @@ class AppExperiment
     const program::ControlPath &path() const { return path_; }
 
     // ---- Offline profile (lazy, cached) ----------------------------------
+    // Thread-safe: the runner executes many variants of one app
+    // concurrently against a single shared AppExperiment, so the lazy
+    // getters serialize behind a lock.  References stay valid once
+    // returned (the caches only grow).
     const analysis::FanoutInfo &fanout();
     const analysis::DynChains &chains();
     const analysis::ChainStats &chainStats();
@@ -113,6 +118,9 @@ class AppExperiment
     double speedup(const RunResult &result);
 
   private:
+    // Recursive: chainStats() takes the lock and calls chains(), which
+    // takes it again.
+    mutable std::recursive_mutex lazyLock_;
     workload::AppProfile profile_;
     ExperimentOptions options_;
     program::Program program_;

@@ -1,10 +1,6 @@
 #include "support/parallel.hh"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "runner/thread_pool.hh"
 
 namespace critics
 {
@@ -12,44 +8,10 @@ namespace critics
 void
 parallelFor(std::size_t n, const std::function<void(std::size_t)> &body)
 {
-    if (n == 0)
-        return;
-    const std::size_t workers = std::min<std::size_t>(
-        n, std::max(1u, std::thread::hardware_concurrency()));
-    if (workers == 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            body(i);
-        return;
-    }
-
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr error;
-    std::mutex errorLock;
-
-    auto work = [&]() {
-        while (true) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= n)
-                return;
-            try {
-                body(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> guard(errorLock);
-                if (!error)
-                    error = std::current_exception();
-                return;
-            }
-        }
-    };
-
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w)
-        threads.emplace_back(work);
-    for (auto &thread : threads)
-        thread.join();
-    if (error)
-        std::rethrow_exception(error);
+    // Delegates to the runner's shared pool: threads are created once
+    // per process instead of once per call, and nested regions run
+    // serially instead of deadlocking.
+    runner::ThreadPool::shared().forEach(n, body);
 }
 
 } // namespace critics

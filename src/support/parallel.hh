@@ -1,7 +1,9 @@
 /**
  * @file
- * Minimal thread-pool-free parallel loop for the benchmark harness
- * (each iteration is one independent app simulation).
+ * Parallel loop for the benchmark harness (each iteration is one
+ * independent app simulation).  Runs on the runner's shared thread
+ * pool; the signature is unchanged from the old thread-per-call
+ * implementation so callers are untouched.
  */
 
 #ifndef CRITICS_SUPPORT_PARALLEL_HH
@@ -14,8 +16,9 @@ namespace critics
 {
 
 /**
- * Run body(0..n-1) on up to std::thread::hardware_concurrency()
- * threads.  Exceptions propagate (the first one wins).
+ * Run body(0..n-1) on the shared worker pool (the calling thread
+ * participates).  Exceptions propagate (the first one wins).  Nested
+ * calls from inside a parallel region execute serially.
  */
 void parallelFor(std::size_t n,
                  const std::function<void(std::size_t)> &body);

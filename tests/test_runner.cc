@@ -1,0 +1,432 @@
+/**
+ * @file
+ * The experiment orchestrator: job-hash stability, persistent-cache
+ * hit/miss/invalidation, JSONL round-tripping, failed-job isolation,
+ * bounded retry, in-flight dedup, and cold/warm bit-identity.
+ */
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include "runner/json.hh"
+#include "runner/manifest.hh"
+#include "runner/orchestrator.hh"
+#include "runner/result_store.hh"
+#include "runner/thread_pool.hh"
+#include "support/logging.hh"
+#include "support/parallel.hh"
+
+using namespace critics;
+using namespace critics::runner;
+
+namespace
+{
+
+/** Unique-per-test temp file path, removed on destruction. */
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string &stem)
+    {
+        static std::atomic<int> counter{0};
+        path_ = (std::filesystem::temp_directory_path() /
+                 (stem + "-" + std::to_string(::getpid()) + "-" +
+                  std::to_string(counter.fetch_add(1))))
+                    .string();
+    }
+
+    ~TempPath()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+JobSpec
+tinySpec(const std::string &app = "Acrobat",
+         sim::Transform transform = sim::Transform::None)
+{
+    JobSpec spec;
+    spec.profile = workload::findApp(app);
+    spec.options.traceInsts = 20000; // keep test simulations small
+    spec.variant.label = "test";
+    spec.variant.transform = transform;
+    return spec;
+}
+
+/** A filled-in, irregular RunResult for round-trip checks. */
+sim::RunResult
+sampleResult()
+{
+    sim::RunResult r;
+    r.cpu.cycles = 123456789012345ULL;
+    r.cpu.committed = 400000;
+    r.cpu.stallForIIcache = 1111;
+    r.cpu.stallForIRedirect = 2222;
+    r.cpu.stallForRd = 3333;
+    r.cpu.decodeCdpBubbles = 44;
+    r.cpu.fetchedBytes = 555555;
+    r.cpu.condBranches = 6666;
+    r.cpu.mispredicts = 777;
+    r.cpu.fetchWindows = 8888;
+    r.cpu.efetchAccuracy = 1.0 / 3.0;
+    r.cpu.all.fetch = 0.1 + 0.2; // deliberately not representable
+    r.cpu.all.decode = 1e-300;
+    r.cpu.all.issueWait = 3.14159265358979;
+    r.cpu.all.execute = 2.0;
+    r.cpu.all.commitWait = 0.0;
+    r.cpu.all.insts = 42;
+    r.cpu.crit.fetch = 7.0 / 11.0;
+    r.cpu.crit.insts = 9;
+    r.cpu.mem.icache.accesses = 10;
+    r.cpu.mem.icache.misses = 3;
+    r.cpu.mem.dcache.accesses = 20;
+    r.cpu.mem.dcache.prefetchFills = 4;
+    r.cpu.mem.l2.misses = 5;
+    r.cpu.mem.dram.reads = 6;
+    r.cpu.mem.dram.totalLatency = 700;
+    r.cpu.mem.stride.trains = 8;
+    r.cpu.mem.stride.issued = 9;
+    r.cpu.mem.storeAccesses = 1234;
+    r.energy.cpuCore = 0.12345678901234567;
+    r.energy.icache = 2e-9;
+    r.energy.dcache = 3.5;
+    r.energy.l2 = 4.25;
+    r.energy.dram = 5.125;
+    r.energy.socRest = 6.0625;
+    r.pass.chainsAttempted = 11;
+    r.pass.chainsTransformed = 10;
+    r.pass.instsConverted = 99;
+    r.pass.cdpsInserted = 12;
+    r.selectionCoverage = 1.0 / 7.0;
+    r.staticThumbFraction = 0.25;
+    r.dynThumbFraction = 1e-17;
+    return r;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Job hashing
+
+TEST(JobHash, StableAcrossConstructions)
+{
+    const JobSpec a = tinySpec();
+    const JobSpec b = tinySpec();
+    EXPECT_EQ(a.specString(), b.specString());
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_EQ(a.hashHex(), b.hashHex());
+    EXPECT_EQ(a.hashHex().size(), 16u);
+}
+
+TEST(JobHash, SensitiveToEveryKnobLayer)
+{
+    const JobSpec base = tinySpec();
+
+    JobSpec profile = base;
+    profile.profile.seed += 1;
+    EXPECT_NE(base.hash(), profile.hash());
+
+    JobSpec options = base;
+    options.options.traceInsts += 1;
+    EXPECT_NE(base.hash(), options.hash());
+
+    JobSpec crit = base;
+    crit.options.crit.fanoutThreshold += 1;
+    EXPECT_NE(base.hash(), crit.hash());
+
+    JobSpec variant = base;
+    variant.variant.transform = sim::Transform::CritIc;
+    EXPECT_NE(base.hash(), variant.hash());
+
+    JobSpec knob = base;
+    knob.variant.perfectBranch = true;
+    EXPECT_NE(base.hash(), knob.hash());
+}
+
+TEST(JobHash, LabelIsPresentationOnly)
+{
+    const JobSpec a = tinySpec();
+    JobSpec b = a;
+    b.variant.label = "renamed";
+    EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(JobHash, AppKeyIgnoresVariant)
+{
+    const JobSpec a = tinySpec();
+    JobSpec b = a;
+    b.variant.transform = sim::Transform::Hoist;
+    EXPECT_EQ(a.appKey(), b.appKey());
+    JobSpec c = a;
+    c.options.warmupFraction = 0.5;
+    EXPECT_NE(a.appKey(), c.appKey());
+}
+
+// ---------------------------------------------------------------------------
+// Result serialization + store
+
+TEST(ResultStore, JsonRoundTripIsBitExact)
+{
+    const sim::RunResult original = sampleResult();
+    const std::string json = resultToJson(original);
+    const auto doc = parseJson(json);
+    ASSERT_TRUE(doc.has_value());
+    const auto restored = resultFromJson(*doc);
+    ASSERT_TRUE(restored.has_value());
+    // Serialized forms equal => every field round-tripped bit-exactly.
+    EXPECT_EQ(resultToJson(*restored), json);
+    EXPECT_EQ(restored->cpu.cycles, original.cpu.cycles);
+    EXPECT_EQ(restored->cpu.all.fetch, original.cpu.all.fetch);
+    EXPECT_EQ(restored->cpu.all.decode, original.cpu.all.decode);
+    EXPECT_EQ(restored->energy.cpuCore, original.energy.cpuCore);
+    EXPECT_EQ(restored->dynThumbFraction, original.dynThumbFraction);
+}
+
+TEST(ResultStore, HitMissAndInvalidation)
+{
+    TempPath file("critics-store");
+    const JobSpec spec = tinySpec();
+    const sim::RunResult result = sampleResult();
+    {
+        ResultStore store(file.str());
+        EXPECT_FALSE(store.lookup(spec).has_value());
+        store.insert(spec, result);
+        EXPECT_TRUE(store.lookup(spec).has_value());
+    }
+    // Reload from disk: still a hit for the same spec…
+    ResultStore reloaded(file.str());
+    EXPECT_EQ(reloaded.size(), 1u);
+    const auto hit = reloaded.lookup(spec);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(resultToJson(*hit), resultToJson(result));
+    // …and a miss once any spec knob changes.
+    JobSpec changed = spec;
+    changed.options.crit.window += 1;
+    EXPECT_FALSE(reloaded.lookup(changed).has_value());
+    JobSpec variantChanged = spec;
+    variantChanged.variant.maxChainLen += 1;
+    EXPECT_FALSE(reloaded.lookup(variantChanged).has_value());
+}
+
+TEST(ResultStore, SkipsTruncatedTailLine)
+{
+    TempPath file("critics-store-trunc");
+    const JobSpec spec = tinySpec();
+    {
+        ResultStore store(file.str());
+        store.insert(spec, sampleResult());
+    }
+    // Simulate an interrupt mid-append: a second, truncated record.
+    {
+        std::ofstream out(file.str(), std::ios::app);
+        out << "{\"schema\":1,\"hash\":\"dead";
+    }
+    setQuiet(true);
+    ResultStore store(file.str());
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_TRUE(store.lookup(spec).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Orchestrator
+
+namespace
+{
+
+RunnerOptions
+testOptions(const std::string &cachePath)
+{
+    RunnerOptions options;
+    options.cachePath = cachePath;
+    options.writeManifest = false;
+    options.progress = false;
+    return options;
+}
+
+} // namespace
+
+TEST(Runner, ColdThenWarmIsBitIdenticalAndSimulationFree)
+{
+    TempPath file("critics-runner-warm");
+    const std::vector<JobSpec> jobs{
+        tinySpec("Acrobat"),
+        tinySpec("Acrobat", sim::Transform::CritIc)};
+
+    std::string coldJson0, coldJson1;
+    {
+        Runner runner(testOptions(file.str()));
+        const auto cold = runner.run("cold", jobs);
+        ASSERT_TRUE(cold.allOk());
+        EXPECT_FALSE(cold.outcomes[0].fromCache);
+        coldJson0 = resultToJson(cold.result(0));
+        coldJson1 = resultToJson(cold.result(1));
+    }
+    // Fresh Runner, same cache file: everything served from disk.
+    std::atomic<int> executed{0};
+    RunnerOptions options = testOptions(file.str());
+    options.executor = [&](const JobSpec &spec,
+                           sim::AppExperiment &experiment) {
+        ++executed;
+        return experiment.run(spec.variant);
+    };
+    Runner runner(options);
+    const auto warm = runner.run("warm", jobs);
+    ASSERT_TRUE(warm.allOk());
+    EXPECT_EQ(executed.load(), 0);
+    EXPECT_TRUE(warm.outcomes[0].fromCache);
+    EXPECT_TRUE(warm.outcomes[1].fromCache);
+    EXPECT_EQ(resultToJson(warm.result(0)), coldJson0);
+    EXPECT_EQ(resultToJson(warm.result(1)), coldJson1);
+}
+
+TEST(Runner, FailedJobIsIsolatedAndRecorded)
+{
+    TempPath file("critics-runner-fail");
+    RunnerOptions options = testOptions(file.str());
+    options.maxAttempts = 2;
+    options.executor = [](const JobSpec &spec,
+                          sim::AppExperiment &experiment) {
+        if (spec.variant.label == "poison")
+            throw std::runtime_error("deliberately bad design point");
+        return experiment.run(spec.variant);
+    };
+    Runner runner(options);
+
+    std::vector<JobSpec> jobs{tinySpec(), tinySpec("Office"),
+                              tinySpec("Music")};
+    jobs[1].variant.label = "poison";
+    const auto batch = runner.run("poisoned", jobs);
+
+    // The bad job failed with a record; the rest of the batch is fine.
+    EXPECT_FALSE(batch.allOk());
+    EXPECT_TRUE(batch.outcomes[0].ok);
+    EXPECT_FALSE(batch.outcomes[1].ok);
+    EXPECT_TRUE(batch.outcomes[2].ok);
+    EXPECT_EQ(batch.outcomes[1].attempts, 2u); // bounded retry
+    EXPECT_NE(batch.outcomes[1].error.find("deliberately bad"),
+              std::string::npos);
+    EXPECT_EQ(batch.manifest.failedCount(), 1u);
+    // Failures are not cached: only the two good results persist.
+    EXPECT_EQ(runner.store().size(), 2u);
+}
+
+TEST(Runner, RetrySucceedsOnSecondAttempt)
+{
+    TempPath file("critics-runner-retry");
+    std::atomic<int> calls{0};
+    RunnerOptions options = testOptions(file.str());
+    options.maxAttempts = 3;
+    options.executor = [&](const JobSpec &spec,
+                           sim::AppExperiment &experiment) {
+        if (calls.fetch_add(1) == 0)
+            throw std::runtime_error("transient");
+        return experiment.run(spec.variant);
+    };
+    Runner runner(options);
+    const auto batch = runner.run("flaky", {tinySpec()});
+    ASSERT_TRUE(batch.allOk());
+    EXPECT_EQ(batch.outcomes[0].attempts, 2u);
+}
+
+TEST(Runner, IdenticalInFlightJobsDeduplicate)
+{
+    TempPath file("critics-runner-dedup");
+    std::atomic<int> executed{0};
+    RunnerOptions options = testOptions(file.str());
+    options.executor = [&](const JobSpec &spec,
+                           sim::AppExperiment &experiment) {
+        ++executed;
+        return experiment.run(spec.variant);
+    };
+    Runner runner(options);
+
+    JobSpec a = tinySpec();
+    JobSpec b = a;
+    b.variant.label = "same-knobs-different-name";
+    const auto batch = runner.run("dedup", {a, b, a});
+    ASSERT_TRUE(batch.allOk());
+    EXPECT_EQ(executed.load(), 1);
+    EXPECT_EQ(resultToJson(batch.result(0)),
+              resultToJson(batch.result(1)));
+    EXPECT_EQ(resultToJson(batch.result(0)),
+              resultToJson(batch.result(2)));
+}
+
+TEST(Runner, SharesOneExperimentPerApp)
+{
+    TempPath file("critics-runner-share");
+    Runner runner(testOptions(file.str()));
+    const JobSpec spec = tinySpec();
+    const auto first = runner.experiment(spec.profile, spec.options);
+    const auto second = runner.experiment(spec.profile, spec.options);
+    EXPECT_EQ(first.get(), second.get());
+    JobSpec other = tinySpec("Office");
+    EXPECT_NE(first.get(),
+              runner.experiment(other.profile, other.options).get());
+}
+
+TEST(Manifest, WriteReadRoundTrip)
+{
+    TempPath dir("critics-manifests");
+    RunManifest manifest;
+    manifest.batch = "unit";
+    manifest.schema = kResultSchemaVersion;
+    manifest.gitDescribe = "deadbeef";
+    manifest.wallSeconds = 1.5;
+    JobRecord good;
+    good.app = "Acrobat";
+    good.variant = "critic";
+    good.hash = "0123456789abcdef";
+    good.ok = true;
+    good.wallSeconds = 0.75;
+    good.simInsts = 400000;
+    JobRecord bad;
+    bad.app = "Office";
+    bad.variant = "poison";
+    bad.ok = false;
+    bad.attempts = 2;
+    bad.error = "it \"broke\"\nbadly";
+    manifest.jobs = {good, bad};
+
+    const std::string path = manifest.write(dir.str());
+    ASSERT_FALSE(path.empty());
+    RunManifest restored;
+    ASSERT_TRUE(RunManifest::read(path, restored));
+    EXPECT_EQ(restored.batch, "unit");
+    EXPECT_EQ(restored.gitDescribe, "deadbeef");
+    ASSERT_EQ(restored.jobs.size(), 2u);
+    EXPECT_TRUE(restored.jobs[0].ok);
+    EXPECT_EQ(restored.jobs[0].simInsts, 400000u);
+    EXPECT_FALSE(restored.jobs[1].ok);
+    EXPECT_EQ(restored.jobs[1].error, bad.error);
+    EXPECT_EQ(restored.failedCount(), 1u);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    std::atomic<int> total{0};
+    parallelFor(4, [&](std::size_t) {
+        parallelFor(8, [&](std::size_t) { ++total; });
+    });
+    EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, ForEachRunsEveryIndexAcrossThreads)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> counts(100);
+    pool.forEach(counts.size(),
+                 [&](std::size_t i) { ++counts[i]; });
+    for (const auto &count : counts)
+        EXPECT_EQ(count.load(), 1);
+}
