@@ -13,10 +13,94 @@
  *     high-latency (divide/FP/missing-load) instructions.
  */
 
+#include <cmath>
+#include <fstream>
+
 #include "bench_common.hh"
+#include "stats/interval.hh"
 
 using namespace critics;
 using namespace critics::bench;
+
+namespace
+{
+
+/**
+ * Fig. 3 time-series: re-run one Android baseline with interval
+ * sampling, write the cumulative per-interval rows as JSONL, and
+ * check that the sampled series reproduces the reported end-of-run
+ * totals — (last row − warmup row) must equal the warmup-subtracted
+ * F.StallForI / F.StallForR+D the tables above were built from.
+ * Returns false on any inconsistency.
+ */
+bool
+emitIntervalSeries(const workload::AppProfile &app)
+{
+    auto exp = runner::sharedRunner().experiment(app, benchOptions());
+    sim::RunHooks hooks;
+    stats::IntervalSeries series;
+    hooks.statsInterval = 25000;
+    hooks.intervals = &series;
+    // Direct run: hooks never enter the cache key, and a cached
+    // result would carry no interval rows.
+    const auto result = exp->run(variant("baseline"), hooks);
+
+    const std::string path = "stats_fig03.jsonl";
+    std::ofstream out(path, std::ios::trunc);
+    out << series.toJsonl(app.name + "/baseline");
+    std::printf("interval series: %s (%zu rows of %zu stats)\n",
+                path.c_str(), series.size(), series.names().size());
+
+    if (series.empty())
+        return false;
+    const auto &rows = series.rows();
+    const auto &last = rows.back();
+    auto value = [&](const stats::IntervalSeries::Row &row,
+                     const char *name) { return series.at(row, name); };
+
+    // Rows are cumulative from cycle 0; the reported totals subtract
+    // the warmup snapshot.  The warmup row is the (unique) row whose
+    // distance from the last row equals the reported cycle and
+    // instruction counts — counts are integers below 2^53, so the
+    // double comparison is exact.
+    const stats::IntervalSeries::Row *warmup = nullptr;
+    for (const auto &row : rows) {
+        if (value(last, "cpu.cycles") - value(row, "cpu.cycles") ==
+                static_cast<double>(result.cpu.cycles) &&
+            value(last, "cpu.committed") -
+                    value(row, "cpu.committed") ==
+                static_cast<double>(result.cpu.committed)) {
+            warmup = &row;
+            break;
+        }
+    }
+    if (warmup == nullptr) {
+        std::printf("interval series: no row matches the warmup "
+                    "boundary — series is inconsistent\n");
+        return false;
+    }
+
+    auto delta = [&](const char *name) {
+        return value(last, name) - value(*warmup, name);
+    };
+    const double cycles = delta("cpu.cycles");
+    const double stallForI = (delta("cpu.fetch.stallForI.icache") +
+                              delta("cpu.fetch.stallForI.redirect")) /
+                             cycles;
+    const double stallForRd = delta("cpu.fetch.stallForRd") / cycles;
+    const bool ok =
+        std::abs(stallForI - result.cpu.fracStallForI()) < 1e-9 &&
+        std::abs(stallForRd - result.cpu.fracStallForRd()) < 1e-9;
+    std::printf("interval vs totals (%s): F.StallForI %.4f/%.4f, "
+                "F.StallForR+D %.4f/%.4f — %s\n",
+                app.name.c_str(), stallForI,
+                result.cpu.fracStallForI(), stallForRd,
+                result.cpu.fracStallForRd(),
+                ok ? "consistent" : "MISMATCH");
+    return ok;
+}
+
+} // namespace
 
 int
 main()
@@ -115,5 +199,5 @@ main()
                 "(fraction of cycles)\n%s\n", fig3b.render().c_str());
     std::printf("Fig. 3c — long-latency instruction mix\n%s\n",
                 fig3c.render().c_str());
-    return 0;
+    return emitIntervalSeries(workload::mobileApps().front()) ? 0 : 1;
 }

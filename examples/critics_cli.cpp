@@ -13,6 +13,13 @@
  *       directory); exits non-zero if any batch recorded a failed job.
  *   critics_cli cache [stats|path|clear]
  *       Inspect or clear the persistent result cache.
+ *   critics_cli diff <before> <after>
+ *       Regression harness: compare two runs metric-by-metric.  Each
+ *       side is a run manifest (results resolved from the result
+ *       store by job hash) or a result-store JSONL file; jobs are
+ *       matched by app/variant, every stat of the registry is diffed
+ *       under a noise threshold, and any significant drift — faster
+ *       or slower — exits non-zero naming the regressed dotted stats.
  *
  * The original single-run interface still works:
  *   critics_cli --app Acrobat --variant critic [--json]
@@ -26,12 +33,19 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "runner/orchestrator.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "stats/diff.hh"
+#include "stats/interval.hh"
+#include "stats/registry.hh"
+#include "stats/trace_event.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 
@@ -138,18 +152,185 @@ usage()
         "  --no-cache          bypass the persistent result cache\n"
         "  --refresh           ignore cached records, re-simulate\n"
         "  --json              emit per-job comparison JSON\n"
+        "  --stats-interval <n> sample all stats every n committed\n"
+        "                      insts; JSONL to --stats-out\n"
+        "                      (simulated jobs only — use --refresh\n"
+        "                      to force fresh runs)\n"
+        "  --stats-out <file>  interval JSONL path\n"
+        "                      (default stats_cli.jsonl)\n"
+        "  --trace-out <file>  Chrome trace of runner phases and\n"
+        "                      per-job spans (load in Perfetto)\n"
         "critics_cli report [file ...] summarize run manifests\n"
         "                      (default: all manifests in the cache\n"
         "                      dir); exit 1 on any failed job\n"
-        "critics_cli cache [stats|path|clear]\n\n"
+        "critics_cli cache [stats|path|clear]\n"
+        "critics_cli diff <before> <after> [options]\n"
+        "                      compare two runs metric-by-metric;\n"
+        "                      exit 1 on any drift beyond noise.\n"
+        "                      each side: manifest .json or result\n"
+        "                      store .jsonl\n"
+        "  --rel <frac>        relative noise threshold (default 0.01)\n"
+        "  --abs <eps>         absolute noise floor (default 1e-9)\n"
+        "  --store <file>      result store for manifest sides\n"
+        "                      (default: the shared cache)\n\n"
         "critics_cli --app <name> --variant <name> [--insts n]\n"
-        "                      [--json]   single run (legacy)\n"
+        "                      [--json] [--stats-interval n]\n"
+        "                      [--stats-out f] [--trace-out f]\n"
+        "                      single run (legacy); --trace-out here\n"
+        "                      traces the CPU pipeline stages\n"
         "critics_cli --list    list registered apps\n\n"
         "  variants: baseline|hoist|critic|critic-ideal|\n"
         "            critic-branchpair|opp16|compress|opp16+critic|\n"
         "            prefetch|aluprio|backendprio|efetch|perfectbr|\n"
         "            icache4x|2xfd|allhw\n");
     return 2;
+}
+
+// ---------------------------------------------------------------------------
+// diff: the regression harness.
+
+/** Flat registry snapshot of one run's metrics. */
+stats::Snapshot
+snapshotOf(const sim::RunResult &result)
+{
+    stats::StatRegistry reg;
+    sim::bindRunResult(reg, result);
+    return reg.snapshot();
+}
+
+/**
+ * Load one diff side as app/variant → RunResult.  A side is either a
+ * run manifest (results resolved from `storePath` by job hash) or a
+ * result-store JSONL file.  Matching is by app/variant, not hash, so
+ * runs of the same specs across a config or code change stay
+ * comparable even though every content hash moved.
+ */
+std::map<std::string, sim::RunResult>
+loadDiffSide(const std::string &path, const std::string &storePath)
+{
+    std::map<std::string, sim::RunResult> side;
+    runner::RunManifest manifest;
+    if (runner::RunManifest::read(path, manifest) &&
+        !manifest.batch.empty()) {
+        std::map<std::string, sim::RunResult> byHash;
+        for (auto &record : runner::readResultRecords(storePath))
+            byHash.emplace(record.hash, std::move(record.result));
+        for (const auto &job : manifest.jobs) {
+            if (!job.ok)
+                continue;
+            const auto it = byHash.find(job.hash);
+            if (it == byHash.end()) {
+                // Leaves the job on one side only, which the caller
+                // reports as a mismatch.
+                critics_warn("no stored result for ", job.app, "/",
+                             job.variant, " (hash ", job.hash,
+                             ") in ", storePath);
+                continue;
+            }
+            side[job.app + "/" + job.variant] = it->second;
+        }
+        return side;
+    }
+    for (auto &record : runner::readResultRecords(path))
+        side[record.app + "/" + record.variant] =
+            std::move(record.result);
+    if (side.empty()) {
+        critics_fatal("'", path, "' holds no results (expected a run ",
+                      "manifest or a result-store JSONL file)");
+    }
+    return side;
+}
+
+int
+cmdDiff(int argc, char **argv)
+{
+    stats::DiffOptions opt;
+    std::string storePath;
+    std::vector<std::string> paths;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                critics_fatal(arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--rel") {
+            opt.relThreshold = std::stod(next());
+        } else if (arg == "--abs") {
+            opt.absThreshold = std::stod(next());
+        } else if (arg == "--store") {
+            storePath = next();
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2)
+        return usage();
+    if (storePath.empty())
+        storePath = runner::cacheDir() + "/results.jsonl";
+
+    const auto before = loadDiffSide(paths[0], storePath);
+    const auto after = loadDiffSide(paths[1], storePath);
+
+    std::size_t compared = 0, regressedJobs = 0, regressedMetrics = 0;
+    bool mismatch = false;
+    for (const auto &[key, beforeResult] : before) {
+        const auto it = after.find(key);
+        if (it == after.end()) {
+            std::printf("%s: only in %s\n", key.c_str(),
+                        paths[0].c_str());
+            mismatch = true;
+            continue;
+        }
+        ++compared;
+        const auto diff = stats::diffSnapshots(
+            snapshotOf(beforeResult), snapshotOf(it->second), opt);
+        if (!diff.hasRegressions())
+            continue;
+        if (diff.regressions() > 0) {
+            ++regressedJobs;
+            regressedMetrics += diff.regressions();
+            std::printf("%s: %zu metric(s) beyond noise "
+                        "(rel %g, abs %g)\n",
+                        key.c_str(), diff.regressions(),
+                        opt.relThreshold, opt.absThreshold);
+            for (const auto &d : diff.worst(diff.deltas.size())) {
+                if (!d.regression)
+                    break;
+                std::printf("  %-34s %.6g -> %.6g  (%+.2f%%)\n",
+                            d.name.c_str(), d.before, d.after,
+                            (d.after >= d.before ? 1.0 : -1.0) *
+                                d.relDelta * 100.0);
+            }
+        }
+        for (const auto &name : diff.onlyBefore) {
+            std::printf("%s: stat %s vanished\n", key.c_str(),
+                        name.c_str());
+            mismatch = true;
+        }
+        for (const auto &name : diff.onlyAfter) {
+            std::printf("%s: stat %s appeared\n", key.c_str(),
+                        name.c_str());
+            mismatch = true;
+        }
+    }
+    for (const auto &[key, result] : after) {
+        (void)result;
+        if (before.find(key) == before.end()) {
+            std::printf("%s: only in %s\n", key.c_str(),
+                        paths[1].c_str());
+            mismatch = true;
+        }
+    }
+
+    std::printf("diff: %zu job(s) compared, %zu regressed "
+                "(%zu metric(s))%s\n",
+                compared, regressedJobs, regressedMetrics,
+                mismatch ? ", job/stat sets mismatch" : "");
+    return (regressedMetrics > 0 || mismatch) ? 1 : 0;
 }
 
 int
@@ -159,6 +340,9 @@ cmdRun(int argc, char **argv)
     std::string variantsArg = "baseline,critic";
     std::string batchName = "cli";
     std::uint64_t insts = 400000;
+    std::uint64_t statsInterval = 0;
+    std::string statsOut = "stats_cli.jsonl";
+    std::string traceOut;
     bool json = false;
     runner::RunnerOptions options;
 
@@ -183,6 +367,12 @@ cmdRun(int argc, char **argv)
             options.refresh = true;
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--stats-interval") {
+            statsInterval = std::stoull(next());
+        } else if (arg == "--stats-out") {
+            statsOut = next();
+        } else if (arg == "--trace-out") {
+            traceOut = next();
         } else {
             return usage();
         }
@@ -197,6 +387,31 @@ cmdRun(int argc, char **argv)
 
     sim::ExperimentOptions expOptions;
     expOptions.traceInsts = insts;
+
+    stats::TraceEventWriter trace;
+    if (!traceOut.empty())
+        options.trace = &trace;
+
+    // Interval sampling rides the executor: each simulated job runs
+    // with its own series (cache hits never execute, so they produce
+    // no rows) and appends its JSONL under the batch lock.
+    std::mutex statsLock;
+    std::string statsJsonl;
+    if (statsInterval > 0) {
+        options.executor = [&statsLock, &statsJsonl, statsInterval](
+                               const runner::JobSpec &spec,
+                               sim::AppExperiment &experiment) {
+            sim::RunHooks hooks;
+            stats::IntervalSeries series;
+            hooks.statsInterval = statsInterval;
+            hooks.intervals = &series;
+            auto result = experiment.run(spec.variant, hooks);
+            std::lock_guard<std::mutex> guard(statsLock);
+            statsJsonl += series.toJsonl(spec.profile.name + "/" +
+                                         spec.variant.label);
+            return result;
+        };
+    }
 
     runner::Runner runner(options);
     const auto batch = runner.run(
@@ -241,6 +456,20 @@ cmdRun(int argc, char **argv)
     std::printf("%s\n", batch.manifest.summaryLine().c_str());
     if (!batch.manifestPath.empty())
         std::printf("manifest: %s\n", batch.manifestPath.c_str());
+    if (statsInterval > 0) {
+        if (statsJsonl.empty()) {
+            std::printf("stats: no interval rows (every job came from "
+                        "the cache; use --refresh)\n");
+        } else {
+            std::ofstream out(statsOut, std::ios::trunc);
+            out << statsJsonl;
+            std::printf("stats: %s\n", statsOut.c_str());
+        }
+    }
+    if (!traceOut.empty() && trace.writeTo(traceOut)) {
+        std::printf("trace: %s (%zu events)\n", traceOut.c_str(),
+                    trace.size());
+    }
     return batch.allOk() ? 0 : 1;
 }
 
@@ -331,6 +560,9 @@ legacySingleRun(int argc, char **argv)
     std::string app = "Acrobat";
     std::string variantName = "critic";
     std::uint64_t insts = 400000;
+    std::uint64_t statsInterval = 0;
+    std::string statsOut = "stats_single.jsonl";
+    std::string traceOut;
     bool json = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -348,6 +580,12 @@ legacySingleRun(int argc, char **argv)
             insts = std::stoull(next());
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--stats-interval") {
+            statsInterval = std::stoull(next());
+        } else if (arg == "--stats-out") {
+            statsOut = next();
+        } else if (arg == "--trace-out") {
+            traceOut = next();
         } else if (arg == "--list") {
             for (const auto &profile : workload::allApps()) {
                 std::printf("%-12s %-10s %s\n", profile.name.c_str(),
@@ -365,7 +603,27 @@ legacySingleRun(int argc, char **argv)
     sim::AppExperiment exp(workload::findApp(app), options);
     const sim::Variant variant = parseVariant(variantName);
     const auto &base = exp.baseline();
-    const auto result = exp.run(variant);
+
+    sim::RunHooks hooks;
+    stats::IntervalSeries series;
+    stats::TraceEventWriter trace;
+    hooks.statsInterval = statsInterval;
+    if (statsInterval > 0)
+        hooks.intervals = &series;
+    if (!traceOut.empty())
+        hooks.trace = &trace;
+    const auto result = exp.run(variant, hooks);
+
+    if (statsInterval > 0) {
+        std::ofstream out(statsOut, std::ios::trunc);
+        out << series.toJsonl(app + "/" + variantName);
+        std::fprintf(stderr, "stats: %s (%zu rows)\n",
+                     statsOut.c_str(), series.size());
+    }
+    if (!traceOut.empty() && trace.writeTo(traceOut)) {
+        std::fprintf(stderr, "trace: %s (%zu events)\n",
+                     traceOut.c_str(), trace.size());
+    }
 
     if (json) {
         std::printf("%s\n",
@@ -408,6 +666,8 @@ run(int argc, char **argv)
             return cmdReport(argc - 2, argv + 2);
         if (command == "cache")
             return cmdCache(argc - 2, argv + 2);
+        if (command == "diff")
+            return cmdDiff(argc - 2, argv + 2);
         if (command == "--help" || command == "-h" ||
             command == "help") {
             usage();

@@ -1,9 +1,23 @@
 #include "bpu/bpu.hh"
 
+#include "stats/registry.hh"
 #include "support/logging.hh"
 
 namespace critics::bpu
 {
+
+void
+BpuStats::registerStats(stats::StatRegistry &reg,
+                        const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".lookups", lookups,
+                   "conditional-branch predictions");
+    reg.addCounter(prefix + ".mispredicts", mispredicts,
+                   "direction mispredictions");
+    reg.addFormula(prefix + ".mispredictRate",
+                   [this] { return mispredictRate(); },
+                   "mispredicts / lookups");
+}
 
 namespace
 {

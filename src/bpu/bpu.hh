@@ -10,7 +10,13 @@
 #define CRITICS_BPU_BPU_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+namespace critics::stats
+{
+class StatRegistry;
+}
 
 namespace critics::bpu
 {
@@ -27,6 +33,11 @@ struct BpuStats
         return lookups ? static_cast<double>(mispredicts) /
                          static_cast<double>(lookups) : 0.0;
     }
+
+    /** Register views of these fields under `prefix` (e.g. "bpu");
+     *  this object must outlive the registry. */
+    void registerStats(stats::StatRegistry &reg,
+                       const std::string &prefix) const;
 };
 
 /** Abstract direction predictor. */

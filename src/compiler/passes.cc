@@ -3,10 +3,30 @@
 #include <algorithm>
 
 #include "program/dfg.hh"
+#include "stats/registry.hh"
 #include "support/logging.hh"
 
 namespace critics::compiler
 {
+
+void
+PassStats::registerStats(stats::StatRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".chainsAttempted", chainsAttempted);
+    reg.addCounter(prefix + ".chainsTransformed", chainsTransformed);
+    reg.addCounter(prefix + ".hoistFailures", hoistFailures);
+    reg.addCounter(prefix + ".localRenames", localRenames);
+    reg.addCounter(prefix + ".blockedRaw", blockedRaw);
+    reg.addCounter(prefix + ".blockedMem", blockedMem);
+    reg.addCounter(prefix + ".blockedCtl", blockedCtl);
+    reg.addCounter(prefix + ".blockedRename", blockedRename);
+    reg.addCounter(prefix + ".instsConverted", instsConverted);
+    reg.addCounter(prefix + ".instsExpanded", instsExpanded);
+    reg.addCounter(prefix + ".cdpsInserted", cdpsInserted);
+    reg.addCounter(prefix + ".switchBranchesInserted",
+                   switchBranchesInserted);
+}
 
 using program::BasicBlock;
 using program::InstUid;

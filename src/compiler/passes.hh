@@ -21,9 +21,15 @@
 #define CRITICS_COMPILER_PASSES_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "program/program.hh"
+
+namespace critics::stats
+{
+class StatRegistry;
+}
 
 namespace critics::compiler
 {
@@ -50,6 +56,11 @@ struct PassStats
     std::uint64_t instsExpanded = 0;    ///< mov-expansion splits
     std::uint64_t cdpsInserted = 0;
     std::uint64_t switchBranchesInserted = 0;
+
+    /** Register views of these fields under `prefix` (e.g. "pass");
+     *  this object must outlive the registry. */
+    void registerStats(stats::StatRegistry &reg,
+                       const std::string &prefix) const;
 };
 
 struct CritIcPassOptions

@@ -4,10 +4,73 @@
 #include <deque>
 
 #include "isa/isa.hh"
+#include "stats/interval.hh"
+#include "stats/registry.hh"
+#include "stats/trace_event.hh"
 #include "support/logging.hh"
 
 namespace critics::cpu
 {
+
+void
+StageBreakdown::registerStats(stats::StatRegistry &reg,
+                              const std::string &name) const
+{
+    reg.addVector(name,
+                  {{"fetch", nullptr, &fetch},
+                   {"decode", nullptr, &decode},
+                   {"issueWait", nullptr, &issueWait},
+                   {"execute", nullptr, &execute},
+                   {"commitWait", nullptr, &commitWait},
+                   {"insts", &insts, nullptr}},
+                  "per-stage residency (cycles over instructions)");
+}
+
+void
+CpuStats::registerStats(stats::StatRegistry &reg,
+                        const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".cycles", cycles, "execution cycles");
+    reg.addCounter(prefix + ".committed", committed,
+                   "committed instructions");
+    reg.addFormula(prefix + ".ipc", [this] { return ipc(); },
+                   "committed / cycles");
+    reg.addCounter(prefix + ".fetch.stallForI.icache", stallForIIcache,
+                   "F.StallForI cycles: i-cache miss");
+    reg.addCounter(prefix + ".fetch.stallForI.redirect",
+                   stallForIRedirect,
+                   "F.StallForI cycles: branch redirect");
+    reg.addCounter(prefix + ".fetch.stallForRd", stallForRd,
+                   "F.StallForR+D cycles: back-pressure");
+    reg.addFormula(prefix + ".fetch.fracStallForI",
+                   [this] { return fracStallForI(); },
+                   "F.StallForI / cycles");
+    reg.addFormula(prefix + ".fetch.fracStallForRd",
+                   [this] { return fracStallForRd(); },
+                   "F.StallForR+D / cycles");
+    reg.addCounter(prefix + ".fetch.windows", fetchWindows,
+                   "i-cache fetch accesses");
+    reg.addCounter(prefix + ".fetch.bytes", fetchedBytes,
+                   "code bytes brought in by fetch");
+    reg.addCounter(prefix + ".decode.cdpBubbles", decodeCdpBubbles,
+                   "decode cycles lost to CDP format switches");
+    reg.addCounter(prefix + ".branch.cond", condBranches,
+                   "conditional branches fetched");
+    reg.addCounter(prefix + ".branch.mispredicts", mispredicts,
+                   "direction mispredictions");
+    reg.addFormula(prefix + ".branch.mpki",
+                   [this] {
+                       return committed
+                           ? 1000.0 * static_cast<double>(mispredicts) /
+                                 static_cast<double>(committed)
+                           : 0.0;
+                   },
+                   "mispredicts per kilo-instruction");
+    all.registerStats(reg, prefix + ".stage.all");
+    crit.registerStats(reg, prefix + ".stage.crit");
+    reg.addValue(prefix + ".efetchAccuracy", efetchAccuracy,
+                 "EFetch call-target prediction accuracy");
+}
 
 using program::DynIdx;
 using program::DynInst;
@@ -162,6 +225,39 @@ runTrace(const Trace &trace, const CpuConfig &config,
     std::vector<std::size_t> eligible;
     eligible.reserve(config.robSize);
 
+    // ---- Observability hooks ---------------------------------------------
+    // Interval rows hold *cumulative raw* values: the registry views the
+    // live `stats` object, whose derived fields (cycles, mem) are
+    // refreshed right before each sample.  Warmup subtraction happens
+    // only on the returned totals, so (lastRow - warmupRow) reproduces
+    // the reported post-warmup numbers.
+    const bool sampling =
+        config.intervals != nullptr && config.statsInterval > 0;
+    stats::StatRegistry reg;
+    if (sampling) {
+        stats.registerStats(reg, "cpu");
+        stats.mem.registerStats(reg, "mem");
+    }
+    std::uint64_t nextSample = config.statsInterval;
+    auto sampleNow = [&](std::uint64_t cyclesSoFar) {
+        stats.cycles = cyclesSoFar;
+        stats.committed = committed;
+        stats.mem = memory.stats();
+        stats.efetchAccuracy = efetch.accuracy();
+        config.intervals->sample(reg, committed);
+    };
+
+    stats::TraceEventWriter *tsink = config.traceSink;
+    std::uint64_t tracedInsts = 0;
+    if (tsink) {
+        tsink->setProcessName(0, "cpu pipeline");
+        tsink->setThreadName(0, 1, "fetch");
+        tsink->setThreadName(0, 2, "decode");
+        tsink->setThreadName(0, 3, "issueWait");
+        tsink->setThreadName(0, 4, "execute");
+        tsink->setThreadName(0, 5, "commitWait");
+    }
+
     const std::uint64_t cycleLimit =
         200ull * trace.size() + 1000000ull;
 
@@ -188,6 +284,28 @@ runTrace(const Trace &trace, const CpuConfig &config,
             account(stats.all);
             if (critMask && (*critMask)[head.dyn])
                 account(stats.crit);
+            if (tsink && warmupDone &&
+                tracedInsts < config.traceMaxInsts) {
+                // One span per stage, on the stage's own track, so the
+                // viewer shows the classic pipeline diagram.  ts is in
+                // simulated cycles (rendered as microseconds).
+                const char *op =
+                    isa::opClassName(trace.insts[head.dyn].op);
+                const auto dyn = static_cast<double>(head.dyn);
+                auto span = [&](std::uint32_t from, std::uint32_t to,
+                                std::uint32_t tid) {
+                    if (to > from) {
+                        tsink->complete(op, "pipeline", from, to - from,
+                                        0, tid, "dyn", dyn);
+                    }
+                };
+                span(head.fetchC, head.popC, 1);
+                span(head.popC, head.dispatchC, 2);
+                span(head.dispatchC, head.issueC, 3);
+                span(head.issueC, head.completeC, 4);
+                span(head.completeC, commitC, 5);
+                ++tracedInsts;
+            }
             robHead = (robHead + 1) % config.robSize;
             --robCount;
             ++committed;
@@ -454,6 +572,15 @@ runTrace(const Trace &trace, const CpuConfig &config,
             warmupSnapshot.cycles = cycle + 1;
             warmupSnapshot.committed = committed;
             warmupSnapshot.mem = memory.stats();
+            // Force a row at the warmup boundary so the post-warmup
+            // window can be recovered from the series alone.
+            if (sampling)
+                sampleNow(cycle + 1);
+        }
+        if (sampling && committed >= nextSample) {
+            sampleNow(cycle + 1);
+            while (nextSample <= committed)
+                nextSample += config.statsInterval;
         }
 
         ++cycle;
@@ -463,6 +590,12 @@ runTrace(const Trace &trace, const CpuConfig &config,
     stats.committed = committed;
     stats.mem = memory.stats();
     stats.efetchAccuracy = efetch.accuracy();
+    // Final forced row: cumulative end-of-run values, before any warmup
+    // subtraction (a repeated index overwrites the periodic row).
+    if (sampling)
+        config.intervals->sample(reg, committed);
+    critics_debug("cpu", committed, " insts in ", cycle,
+                  " cycles (warmup ", config.warmupCommits, ")");
 
     if (config.warmupCommits > 0) {
         // Report the post-warmup window only.

@@ -27,12 +27,20 @@
 #define CRITICS_CPU_CPU_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "bpu/bpu.hh"
 #include "mem/hierarchy.hh"
 #include "program/trace.hh"
+
+namespace critics::stats
+{
+class IntervalSeries;
+class StatRegistry;
+class TraceEventWriter;
+}
 
 namespace critics::cpu
 {
@@ -71,6 +79,19 @@ struct CpuConfig
      *  sampling mid-execution in the paper's methodology). */
     std::uint64_t warmupCommits = 0;
 
+    // Observability hooks.  These never influence simulated behaviour
+    // and are never serialized into experiment cache keys.
+    /** Sample every registered stat into `intervals` each time this
+     *  many further instructions commit (0 = off).  The warmup
+     *  boundary and the end of run are always sampled too. */
+    std::uint64_t statsInterval = 0;
+    stats::IntervalSeries *intervals = nullptr;
+    /** Per-instruction stage-residency spans (Chrome trace events);
+     *  spans are emitted for post-warmup committed instructions up to
+     *  traceMaxInsts. */
+    stats::TraceEventWriter *traceSink = nullptr;
+    std::uint64_t traceMaxInsts = 4096;
+
     /** Apply the hypothetical 2xFD front end of Fig. 11. */
     void
     doubleFrontend()
@@ -98,6 +119,12 @@ struct StageBreakdown
     {
         return fetch + decode + issueWait + execute + commitWait;
     }
+
+    /** Register as one Vector stat named `name` (elements fetch /
+     *  decode / issueWait / execute / commitWait / insts); this object
+     *  must outlive the registry. */
+    void registerStats(stats::StatRegistry &reg,
+                       const std::string &name) const;
 };
 
 struct CpuStats
@@ -145,6 +172,15 @@ struct CpuStats
         return cycles ? static_cast<double>(stallForRd) /
                         static_cast<double>(cycles) : 0.0;
     }
+
+    /** Register views of the CPU-side stats under `prefix` (default
+     *  "cpu").  The nested memory hierarchy is NOT registered — call
+     *  mem.registerStats() separately (conventionally under "mem") so
+     *  its dotted names stay stable whether they come from a CpuStats
+     *  or a bare MemorySystem.  This object must outlive the registry.
+     */
+    void registerStats(stats::StatRegistry &reg,
+                       const std::string &prefix = "cpu") const;
 };
 
 /**

@@ -1,7 +1,25 @@
 #include "energy/energy.hh"
 
+#include "stats/registry.hh"
+
 namespace critics::energy
 {
+
+void
+EnergyBreakdown::registerStats(stats::StatRegistry &reg,
+                               const std::string &prefix) const
+{
+    reg.addValue(prefix + ".cpuCore", cpuCore, "core energy (nJ)");
+    reg.addValue(prefix + ".icache", icache, "i-cache energy (nJ)");
+    reg.addValue(prefix + ".dcache", dcache, "d-cache energy (nJ)");
+    reg.addValue(prefix + ".l2", l2, "L2 energy (nJ)");
+    reg.addValue(prefix + ".dram", dram, "DRAM energy (nJ)");
+    reg.addValue(prefix + ".socRest", socRest, "rest-of-SoC energy (nJ)");
+    reg.addFormula(prefix + ".cpu", [this] { return cpu(); },
+                   "core + L1s + L2 (nJ)");
+    reg.addFormula(prefix + ".total", [this] { return total(); },
+                   "whole-SoC energy (nJ)");
+}
 
 EnergyBreakdown
 computeEnergy(const cpu::CpuStats &stats, const EnergyConfig &config)

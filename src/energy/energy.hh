@@ -22,7 +22,14 @@
 #ifndef CRITICS_ENERGY_ENERGY_HH
 #define CRITICS_ENERGY_ENERGY_HH
 
+#include <string>
+
 #include "cpu/cpu.hh"
+
+namespace critics::stats
+{
+class StatRegistry;
+}
 
 namespace critics::energy
 {
@@ -69,6 +76,11 @@ struct EnergyBreakdown
     {
         return cpuCore + icache + dcache + l2 + dram + socRest;
     }
+
+    /** Register views of these fields under `prefix` (e.g. "energy");
+     *  this object must outlive the registry. */
+    void registerStats(stats::StatRegistry &reg,
+                       const std::string &prefix) const;
 };
 
 /** Compute the component energies of one run. */

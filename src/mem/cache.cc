@@ -1,9 +1,27 @@
 #include "mem/cache.hh"
 
+#include "stats/registry.hh"
 #include "support/logging.hh"
 
 namespace critics::mem
 {
+
+void
+CacheStats::registerStats(stats::StatRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".accesses", accesses, "demand lookups");
+    reg.addCounter(prefix + ".misses", misses, "demand misses");
+    reg.addCounter(prefix + ".prefetchFills", prefetchFills,
+                   "lines installed by prefetch");
+    reg.addCounter(prefix + ".prefetchHits", prefetchHits,
+                   "demand hits on prefetched lines");
+    reg.addFormula(prefix + ".hits",
+                   [this] { return static_cast<double>(hits()); },
+                   "demand hits");
+    reg.addFormula(prefix + ".missRate", [this] { return missRate(); },
+                   "misses / accesses");
+}
 
 namespace
 {

@@ -14,6 +14,11 @@
 #include <string>
 #include <vector>
 
+namespace critics::stats
+{
+class StatRegistry;
+}
+
 namespace critics::mem
 {
 
@@ -43,6 +48,11 @@ struct CacheStats
         return accesses ? static_cast<double>(misses) /
                           static_cast<double>(accesses) : 0.0;
     }
+
+    /** Register views of these fields under `prefix` (e.g. "mem.l1i");
+     *  this object must outlive the registry. */
+    void registerStats(stats::StatRegistry &reg,
+                       const std::string &prefix) const;
 };
 
 /** Result of a lookup. */

@@ -2,10 +2,27 @@
 
 #include <algorithm>
 
+#include "stats/registry.hh"
 #include "support/logging.hh"
 
 namespace critics::mem
 {
+
+void
+DramStats::registerStats(stats::StatRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".reads", reads, "line reads served");
+    reg.addCounter(prefix + ".rowHits", rowHits, "open-page row hits");
+    reg.addCounter(prefix + ".rowConflicts", rowConflicts,
+                   "row conflicts (precharge + activate)");
+    reg.addCounter(prefix + ".activates", activates, "row activations");
+    reg.addCounter(prefix + ".totalLatency", totalLatency,
+                   "summed read latency (cycles)");
+    reg.addFormula(prefix + ".avgLatency",
+                   [this] { return avgLatency(); },
+                   "average read latency (cycles)");
+}
 
 Dram::Dram(const DramConfig &config)
     : config_(config),

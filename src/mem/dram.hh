@@ -11,6 +11,7 @@
 #define CRITICS_MEM_DRAM_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mem/cache.hh" // Cycle/Addr
@@ -47,6 +48,11 @@ struct DramStats
         return reads ? static_cast<double>(totalLatency) /
                        static_cast<double>(reads) : 0.0;
     }
+
+    /** Register views of these fields under `prefix` (e.g. "mem.dram");
+     *  this object must outlive the registry. */
+    void registerStats(stats::StatRegistry &reg,
+                       const std::string &prefix) const;
 };
 
 class Dram

@@ -1,7 +1,21 @@
 #include "mem/hierarchy.hh"
 
+#include "stats/registry.hh"
+
 namespace critics::mem
 {
+
+void
+MemStats::registerStats(stats::StatRegistry &reg,
+                        const std::string &prefix) const
+{
+    icache.registerStats(reg, prefix + ".l1i");
+    dcache.registerStats(reg, prefix + ".l1d");
+    l2.registerStats(reg, prefix + ".l2");
+    dram.registerStats(reg, prefix + ".dram");
+    stride.registerStats(reg, prefix + ".stride");
+    reg.addCounter(prefix + ".stores", storeAccesses, "data stores");
+}
 
 MemorySystem::MemorySystem(const MemConfig &config)
     : config_(config),

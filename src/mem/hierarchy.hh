@@ -48,6 +48,12 @@ struct MemStats
     DramStats dram;
     PrefetchStats stride;
     std::uint64_t storeAccesses = 0;
+
+    /** Register the whole hierarchy under `prefix` (default "mem"):
+     *  the L1s appear as <prefix>.l1i / <prefix>.l1d, plus .l2, .dram,
+     *  .stride and .stores.  This object must outlive the registry. */
+    void registerStats(stats::StatRegistry &reg,
+                       const std::string &prefix = "mem") const;
 };
 
 class MemorySystem

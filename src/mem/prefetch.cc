@@ -1,10 +1,19 @@
 #include "mem/prefetch.hh"
 
+#include "stats/registry.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 
 namespace critics::mem
 {
+
+void
+PrefetchStats::registerStats(stats::StatRegistry &reg,
+                             const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".trains", trains, "observations");
+    reg.addCounter(prefix + ".issued", issued, "prefetches issued");
+}
 
 StridePrefetcher::StridePrefetcher(unsigned entries, unsigned lineBytes,
                                    unsigned degree)

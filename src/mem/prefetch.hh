@@ -13,6 +13,7 @@
 #define CRITICS_MEM_PREFETCH_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mem/cache.hh" // Addr/Cycle
@@ -24,6 +25,11 @@ struct PrefetchStats
 {
     std::uint64_t trains = 0;
     std::uint64_t issued = 0;
+
+    /** Register views of these fields under `prefix`; this object must
+     *  outlive the registry. */
+    void registerStats(stats::StatRegistry &reg,
+                       const std::string &prefix) const;
 };
 
 /** Region-based stride detector; emits line addresses to prefetch. */

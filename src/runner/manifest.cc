@@ -75,6 +75,13 @@ RunManifest::toJson() const
         .field("simInsts", totalSimInsts())
         .fieldReadable("instsPerSec", throughput())
         .endObject();
+    w.beginObject("runnerStats")
+        .field("cacheHits", runnerStats.cacheHits)
+        .field("cacheMisses", runnerStats.cacheMisses)
+        .field("cacheInserts", runnerStats.cacheInserts)
+        .field("poolTasks", runnerStats.poolTasks)
+        .field("poolThreads", runnerStats.poolThreads)
+        .endObject();
     w.beginArray("jobs");
     for (const auto &job : jobs) {
         w.elementObject()
@@ -135,6 +142,19 @@ RunManifest::read(const std::string &path, RunManifest &out)
         out.wallSeconds = v->asDouble().value_or(0.0);
     if (const JsonValue *v = doc->find("interrupted"))
         out.interrupted = v->asBool().value_or(false);
+    // Optional (absent in manifests written before the counters).
+    if (const JsonValue *rs = doc->find("runnerStats");
+        rs && rs->isObject()) {
+        auto uint = [&](const char *key) {
+            const JsonValue *v = rs->find(key);
+            return v ? v->asUint().value_or(0) : 0;
+        };
+        out.runnerStats.cacheHits = uint("cacheHits");
+        out.runnerStats.cacheMisses = uint("cacheMisses");
+        out.runnerStats.cacheInserts = uint("cacheInserts");
+        out.runnerStats.poolTasks = uint("poolTasks");
+        out.runnerStats.poolThreads = uint("poolThreads");
+    }
     const JsonValue *jobs = doc->find("jobs");
     if (jobs && jobs->isArray()) {
         for (const auto &elem : jobs->elements) {

@@ -37,6 +37,17 @@ struct JobRecord
     }
 };
 
+/** Runner-infrastructure counters snapshotted at batch end
+ *  (process-cumulative: result-cache traffic and pool activity). */
+struct RunnerCounters
+{
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheInserts = 0;
+    std::uint64_t poolTasks = 0;
+    std::uint64_t poolThreads = 0;
+};
+
 struct RunManifest
 {
     std::string batch;
@@ -45,6 +56,7 @@ struct RunManifest
     std::uint64_t startedUnix = 0;
     double wallSeconds = 0.0;
     bool interrupted = false;
+    RunnerCounters runnerStats;
     std::vector<JobRecord> jobs;
 
     std::size_t cachedCount() const;

@@ -9,6 +9,8 @@
 #include <unordered_map>
 
 #include "runner/thread_pool.hh"
+#include "stats/registry.hh"
+#include "stats/trace_event.hh"
 #include "support/logging.hh"
 
 namespace critics::runner
@@ -166,6 +168,13 @@ Runner::Runner(RunnerOptions options)
 
 Runner::~Runner() = default;
 
+void
+Runner::registerStats(stats::StatRegistry &reg) const
+{
+    store_.registerStats(reg, "runner.cache");
+    ThreadPool::shared().registerStats(reg, "runner.pool");
+}
+
 std::shared_ptr<sim::AppExperiment>
 Runner::experiment(const workload::AppProfile &profile,
                    const sim::ExperimentOptions &options)
@@ -207,7 +216,25 @@ Runner::run(const std::string &batchName,
     const auto startWall = Clock::now();
     SigintGuard sigint;
 
+    stats::TraceEventWriter *tsink = options_.trace;
+    auto usSince = [&](Clock::time_point t) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                t - startWall)
+                .count());
+    };
+    auto phaseSpan = [&](const char *name, Clock::time_point from) {
+        if (tsink) {
+            const std::uint64_t ts = usSince(from);
+            tsink->complete(name, "phase", ts,
+                            usSince(Clock::now()) - ts, 0, 0);
+        }
+    };
+    if (tsink)
+        tsink->setProcessName(0, "runner: " + batchName);
+
     // ---- Phase 1: serve cache hits --------------------------------------
+    const auto lookupStart = Clock::now();
     std::vector<std::size_t> misses;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         if (options_.useCache && !options_.refresh) {
@@ -221,6 +248,7 @@ Runner::run(const std::string &batchName,
         }
         misses.push_back(i);
     }
+    phaseSpan("cache-lookup", lookupStart);
 
     // ---- Phase 2: dedup identical in-flight jobs -------------------------
     // One representative simulates; duplicates copy its outcome.
@@ -247,6 +275,7 @@ Runner::run(const std::string &batchName,
     progress.update(doneCount.load(), 0);
 
     // ---- Phase 3: run the misses on the pool -----------------------------
+    const auto simStart = Clock::now();
     ThreadPool::shared().forEach(unique.size(), [&](std::size_t u) {
         const std::size_t i = unique[u];
         const JobSpec &spec = jobs[i];
@@ -278,6 +307,14 @@ Runner::run(const std::string &batchName,
                 outcome.attempts = options_.maxAttempts;
         }
         outcome.wallSeconds = secondsSince(jobStart);
+        if (tsink) {
+            tsink->complete(
+                spec.profile.name + "/" + spec.variant.label, "job",
+                usSince(jobStart),
+                static_cast<std::uint64_t>(outcome.wallSeconds * 1e6),
+                0, tsink->tidForCurrentThread(), "attempts",
+                static_cast<double>(outcome.attempts));
+        }
 
         if (outcome.ok && options_.useCache)
             store_.insert(spec, outcome.result);
@@ -292,10 +329,20 @@ Runner::run(const std::string &batchName,
         progress.update(done, simulatedCount.fetch_add(1) + 1);
     });
     progress.finish();
+    if (!unique.empty())
+        phaseSpan("simulate", simStart);
 
     // ---- Phase 4: manifest ----------------------------------------------
+    const auto manifestStart = Clock::now();
     batch.manifest.wallSeconds = secondsSince(startWall);
     batch.manifest.interrupted = SigintGuard::interrupted();
+    batch.manifest.runnerStats.cacheHits = store_.hits();
+    batch.manifest.runnerStats.cacheMisses = store_.misses();
+    batch.manifest.runnerStats.cacheInserts = store_.inserts();
+    batch.manifest.runnerStats.poolTasks =
+        ThreadPool::shared().tasksSubmitted();
+    batch.manifest.runnerStats.poolThreads =
+        ThreadPool::shared().threadCount();
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const JobOutcome &outcome = batch.outcomes[i];
         JobRecord record;
@@ -313,6 +360,9 @@ Runner::run(const std::string &batchName,
     }
     if (options_.writeManifest)
         batch.manifestPath = batch.manifest.write(options_.manifestDir);
+    phaseSpan("manifest", manifestStart);
+
+    critics_debug("runner", batch.manifest.summaryLine());
 
     for (const auto &record : batch.manifest.jobs) {
         if (!record.ok) {

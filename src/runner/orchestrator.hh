@@ -34,6 +34,12 @@
 #include "runner/manifest.hh"
 #include "runner/result_store.hh"
 
+namespace critics::stats
+{
+class StatRegistry;
+class TraceEventWriter;
+}
+
 namespace critics::runner
 {
 
@@ -60,6 +66,9 @@ struct RunnerOptions
     std::function<sim::RunResult(const JobSpec &,
                                  sim::AppExperiment &)>
         executor;
+    /** Record batch phases and per-job spans as Chrome trace events
+     *  (ts/dur in real microseconds); nullptr = off. */
+    stats::TraceEventWriter *trace = nullptr;
 };
 
 /** What happened to one JobSpec of a batch. */
@@ -114,6 +123,11 @@ class Runner
 
     ResultStore &store() { return store_; }
     const RunnerOptions &options() const { return options_; }
+
+    /** Register the runner's infrastructure counters: the result
+     *  cache under "runner.cache", the pool under "runner.pool".
+     *  The Runner must outlive the registry. */
+    void registerStats(stats::StatRegistry &reg) const;
 
   private:
     RunnerOptions options_;

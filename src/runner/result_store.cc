@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "runner/json.hh"
+#include "stats/registry.hh"
 #include "support/logging.hh"
 
 namespace critics::runner
@@ -258,6 +259,51 @@ resultFromJson(const JsonValue &json)
     return r;
 }
 
+std::vector<ResultRecord>
+readResultRecords(const std::string &path)
+{
+    std::vector<ResultRecord> records;
+    std::unordered_map<std::string, std::size_t> byHash;
+    std::ifstream in(path);
+    if (!in)
+        return records;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const auto doc = parseJson(line);
+        if (!doc || !doc->isObject())
+            continue;
+        const JsonValue *schema = doc->find("schema");
+        if (!schema || schema->asInt() != kResultSchemaVersion)
+            continue;
+        const JsonValue *result = doc->find("result");
+        if (!result)
+            continue;
+        auto parsed = resultFromJson(*result);
+        if (!parsed)
+            continue;
+        ResultRecord record;
+        auto str = [&](const char *key) {
+            const JsonValue *v = doc->find(key);
+            return v ? v->asString().value_or("") : std::string{};
+        };
+        record.hash = str("hash");
+        record.app = str("app");
+        record.variant = str("variant");
+        record.spec = str("spec");
+        record.result = *parsed;
+        const auto it = byHash.find(record.hash);
+        if (it != byHash.end())
+            records[it->second] = std::move(record); // last wins
+        else {
+            byHash.emplace(record.hash, records.size());
+            records.push_back(std::move(record));
+        }
+    }
+    return records;
+}
+
 std::string
 cacheDir()
 {
@@ -329,10 +375,15 @@ ResultStore::lookup(const JobSpec &spec) const
 {
     std::lock_guard<std::mutex> guard(lock_);
     const auto it = entries_.find(spec.hashHex());
-    if (it == entries_.end())
+    if (it == entries_.end()) {
+        ++misses_;
         return std::nullopt;
-    if (it->second.spec != spec.specString())
+    }
+    if (it->second.spec != spec.specString()) {
+        ++misses_;
         return std::nullopt; // hash collision: treat as a miss
+    }
+    ++hits_;
     return it->second.result;
 }
 
@@ -365,6 +416,7 @@ ResultStore::insert(const JobSpec &spec, const sim::RunResult &result)
         w.str() + ",\"result\":" + resultToJson(result) + "}";
 
     entries_[spec.hashHex()] = Entry{spec.specString(), result};
+    ++inserts_;
     if (out_) {
         // One line per record, flushed immediately: an interrupt can
         // lose at most the line being written, never corrupt others.
@@ -379,6 +431,41 @@ ResultStore::size() const
 {
     std::lock_guard<std::mutex> guard(lock_);
     return entries_.size();
+}
+
+std::uint64_t
+ResultStore::hits() const
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    return hits_;
+}
+
+std::uint64_t
+ResultStore::misses() const
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    return misses_;
+}
+
+std::uint64_t
+ResultStore::inserts() const
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    return inserts_;
+}
+
+void
+ResultStore::registerStats(stats::StatRegistry &reg,
+                           const std::string &prefix) const
+{
+    // Counter views are read without the lock at export time; a stale
+    // 64-bit aligned load is harmless for observability.
+    reg.addCounter(prefix + ".hits", hits_, "cache hits served");
+    reg.addCounter(prefix + ".misses", misses_, "cache misses");
+    reg.addCounter(prefix + ".inserts", inserts_, "records appended");
+    reg.addFormula(prefix + ".entries",
+                   [this] { return static_cast<double>(size()); },
+                   "records resident");
 }
 
 void

@@ -17,19 +17,28 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "runner/job.hh"
 
+namespace critics::json
+{
+class JsonValue;
+}
+
+namespace critics::stats
+{
+class StatRegistry;
+}
+
 namespace critics::runner
 {
-
-class JsonValue;
 
 /** Serialize every RunResult field (bit-exact doubles). */
 std::string resultToJson(const sim::RunResult &result);
 
 /** Inverse of resultToJson(); nullopt if any field is missing. */
-std::optional<sim::RunResult> resultFromJson(const JsonValue &json);
+std::optional<sim::RunResult> resultFromJson(const json::JsonValue &json);
 
 /**
  * Directory holding the cache and the run manifests.  Resolution:
@@ -37,6 +46,25 @@ std::optional<sim::RunResult> resultFromJson(const JsonValue &json);
  * working directory.
  */
 std::string cacheDir();
+
+/** One record of a result-store file, with its provenance fields. */
+struct ResultRecord
+{
+    std::string hash;
+    std::string app;
+    std::string variant;
+    std::string spec;
+    sim::RunResult result;
+};
+
+/**
+ * Read every well-formed current-schema record of a results.jsonl
+ * file, in file order with later duplicates of a hash superseding
+ * earlier ones (the store's append semantics).  Unlike ResultStore,
+ * this keeps the app/variant provenance — the key `critics_cli diff`
+ * matches runs by, since a config change alters every content hash.
+ */
+std::vector<ResultRecord> readResultRecords(const std::string &path);
 
 class ResultStore
 {
@@ -61,6 +89,16 @@ class ResultStore
     std::size_t size() const;
     const std::string &path() const { return path_; }
 
+    // Lifetime counters (process-cumulative, not persisted).
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::uint64_t inserts() const;
+
+    /** Register cache counters under `prefix` (conventionally
+     *  "runner.cache"); the store must outlive the registry. */
+    void registerStats(stats::StatRegistry &reg,
+                       const std::string &prefix) const;
+
     /** Delete the backing file and forget all records. */
     void clear();
 
@@ -77,6 +115,9 @@ class ResultStore
     std::string path_;
     std::unordered_map<std::string, Entry> entries_;
     std::FILE *out_ = nullptr; ///< lazily-opened append handle
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+    std::uint64_t inserts_ = 0;
 };
 
 } // namespace critics::runner

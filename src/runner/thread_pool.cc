@@ -5,6 +5,8 @@
 #include <exception>
 #include <memory>
 
+#include "stats/registry.hh"
+
 namespace critics::runner
 {
 
@@ -41,6 +43,27 @@ ThreadPool::ThreadPool(std::size_t threads)
     threads_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i)
         threads_.emplace_back([this] { workerLoop(); });
+    threadCount64_ = threads_.size();
+}
+
+std::uint64_t
+ThreadPool::tasksSubmitted() const
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    return tasksSubmitted_;
+}
+
+void
+ThreadPool::registerStats(stats::StatRegistry &reg,
+                          const std::string &prefix) const
+{
+    // Counter views are read without the lock at export time; a 64-bit
+    // aligned load can at worst be one task stale, which is fine for
+    // observability.
+    reg.addCounter(prefix + ".tasks", tasksSubmitted_,
+                   "work units enqueued");
+    reg.addCounter(prefix + ".threads", threadCount64_,
+                   "worker threads");
 }
 
 ThreadPool::~ThreadPool()
@@ -66,6 +89,7 @@ ThreadPool::submit(std::function<void()> task)
     {
         std::lock_guard<std::mutex> guard(lock_);
         queue_.push_back(std::move(task));
+        ++tasksSubmitted_;
     }
     wake_.notify_one();
 }

@@ -12,11 +12,18 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+namespace critics::stats
+{
+class StatRegistry;
+}
 
 namespace critics::runner
 {
@@ -39,6 +46,14 @@ class ThreadPool
 
     std::size_t threadCount() const { return threads_.size(); }
 
+    /** Work units enqueued via submit() over the pool's lifetime. */
+    std::uint64_t tasksSubmitted() const;
+
+    /** Register pool counters under `prefix` (e.g. "runner.pool");
+     *  the pool must outlive the registry. */
+    void registerStats(stats::StatRegistry &reg,
+                       const std::string &prefix) const;
+
     /** Enqueue one task; runs as soon as a worker frees up. */
     void submit(std::function<void()> task);
 
@@ -58,10 +73,12 @@ class ThreadPool
   private:
     void workerLoop();
 
-    std::mutex lock_;
+    mutable std::mutex lock_;
     std::condition_variable wake_;
     std::deque<std::function<void()>> queue_;
     std::vector<std::thread> threads_;
+    std::uint64_t tasksSubmitted_ = 0;
+    std::uint64_t threadCount64_ = 0; ///< threads_.size(), viewable
     bool stop_ = false;
 };
 

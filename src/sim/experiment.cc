@@ -95,6 +95,12 @@ AppExperiment::baseline()
 RunResult
 AppExperiment::run(const Variant &variant)
 {
+    return run(variant, RunHooks{});
+}
+
+RunResult
+AppExperiment::run(const Variant &variant, const RunHooks &hooks)
+{
     RunResult result;
 
     // ---- Software transform ------------------------------------------
@@ -191,6 +197,10 @@ AppExperiment::run(const Variant &variant)
     cpuCfg.backendPrio = variant.backendPrio;
     cpuCfg.criticalLoadPrefetch = variant.criticalLoadPrefetch;
     cpuCfg.efetch = variant.efetch;
+    cpuCfg.statsInterval = hooks.statsInterval;
+    cpuCfg.intervals = hooks.intervals;
+    cpuCfg.traceSink = hooks.trace;
+    cpuCfg.traceMaxInsts = hooks.traceMaxInsts;
 
     mem::MemConfig memCfg;
     if (variant.icache4x)

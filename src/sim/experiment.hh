@@ -29,6 +29,12 @@
 #include "workload/profile.hh"
 #include "workload/synth.hh"
 
+namespace critics::stats
+{
+class IntervalSeries;
+class TraceEventWriter;
+}
+
 namespace critics::sim
 {
 
@@ -76,6 +82,22 @@ struct Variant
     bool criticalLoadPrefetch = false;
 };
 
+/**
+ * Observability hooks for one run.  Deliberately NOT part of Variant
+ * or ExperimentOptions: hooks never change simulated behaviour, so
+ * they must never enter a job's spec string (and thereby its cache
+ * key) — a hooked run and a plain run are the same experiment.
+ */
+struct RunHooks
+{
+    /** Sample all stats every N committed instructions (0 = off). */
+    std::uint64_t statsInterval = 0;
+    stats::IntervalSeries *intervals = nullptr;
+    /** Per-instruction pipeline spans (Chrome trace events). */
+    stats::TraceEventWriter *trace = nullptr;
+    std::uint64_t traceMaxInsts = 4096;
+};
+
 struct RunResult
 {
     cpu::CpuStats cpu;
@@ -113,6 +135,8 @@ class AppExperiment
     // ---- Design-point runs -----------------------------------------------
     const RunResult &baseline();
     RunResult run(const Variant &variant);
+    /** Same run with interval sampling / trace export attached. */
+    RunResult run(const Variant &variant, const RunHooks &hooks);
 
     /** baselineCycles / variantCycles. */
     double speedup(const RunResult &result);

@@ -1,106 +1,45 @@
 #include "sim/report.hh"
 
-#include <sstream>
+#include <cmath>
+
+#include "stats/registry.hh"
+#include "support/json.hh"
 
 namespace critics::sim
 {
 
+void
+bindRunResult(stats::StatRegistry &reg, const RunResult &result)
+{
+    result.cpu.registerStats(reg, "cpu");
+    result.cpu.mem.registerStats(reg, "mem");
+    result.energy.registerStats(reg, "energy");
+    result.pass.registerStats(reg, "pass");
+    reg.addValue("run.selectionCoverage", result.selectionCoverage,
+                 "expected dynamic coverage of selected chains");
+    reg.addValue("run.staticThumbFraction", result.staticThumbFraction,
+                 "static instructions in 16-bit format");
+    reg.addValue("run.dynThumbFraction", result.dynThumbFraction,
+                 "dynamic instructions in 16-bit format");
+}
+
 namespace
 {
 
-class JsonWriter
+void
+writeRun(json::JsonWriter &w, const RunResult &result,
+         const std::string &label)
 {
-  public:
-    void
-    open()
-    {
-        os_ << "{";
-        first_ = true;
-    }
-
-    void
-    close()
-    {
-        os_ << "}";
-    }
-
-    template <typename T>
-    void
-    field(const char *key, const T &value)
-    {
-        sep();
-        os_ << "\"" << key << "\":" << value;
-    }
-
-    void
-    field(const char *key, const std::string &value)
-    {
-        sep();
-        os_ << "\"" << key << "\":\"" << value << "\"";
-    }
-
-    void
-    raw(const char *key, const std::string &value)
-    {
-        sep();
-        os_ << "\"" << key << "\":" << value;
-    }
-
-    std::string str() const { return os_.str(); }
-
-  private:
-    void
-    sep()
-    {
-        if (!first_)
-            os_ << ",";
-        first_ = false;
-    }
-
-    std::ostringstream os_;
-    bool first_ = true;
-};
-
-std::string
-cpuJson(const cpu::CpuStats &stats)
-{
-    JsonWriter w;
-    w.open();
-    w.field("cycles", stats.cycles);
-    w.field("committed", stats.committed);
-    w.field("ipc", stats.ipc());
-    w.field("stallForIIcache", stats.stallForIIcache);
-    w.field("stallForIRedirect", stats.stallForIRedirect);
-    w.field("stallForRd", stats.stallForRd);
-    w.field("fracStallForI", stats.fracStallForI());
-    w.field("fracStallForRd", stats.fracStallForRd());
-    w.field("mispredicts", stats.mispredicts);
-    w.field("condBranches", stats.condBranches);
-    w.field("fetchWindows", stats.fetchWindows);
-    w.field("fetchedBytes", stats.fetchedBytes);
-    w.field("icacheMisses", stats.mem.icache.misses);
-    w.field("icacheAccesses", stats.mem.icache.accesses);
-    w.field("dcacheMisses", stats.mem.dcache.misses);
-    w.field("l2Misses", stats.mem.l2.misses);
-    w.field("dramReads", stats.mem.dram.reads);
-    w.close();
-    return w.str();
+    stats::StatRegistry reg;
+    bindRunResult(reg, result);
+    w.field("label", label);
+    reg.writeJson(w);
 }
 
-std::string
-energyJson(const energy::EnergyBreakdown &e)
+double
+finiteOrZero(double v)
 {
-    JsonWriter w;
-    w.open();
-    w.field("cpuCore", e.cpuCore);
-    w.field("icache", e.icache);
-    w.field("dcache", e.dcache);
-    w.field("l2", e.l2);
-    w.field("dram", e.dram);
-    w.field("socRest", e.socRest);
-    w.field("total", e.total());
-    w.close();
-    return w.str();
+    return std::isfinite(v) ? v : 0.0;
 }
 
 } // namespace
@@ -108,20 +47,10 @@ energyJson(const energy::EnergyBreakdown &e)
 std::string
 toJson(const RunResult &result, const std::string &label)
 {
-    JsonWriter w;
-    w.open();
-    w.field("label", label);
-    w.raw("cpu", cpuJson(result.cpu));
-    w.raw("energy", energyJson(result.energy));
-    w.field("selectionCoverage", result.selectionCoverage);
-    w.field("staticThumbFraction", result.staticThumbFraction);
-    w.field("dynThumbFraction", result.dynThumbFraction);
-    w.field("chainsTransformed", result.pass.chainsTransformed);
-    w.field("chainsAttempted", result.pass.chainsAttempted);
-    w.field("instsConverted", result.pass.instsConverted);
-    w.field("cdpsInserted", result.pass.cdpsInserted);
-    w.field("localRenames", result.pass.localRenames);
-    w.close();
+    json::JsonWriter w;
+    w.beginObject();
+    writeRun(w, result, label);
+    w.endObject();
     return w.str();
 }
 
@@ -129,17 +58,23 @@ std::string
 comparisonJson(const RunResult &baseline, const RunResult &variant,
                const std::string &label)
 {
-    JsonWriter w;
-    w.open();
+    json::JsonWriter w;
+    w.beginObject();
     w.field("label", label);
-    w.field("speedup",
-            static_cast<double>(baseline.cpu.cycles) /
-                static_cast<double>(variant.cpu.cycles));
-    w.field("energyRatio",
-            variant.energy.total() / baseline.energy.total());
-    w.raw("baseline", toJson(baseline, "baseline"));
-    w.raw("variant", toJson(variant, label));
-    w.close();
+    w.fieldReadable("speedup",
+                    finiteOrZero(
+                        static_cast<double>(baseline.cpu.cycles) /
+                        static_cast<double>(variant.cpu.cycles)));
+    w.fieldReadable("energyRatio",
+                    finiteOrZero(variant.energy.total() /
+                                 baseline.energy.total()));
+    w.beginObject("baseline");
+    writeRun(w, baseline, "baseline");
+    w.endObject();
+    w.beginObject("variant");
+    writeRun(w, variant, label);
+    w.endObject();
+    w.endObject();
     return w.str();
 }
 

@@ -1,0 +1,96 @@
+#include "stats/diff.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace critics::stats
+{
+
+std::size_t
+SnapshotDiff::regressions() const
+{
+    std::size_t n = 0;
+    for (const auto &delta : deltas)
+        n += delta.regression ? 1 : 0;
+    return n;
+}
+
+bool
+SnapshotDiff::hasRegressions() const
+{
+    return regressions() > 0 || !onlyBefore.empty() || !onlyAfter.empty();
+}
+
+std::vector<MetricDelta>
+SnapshotDiff::worst(std::size_t count) const
+{
+    std::vector<MetricDelta> out = deltas;
+    std::stable_sort(out.begin(), out.end(),
+                     [](const MetricDelta &a, const MetricDelta &b) {
+                         return a.relDelta > b.relDelta;
+                     });
+    if (out.size() > count)
+        out.resize(count);
+    return out;
+}
+
+MetricDelta
+diffMetric(const std::string &name, double before, double after,
+           const DiffOptions &opt)
+{
+    MetricDelta delta;
+    delta.name = name;
+    delta.before = before;
+    delta.after = after;
+    delta.absDelta = std::fabs(after - before);
+    const double scale = std::max(std::fabs(before), std::fabs(after));
+    delta.relDelta = scale > 0.0 ? delta.absDelta / scale : 0.0;
+    // Non-finite on either side is always a regression: NaN never
+    // compares equal, and a metric that became infinite is broken.
+    if (!std::isfinite(before) || !std::isfinite(after)) {
+        delta.regression = before != after ||
+                           std::isnan(before) || std::isnan(after);
+        return delta;
+    }
+    delta.regression = delta.relDelta > opt.relThreshold &&
+                       delta.absDelta > opt.absThreshold;
+    return delta;
+}
+
+SnapshotDiff
+diffSnapshots(const Snapshot &before, const Snapshot &after,
+              const DiffOptions &opt)
+{
+    Snapshot a = before;
+    Snapshot b = after;
+    const auto byName = [](const auto &x, const auto &y) {
+        return x.first < y.first;
+    };
+    std::stable_sort(a.begin(), a.end(), byName);
+    std::stable_sort(b.begin(), b.end(), byName);
+
+    SnapshotDiff diff;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i].first < b[j].first) {
+            diff.onlyBefore.push_back(a[i].first);
+            ++i;
+        } else if (b[j].first < a[i].first) {
+            diff.onlyAfter.push_back(b[j].first);
+            ++j;
+        } else {
+            diff.deltas.push_back(
+                diffMetric(a[i].first, a[i].second, b[j].second, opt));
+            ++i;
+            ++j;
+        }
+    }
+    for (; i < a.size(); ++i)
+        diff.onlyBefore.push_back(a[i].first);
+    for (; j < b.size(); ++j)
+        diff.onlyAfter.push_back(b[j].first);
+    return diff;
+}
+
+} // namespace critics::stats

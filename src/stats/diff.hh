@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Snapshot diffing for the regression harness behind `critics_cli
+ * diff`.  Two flat stat snapshots (dotted name → value, the shape
+ * StatRegistry::snapshot() produces) are merged by name and every
+ * metric delta is classified against a noise threshold: a change is a
+ * regression only if it exceeds *both* the relative threshold (so
+ * large metrics tolerate proportional jitter) and the absolute
+ * threshold (so near-zero metrics do not flag on rounding dust).
+ *
+ * Direction-agnostic on purpose: the harness compares runs that claim
+ * to be equivalent (same spec, different checkout), where any
+ * significant drift — faster or slower — means the claim is false.
+ */
+
+#ifndef CRITICS_STATS_DIFF_HH
+#define CRITICS_STATS_DIFF_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace critics::stats
+{
+
+struct DiffOptions
+{
+    double relThreshold = 0.01;  ///< fraction of max(|a|,|b|)
+    double absThreshold = 1e-9;  ///< ignore deltas smaller than this
+};
+
+struct MetricDelta
+{
+    std::string name;
+    double before = 0.0;
+    double after = 0.0;
+    double absDelta = 0.0; ///< |after - before|
+    double relDelta = 0.0; ///< absDelta / max(|before|, |after|)
+    bool regression = false;
+};
+
+struct SnapshotDiff
+{
+    std::vector<MetricDelta> deltas; ///< name order, matched metrics
+    std::vector<std::string> onlyBefore;
+    std::vector<std::string> onlyAfter;
+
+    std::size_t regressions() const;
+    /** Regressions exist, or the two schemas do not even match. */
+    bool hasRegressions() const;
+    /** Matched deltas sorted by descending relative delta. */
+    std::vector<MetricDelta> worst(std::size_t count) const;
+};
+
+using Snapshot = std::vector<std::pair<std::string, double>>;
+
+/** Classify one metric pair under `opt`. */
+MetricDelta diffMetric(const std::string &name, double before,
+                       double after, const DiffOptions &opt);
+
+/** Merge-by-name diff of two flat snapshots (any order). */
+SnapshotDiff diffSnapshots(const Snapshot &before, const Snapshot &after,
+                           const DiffOptions &opt = {});
+
+} // namespace critics::stats
+
+#endif // CRITICS_STATS_DIFF_HH

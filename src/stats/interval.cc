@@ -1,0 +1,76 @@
+#include "stats/interval.hh"
+
+#include <algorithm>
+
+#include "stats/registry.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace critics::stats
+{
+
+void
+IntervalSeries::sample(const StatRegistry &reg, std::uint64_t index)
+{
+    const auto snap = reg.snapshot();
+    if (names_.empty()) {
+        names_.reserve(snap.size());
+        for (const auto &[name, value] : snap)
+            names_.push_back(name);
+    } else {
+        critics_assert(names_.size() == snap.size(),
+                       "interval sample schema changed mid-series");
+    }
+    Row row;
+    row.index = index;
+    row.values.reserve(snap.size());
+    for (const auto &[name, value] : snap)
+        row.values.push_back(value);
+    if (!rows_.empty() && rows_.back().index == index)
+        rows_.back() = std::move(row);
+    else
+        rows_.push_back(std::move(row));
+}
+
+std::vector<double>
+IntervalSeries::column(const std::string &name) const
+{
+    const auto it = std::find(names_.begin(), names_.end(), name);
+    if (it == names_.end())
+        return {};
+    const auto col = static_cast<std::size_t>(it - names_.begin());
+    std::vector<double> out;
+    out.reserve(rows_.size());
+    for (const auto &row : rows_)
+        out.push_back(row.values[col]);
+    return out;
+}
+
+double
+IntervalSeries::at(const Row &row, const std::string &name) const
+{
+    const auto it = std::find(names_.begin(), names_.end(), name);
+    if (it == names_.end())
+        return 0.0;
+    return row.values[static_cast<std::size_t>(it - names_.begin())];
+}
+
+std::string
+IntervalSeries::toJsonl(const std::string &label) const
+{
+    std::string out;
+    for (const auto &row : rows_) {
+        json::JsonWriter w;
+        w.beginObject()
+            .field("label", label)
+            .field("committed", row.index);
+        for (std::size_t i = 0; i < names_.size(); ++i)
+            w.fieldReadable(names_[i].c_str(), row.values[i]);
+        w.endObject();
+        out += w.str();
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace critics::stats

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Interval time-series sampling over a StatRegistry.  A component that
+ * owns a registry calls sample() at interesting indices (the CPU model
+ * samples every N committed instructions, plus the warmup boundary and
+ * the end of run); each sample snapshots every registered stat, so the
+ * series shows bottlenecks *moving* over a run — e.g. the front-end
+ * stall fraction collapsing once CritICs kick in (PAPER.md Fig. 3).
+ *
+ * Rows store cumulative raw values from the start of the run; the last
+ * row therefore equals the end-of-run totals, and per-interval deltas
+ * are row[i] - row[i-1].  The series owns copies of the sampled values
+ * (not views), so it stays valid after the registry is gone.
+ */
+
+#ifndef CRITICS_STATS_INTERVAL_HH
+#define CRITICS_STATS_INTERVAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace critics::stats
+{
+
+class StatRegistry;
+
+class IntervalSeries
+{
+  public:
+    struct Row
+    {
+        std::uint64_t index = 0; ///< sampling position (committed insts)
+        std::vector<double> values;
+    };
+
+    /**
+     * Snapshot every stat of `reg` at position `index`.  The first
+     * sample fixes the stat-name schema; later samples must come from
+     * a registry with the same names.  A repeated index overwrites the
+     * previous row (the warmup-boundary and end-of-run forced samples
+     * can coincide with a periodic one).
+     */
+    void sample(const StatRegistry &reg, std::uint64_t index);
+
+    bool empty() const { return rows_.empty(); }
+    std::size_t size() const { return rows_.size(); }
+    const std::vector<std::string> &names() const { return names_; }
+    const std::vector<Row> &rows() const { return rows_; }
+
+    /** Column of one stat across all rows; empty if unknown. */
+    std::vector<double> column(const std::string &name) const;
+
+    /** Value of `name` in one row; 0 if unknown. */
+    double at(const Row &row, const std::string &name) const;
+
+    /**
+     * Serialize as JSONL: one flat object per row with "label",
+     * "committed", and every stat under its dotted name (cumulative
+     * values, readable doubles).
+     */
+    std::string toJsonl(const std::string &label) const;
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<Row> rows_;
+};
+
+} // namespace critics::stats
+
+#endif // CRITICS_STATS_INTERVAL_HH

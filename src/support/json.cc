@@ -1,11 +1,11 @@
-#include "runner/json.hh"
+#include "support/json.hh"
 
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
-namespace critics::runner
+namespace critics::json
 {
 
 // ---------------------------------------------------------------------------
@@ -527,4 +527,4 @@ JsonWriter::elementObject()
     return *this;
 }
 
-} // namespace critics::runner
+} // namespace critics::json

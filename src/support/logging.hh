@@ -21,9 +21,19 @@ namespace critics
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
-/** Globally silence warn()/inform() (used by tests and benches). */
+/** Globally silence warn()/inform() (used by tests and benches).
+ *  Thread-safe: jobs on the pool may race a bench main() toggling it. */
 void setQuiet(bool quiet);
 bool quiet();
+
+/**
+ * True when the CRITICS_DEBUG environment variable names `component`
+ * (comma list, e.g. `CRITICS_DEBUG=cpu,mem`) or is `all`.  Parsed
+ * once per process; debug output is opt-in and therefore *not*
+ * silenced by setQuiet().
+ */
+bool debugEnabled(const char *component);
+void debugImpl(const char *component, const std::string &msg);
 
 namespace detail
 {
@@ -69,6 +79,16 @@ concat(const Args &...args)
 
 #define critics_inform(...) \
     ::critics::informImpl(::critics::detail::concat(__VA_ARGS__))
+
+/** Per-component debug line, gated on CRITICS_DEBUG=<component,...>.
+ *  The message is only formatted when the component is enabled. */
+#define critics_debug(component, ...) \
+    do { \
+        if (::critics::debugEnabled(component)) { \
+            ::critics::debugImpl(component, \
+                ::critics::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
 
 /** Cheap always-on invariant check (simulation correctness beats speed). */
 #define critics_assert(cond, ...) \
