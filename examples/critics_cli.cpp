@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/cache_admin.hh"
 #include "runner/orchestrator.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
@@ -151,6 +152,14 @@ usage()
         "  --batch <name>      manifest name (default 'cli')\n"
         "  --no-cache          bypass the persistent result cache\n"
         "  --refresh           ignore cached records, re-simulate\n"
+        "  --shard K/N         run only slice K of an N-way hash\n"
+        "                      partition of the batch; results land\n"
+        "                      in a per-shard store (merge with\n"
+        "                      `cache merge`), the manifest is named\n"
+        "                      <batch>.shard-K-of-N\n"
+        "  --cache-file <f>    result store path (default: the shared\n"
+        "                      cache; sharded runs default to\n"
+        "                      results.shard-K-of-N.jsonl)\n"
         "  --json              emit per-job comparison JSON\n"
         "  --stats-interval <n> sample all stats every n committed\n"
         "                      insts; JSONL to --stats-out\n"
@@ -164,6 +173,21 @@ usage()
         "                      (default: all manifests in the cache\n"
         "                      dir); exit 1 on any failed job\n"
         "critics_cli cache [stats|path|clear]\n"
+        "critics_cli cache merge <out> <in...>\n"
+        "                      concatenate result stores into <out>\n"
+        "                      (later record wins per content hash;\n"
+        "                      old-schema/malformed lines dropped;\n"
+        "                      surviving lines copied byte-exactly)\n"
+        "critics_cli cache compact [file]\n"
+        "                      rewrite a store dropping superseded,\n"
+        "                      old-schema and collision/orphan\n"
+        "                      records; reports bytes reclaimed\n"
+        "critics_cli cache gc [--max-age <dur>] [--max-bytes <n>]\n"
+        "                      [file]  compact, then bound the store:\n"
+        "                      drop records older than <dur>\n"
+        "                      (30d, 12h, 900s, plain seconds) and\n"
+        "                      evict oldest-first past <n> bytes\n"
+        "                      (512K, 512M, 2G, plain bytes)\n"
         "critics_cli diff <before> <after> [options]\n"
         "                      compare two runs metric-by-metric;\n"
         "                      exit 1 on any drift beyond noise.\n"
@@ -365,6 +389,16 @@ cmdRun(int argc, char **argv)
             options.useCache = false;
         } else if (arg == "--refresh") {
             options.refresh = true;
+        } else if (arg == "--shard") {
+            const std::string value = next();
+            const auto parsed = runner::ShardSpec::parse(value);
+            if (!parsed) {
+                critics_fatal("--shard wants K/N with 1 <= K <= N, "
+                              "got '", value, "'");
+            }
+            options.shard = *parsed;
+        } else if (arg == "--cache-file") {
+            options.cachePath = next();
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--stats-interval") {
@@ -384,6 +418,13 @@ cmdRun(int argc, char **argv)
         variants.push_back(parseVariant(name));
     if (variants.empty())
         critics_fatal("--variants needs at least one variant");
+
+    // Each shard appends to its own disjoint store; `cache merge`
+    // folds them back into the shared one.
+    if (options.shard.enabled() && options.cachePath.empty()) {
+        options.cachePath =
+            runner::shardStorePath(runner::cacheDir(), options.shard);
+    }
 
     sim::ExperimentOptions expOptions;
     expOptions.traceInsts = insts;
@@ -427,6 +468,21 @@ cmdRun(int argc, char **argv)
                                             batch.jobs[i].variant.label)
                                 .c_str());
             }
+        }
+    } else if (options.shard.enabled()) {
+        // A shard holds an arbitrary slice of the grid, so the
+        // apps × variants speedup table cannot be filled in; list
+        // the owned jobs instead and leave comparisons to a
+        // post-merge `critics_cli diff`/report.
+        for (std::size_t i = 0; i < batch.jobs.size(); ++i) {
+            const auto &job = batch.jobs[i];
+            const auto &outcome = batch.outcomes[i];
+            std::printf("%-12s %-16s %s\n", job.profile.name.c_str(),
+                        job.variant.label.c_str(),
+                        outcome.ok
+                            ? (fmt(double(outcome.result.cpu.cycles),
+                                   0) + " cyc").c_str()
+                            : "FAILED");
         }
     } else {
         std::vector<std::string> header{"app"};
@@ -522,10 +578,130 @@ cmdReport(int argc, char **argv)
     return 0;
 }
 
+/** "900", "900s", "15m", "12h" or "30d" → seconds. */
+std::uint64_t
+parseDuration(const std::string &text)
+{
+    if (text.empty())
+        critics_fatal("empty duration");
+    std::uint64_t scale = 1;
+    std::string digits = text;
+    switch (text.back()) {
+      case 'd': scale = 86400; digits.pop_back(); break;
+      case 'h': scale = 3600; digits.pop_back(); break;
+      case 'm': scale = 60; digits.pop_back(); break;
+      case 's': scale = 1; digits.pop_back(); break;
+      default: break;
+    }
+    return std::stoull(digits) * scale;
+}
+
+/** "65536", "512K", "512M" or "2G" → bytes. */
+std::uintmax_t
+parseBytes(const std::string &text)
+{
+    if (text.empty())
+        critics_fatal("empty size");
+    std::uintmax_t scale = 1;
+    std::string digits = text;
+    switch (text.back()) {
+      case 'K': case 'k': scale = 1024ull; digits.pop_back(); break;
+      case 'M': case 'm': scale = 1024ull << 10; digits.pop_back(); break;
+      case 'G': case 'g': scale = 1024ull << 20; digits.pop_back(); break;
+      default: break;
+    }
+    return std::stoull(digits) * scale;
+}
+
+int
+cmdCacheMerge(int argc, char **argv)
+{
+    std::vector<std::string> paths;
+    for (int i = 0; i < argc; ++i)
+        paths.emplace_back(argv[i]);
+    if (paths.size() < 2) {
+        std::fprintf(stderr,
+                     "cache merge wants <out> <in...> (one output, at "
+                     "least one input)\n");
+        return 2;
+    }
+    const std::string out = paths.front();
+    paths.erase(paths.begin());
+    const auto stats = runner::mergeStores(out, paths);
+    if (!stats) {
+        std::fprintf(stderr, "cache merge failed\n");
+        return 1;
+    }
+    std::printf("merged %zu store(s) -> %s\n  %s\n", stats->filesRead,
+                out.c_str(), stats->summary().c_str());
+    return 0;
+}
+
+int
+cmdCacheCompact(int argc, char **argv)
+{
+    const std::string path = argc > 0
+        ? argv[0] : runner::cacheDir() + "/results.jsonl";
+    const auto stats = runner::compactStore(path);
+    if (!stats) {
+        std::fprintf(stderr, "cache compact failed for %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::printf("compacted %s\n  %s\n", path.c_str(),
+                stats->summary().c_str());
+    return 0;
+}
+
+int
+cmdCacheGc(int argc, char **argv)
+{
+    runner::GcOptions opt;
+    std::string path;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                critics_fatal(arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--max-age") {
+            opt.maxAgeSeconds = parseDuration(next());
+        } else if (arg == "--max-bytes") {
+            opt.maxBytes = parseBytes(next());
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            path = arg;
+        }
+    }
+    if (opt.maxAgeSeconds == 0 && opt.maxBytes == 0) {
+        std::fprintf(stderr,
+                     "cache gc wants --max-age and/or --max-bytes\n");
+        return 2;
+    }
+    if (path.empty())
+        path = runner::cacheDir() + "/results.jsonl";
+    const auto stats = runner::gcStore(path, opt);
+    if (!stats) {
+        std::fprintf(stderr, "cache gc failed for %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("gc %s\n  %s\n", path.c_str(),
+                stats->summary().c_str());
+    return 0;
+}
+
 int
 cmdCache(int argc, char **argv)
 {
     const std::string action = argc > 0 ? argv[0] : "stats";
+    if (action == "merge")
+        return cmdCacheMerge(argc - 1, argv + 1);
+    if (action == "compact")
+        return cmdCacheCompact(argc - 1, argv + 1);
+    if (action == "gc")
+        return cmdCacheGc(argc - 1, argv + 1);
     runner::ResultStore store;
     if (action == "stats") {
         std::uintmax_t bytes = 0;

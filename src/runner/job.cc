@@ -161,13 +161,12 @@ JobSpec::specString() const
 }
 
 std::uint64_t
-JobSpec::hash() const
+hashSpecString(const std::string &spec, int schema)
 {
-    const std::string spec = "critics-runner-schema-v" +
-                             std::to_string(kResultSchemaVersion) + "|" +
-                             specString();
+    const std::string keyed = "critics-runner-schema-v" +
+                              std::to_string(schema) + "|" + spec;
     std::uint64_t h = 0xcbf29ce484222325ULL; // FNV offset basis
-    for (const char c : spec) {
+    for (const char c : keyed) {
         h ^= static_cast<std::uint8_t>(c);
         h *= 0x100000001b3ULL; // FNV prime
     }
@@ -175,12 +174,24 @@ JobSpec::hash() const
 }
 
 std::string
-JobSpec::hashHex() const
+hashHexOf(std::uint64_t hash)
 {
     char buf[24];
     std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(hash()));
+                  static_cast<unsigned long long>(hash));
     return buf;
+}
+
+std::uint64_t
+JobSpec::hash() const
+{
+    return hashSpecString(specString());
+}
+
+std::string
+JobSpec::hashHex() const
+{
+    return hashHexOf(hash());
 }
 
 std::vector<JobSpec>

@@ -28,6 +28,19 @@ namespace critics::runner
  */
 constexpr int kResultSchemaVersion = 1;
 
+/**
+ * 64-bit FNV-1a over "critics-runner-schema-v<schema>|<spec>" — the
+ * store's content hash for a raw spec string.  Exposed so the cache
+ * admin (compact) can recompute a record's expected hash from its
+ * stored spec and drop collision/orphan records whose `hash` field no
+ * longer matches.
+ */
+std::uint64_t hashSpecString(const std::string &spec,
+                             int schema = kResultSchemaVersion);
+
+/** A 64-bit hash as a fixed-width lowercase hex string. */
+std::string hashHexOf(std::uint64_t hash);
+
 struct JobSpec
 {
     workload::AppProfile profile;

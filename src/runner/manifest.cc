@@ -66,6 +66,13 @@ RunManifest::toJson() const
         .field("startedUnix", startedUnix)
         .fieldReadable("wallSeconds", wallSeconds)
         .field("interrupted", interrupted);
+    if (shardCount > 0) {
+        w.beginObject("shard")
+            .field("index", static_cast<std::uint64_t>(shardIndex))
+            .field("count", static_cast<std::uint64_t>(shardCount))
+            .field("totalJobs", shardTotalJobs)
+            .endObject();
+    }
     w.beginObject("totals")
         .field("jobs", static_cast<std::uint64_t>(jobs.size()))
         .field("cached", static_cast<std::uint64_t>(cachedCount()))
@@ -79,6 +86,7 @@ RunManifest::toJson() const
         .field("cacheHits", runnerStats.cacheHits)
         .field("cacheMisses", runnerStats.cacheMisses)
         .field("cacheInserts", runnerStats.cacheInserts)
+        .field("cacheCollisions", runnerStats.cacheCollisions)
         .field("poolTasks", runnerStats.poolTasks)
         .field("poolThreads", runnerStats.poolThreads)
         .endObject();
@@ -152,8 +160,20 @@ RunManifest::read(const std::string &path, RunManifest &out)
         out.runnerStats.cacheHits = uint("cacheHits");
         out.runnerStats.cacheMisses = uint("cacheMisses");
         out.runnerStats.cacheInserts = uint("cacheInserts");
+        out.runnerStats.cacheCollisions = uint("cacheCollisions");
         out.runnerStats.poolTasks = uint("poolTasks");
         out.runnerStats.poolThreads = uint("poolThreads");
+    }
+    // Optional (absent in unsharded manifests).
+    if (const JsonValue *sh = doc->find("shard");
+        sh && sh->isObject()) {
+        auto uint = [&](const char *key) {
+            const JsonValue *v = sh->find(key);
+            return v ? v->asUint().value_or(0) : 0;
+        };
+        out.shardIndex = static_cast<unsigned>(uint("index"));
+        out.shardCount = static_cast<unsigned>(uint("count"));
+        out.shardTotalJobs = uint("totalJobs");
     }
     const JsonValue *jobs = doc->find("jobs");
     if (jobs && jobs->isArray()) {
@@ -190,14 +210,21 @@ RunManifest::read(const std::string &path, RunManifest &out)
 std::string
 RunManifest::summaryLine() const
 {
-    char buf[256];
+    char shard[48] = {0};
+    if (shardCount > 0) {
+        std::snprintf(shard, sizeof(shard),
+                      " | shard %u/%u of %llu jobs", shardIndex,
+                      shardCount,
+                      static_cast<unsigned long long>(shardTotalJobs));
+    }
+    char buf[320];
     std::snprintf(
         buf, sizeof(buf),
         "[%s] %zu jobs: %zu simulated, %zu cached, %zu failed | "
-        "%.2fs wall | %.2fM sim-insts/s | git %s",
+        "%.2fs wall | %.2fM sim-insts/s | git %s%s",
         batch.c_str(), jobs.size(), simulatedCount(), cachedCount(),
         failedCount(), wallSeconds, throughput() / 1e6,
-        gitDescribe.c_str());
+        gitDescribe.c_str(), shard);
     return buf;
 }
 

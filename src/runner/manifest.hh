@@ -44,6 +44,7 @@ struct RunnerCounters
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
     std::uint64_t cacheInserts = 0;
+    std::uint64_t cacheCollisions = 0;
     std::uint64_t poolTasks = 0;
     std::uint64_t poolThreads = 0;
 };
@@ -56,6 +57,12 @@ struct RunManifest
     std::uint64_t startedUnix = 0;
     double wallSeconds = 0.0;
     bool interrupted = false;
+    /** 1-based slice of an N-way sharded run; 0/0 = unsharded.  The
+     *  batch's full job count (before shard filtering) is
+     *  shardTotalJobs, so merge tooling can check coverage. */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 0;
+    std::uint64_t shardTotalJobs = 0;
     RunnerCounters runnerStats;
     std::vector<JobRecord> jobs;
 

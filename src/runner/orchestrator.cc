@@ -4,10 +4,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <csignal>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <unordered_map>
 
+#include "runner/sigint.hh"
 #include "runner/thread_pool.hh"
 #include "stats/registry.hh"
 #include "stats/trace_event.hh"
@@ -26,39 +28,6 @@ secondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
-
-// ---------------------------------------------------------------------------
-// SIGINT: the handler only sets a flag; workers stop picking up new
-// jobs, already-completed results are on disk (the store flushes every
-// append), and the batch epilogue writes an `interrupted` manifest.
-
-std::atomic<bool> sigintSeen{false};
-
-void
-onSigint(int)
-{
-    sigintSeen.store(true);
-}
-
-class SigintGuard
-{
-  public:
-    SigintGuard()
-    {
-        sigintSeen.store(false);
-        struct sigaction action{};
-        action.sa_handler = onSigint;
-        sigemptyset(&action.sa_mask);
-        ::sigaction(SIGINT, &action, &previous_);
-    }
-
-    ~SigintGuard() { ::sigaction(SIGINT, &previous_, nullptr); }
-
-    static bool interrupted() { return sigintSeen.load(); }
-
-  private:
-    struct sigaction previous_{};
-};
 
 // ---------------------------------------------------------------------------
 // Progress line (stderr, overwritten in place).
@@ -203,9 +172,23 @@ Runner::run(const std::string &batchName,
             const std::vector<JobSpec> &jobs)
 {
     BatchResult batch;
-    batch.jobs = jobs;
-    batch.outcomes.resize(jobs.size());
-    batch.manifest.batch = batchName;
+    std::string manifestName = batchName;
+    if (options_.shard.enabled()) {
+        // This slice owns a deterministic, hash-partitioned subset;
+        // sibling processes cover the rest with no coordination.
+        batch.jobs = filterShard(jobs, options_.shard);
+        manifestName += ".shard-" +
+                        std::to_string(options_.shard.index) + "-of-" +
+                        std::to_string(options_.shard.count);
+        batch.manifest.shardIndex = options_.shard.index;
+        batch.manifest.shardCount = options_.shard.count;
+        batch.manifest.shardTotalJobs = jobs.size();
+    } else {
+        batch.jobs = jobs;
+    }
+    const std::vector<JobSpec> &owned = batch.jobs;
+    batch.outcomes.resize(owned.size());
+    batch.manifest.batch = manifestName;
     batch.manifest.schema = kResultSchemaVersion;
     batch.manifest.gitDescribe = runner::gitDescribe();
     batch.manifest.startedUnix = static_cast<std::uint64_t>(
@@ -214,7 +197,66 @@ Runner::run(const std::string &batchName,
             .count());
 
     const auto startWall = Clock::now();
+
+    // Emergency-manifest plumbing for a double Ctrl-C: after every
+    // job completion a fresh manifest snapshot is published for the
+    // signal handler to flush.  Superseded snapshots are retired, not
+    // freed — the handler may still be reading one — and the retire
+    // list must outlive the guard (declared first = destroyed last).
+    std::vector<std::unique_ptr<std::string>> retiredSnapshots;
+    std::mutex bookLock; // outcomes[] writes + snapshot builds
     SigintGuard sigint;
+
+    auto buildJobRecords = [&](bool emergency) {
+        std::vector<JobRecord> records;
+        records.reserve(owned.size());
+        for (std::size_t i = 0; i < owned.size(); ++i) {
+            const JobOutcome &outcome = batch.outcomes[i];
+            JobRecord record;
+            record.app = owned[i].profile.name;
+            record.variant = owned[i].variant.label;
+            record.hash = owned[i].hashHex();
+            record.ok = outcome.ok;
+            record.fromCache = outcome.fromCache;
+            record.attempts = outcome.attempts;
+            record.wallSeconds = outcome.wallSeconds;
+            record.simInsts = (outcome.ok && !outcome.fromCache)
+                ? owned[i].options.traceInsts : 0;
+            record.error = outcome.error;
+            if (emergency && !outcome.ok && outcome.attempts == 0 &&
+                outcome.error.empty()) {
+                record.error = "interrupted before completion";
+            }
+            records.push_back(std::move(record));
+        }
+        return records;
+    };
+
+    // Caller holds bookLock.
+    auto publishSnapshot = [&] {
+        if (!options_.writeManifest)
+            return;
+        RunManifest snapshot = batch.manifest;
+        snapshot.interrupted = true;
+        snapshot.wallSeconds = secondsSince(startWall);
+        snapshot.jobs = buildJobRecords(/*emergency=*/true);
+        auto json = std::make_unique<std::string>(
+            snapshot.toJson() + "\n");
+        SigintGuard::publishEmergency(json.get());
+        retiredSnapshots.push_back(std::move(json));
+    };
+
+    std::string manifestDir = options_.manifestDir;
+    if (manifestDir.empty())
+        manifestDir = cacheDir() + "/manifests";
+    if (options_.writeManifest) {
+        std::error_code ec;
+        std::filesystem::create_directories(manifestDir, ec);
+        SigintGuard::setEmergencyPath(
+            manifestDir + "/" + manifestName + ".interrupted.json");
+        std::lock_guard<std::mutex> guard(bookLock);
+        publishSnapshot();
+    }
 
     stats::TraceEventWriter *tsink = options_.trace;
     auto usSince = [&](Clock::time_point t) {
@@ -236,9 +278,9 @@ Runner::run(const std::string &batchName,
     // ---- Phase 1: serve cache hits --------------------------------------
     const auto lookupStart = Clock::now();
     std::vector<std::size_t> misses;
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
+    for (std::size_t i = 0; i < owned.size(); ++i) {
         if (options_.useCache && !options_.refresh) {
-            if (auto cached = store_.lookup(jobs[i])) {
+            if (auto cached = store_.lookup(owned[i])) {
                 auto &outcome = batch.outcomes[i];
                 outcome.ok = true;
                 outcome.fromCache = true;
@@ -256,7 +298,7 @@ Runner::run(const std::string &batchName,
     std::unordered_map<std::string, std::size_t> byHash;
     std::vector<std::vector<std::size_t>> duplicates;
     for (const std::size_t i : misses) {
-        const std::string hash = jobs[i].hashHex();
+        const std::string hash = owned[i].hashHex();
         const auto it = byHash.find(hash);
         if (it == byHash.end()) {
             byHash.emplace(hash, unique.size());
@@ -269,8 +311,8 @@ Runner::run(const std::string &batchName,
 
     const bool progressEnabled = options_.progress.value_or(
         ::isatty(::fileno(stderr)) != 0);
-    Progress progress(progressEnabled, batchName, jobs.size());
-    std::atomic<std::size_t> doneCount{jobs.size() - misses.size()};
+    Progress progress(progressEnabled, manifestName, owned.size());
+    std::atomic<std::size_t> doneCount{owned.size() - misses.size()};
     std::atomic<std::size_t> simulatedCount{0};
     progress.update(doneCount.load(), 0);
 
@@ -278,7 +320,7 @@ Runner::run(const std::string &batchName,
     const auto simStart = Clock::now();
     ThreadPool::shared().forEach(unique.size(), [&](std::size_t u) {
         const std::size_t i = unique[u];
-        const JobSpec &spec = jobs[i];
+        const JobSpec &spec = owned[i];
         JobOutcome outcome;
         const auto jobStart = Clock::now();
 
@@ -319,9 +361,16 @@ Runner::run(const std::string &batchName,
         if (outcome.ok && options_.useCache)
             store_.insert(spec, outcome.result);
 
-        batch.outcomes[i] = outcome; // slot i is ours alone
-        for (const std::size_t dup : duplicates[u])
-            batch.outcomes[dup] = outcome;
+        {
+            // bookLock serializes outcome writes with snapshot
+            // builds, so the emergency manifest never reads a
+            // half-written JobOutcome.
+            std::lock_guard<std::mutex> guard(bookLock);
+            batch.outcomes[i] = outcome; // slot i is ours alone
+            for (const std::size_t dup : duplicates[u])
+                batch.outcomes[dup] = outcome;
+            publishSnapshot();
+        }
 
         const std::size_t done =
             doneCount.fetch_add(1 + duplicates[u].size()) + 1 +
@@ -339,27 +388,23 @@ Runner::run(const std::string &batchName,
     batch.manifest.runnerStats.cacheHits = store_.hits();
     batch.manifest.runnerStats.cacheMisses = store_.misses();
     batch.manifest.runnerStats.cacheInserts = store_.inserts();
+    batch.manifest.runnerStats.cacheCollisions = store_.collisions();
     batch.manifest.runnerStats.poolTasks =
         ThreadPool::shared().tasksSubmitted();
     batch.manifest.runnerStats.poolThreads =
         ThreadPool::shared().threadCount();
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-        const JobOutcome &outcome = batch.outcomes[i];
-        JobRecord record;
-        record.app = jobs[i].profile.name;
-        record.variant = jobs[i].variant.label;
-        record.hash = jobs[i].hashHex();
-        record.ok = outcome.ok;
-        record.fromCache = outcome.fromCache;
-        record.attempts = outcome.attempts;
-        record.wallSeconds = outcome.wallSeconds;
-        record.simInsts = (outcome.ok && !outcome.fromCache)
-            ? jobs[i].options.traceInsts : 0;
-        record.error = outcome.error;
-        batch.manifest.jobs.push_back(std::move(record));
+    batch.manifest.jobs = buildJobRecords(/*emergency=*/false);
+    if (options_.writeManifest) {
+        batch.manifestPath = batch.manifest.write(manifestDir);
+        if (!batch.manifest.interrupted) {
+            // A completed batch supersedes any emergency manifest a
+            // double Ctrl-C left behind on an earlier attempt.
+            std::error_code ec;
+            std::filesystem::remove(
+                manifestDir + "/" + manifestName +
+                    ".interrupted.json", ec);
+        }
     }
-    if (options_.writeManifest)
-        batch.manifestPath = batch.manifest.write(options_.manifestDir);
     phaseSpan("manifest", manifestStart);
 
     critics_debug("runner", batch.manifest.summaryLine());
@@ -378,9 +423,9 @@ Runner::run(const std::string &batchName,
         std::fprintf(stderr,
                      "[%s] interrupted: %zu/%zu jobs done, results "
                      "flushed to %s\n",
-                     batchName.c_str(),
-                     jobs.size() - batch.manifest.failedCount(),
-                     jobs.size(), store_.path().c_str());
+                     manifestName.c_str(),
+                     owned.size() - batch.manifest.failedCount(),
+                     owned.size(), store_.path().c_str());
         std::exit(130);
     }
     return batch;

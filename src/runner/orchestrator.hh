@@ -33,6 +33,7 @@
 #include "runner/job.hh"
 #include "runner/manifest.hh"
 #include "runner/result_store.hh"
+#include "runner/shard.hh"
 
 namespace critics::stats
 {
@@ -69,6 +70,15 @@ struct RunnerOptions
     /** Record batch phases and per-job spans as Chrome trace events
      *  (ts/dur in real microseconds); nullptr = off. */
     stats::TraceEventWriter *trace = nullptr;
+    /**
+     * When enabled, run() keeps only the jobs this slice owns (a
+     * deterministic partition by content hash — see shard.hh), names
+     * the manifest `<batch>.shard-K-of-N` and stamps it with the
+     * shard and the batch's pre-filter job count.  BatchResult then
+     * holds just the owned subset, so cross-variant helpers like
+     * speedup() only make sense on unsharded runs.
+     */
+    ShardSpec shard;
 };
 
 /** What happened to one JobSpec of a batch. */

@@ -1,5 +1,11 @@
 #include "runner/result_store.hh"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -292,6 +298,8 @@ readResultRecords(const std::string &path)
         record.app = str("app");
         record.variant = str("variant");
         record.spec = str("spec");
+        if (const JsonValue *v = doc->find("writtenUnix"))
+            record.writtenUnix = v->asUint().value_or(0);
         record.result = *parsed;
         const auto it = byHash.find(record.hash);
         if (it != byHash.end())
@@ -324,8 +332,8 @@ ResultStore::ResultStore(std::string path) : path_(std::move(path))
 ResultStore::~ResultStore()
 {
     std::lock_guard<std::mutex> guard(lock_);
-    if (out_)
-        std::fclose(out_);
+    if (fd_ >= 0)
+        ::close(fd_);
 }
 
 void
@@ -380,8 +388,12 @@ ResultStore::lookup(const JobSpec &spec) const
         return std::nullopt;
     }
     if (it->second.spec != spec.specString()) {
+        // Hash collision (or a stale record from a hash-function
+        // change): a miss, counted separately so `cache compact` and
+        // the runner.cache stats can surface the rot.
+        ++collisions_;
         ++misses_;
-        return std::nullopt; // hash collision: treat as a miss
+        return std::nullopt;
     }
     ++hits_;
     return it->second.result;
@@ -391,38 +403,60 @@ void
 ResultStore::insert(const JobSpec &spec, const sim::RunResult &result)
 {
     std::lock_guard<std::mutex> guard(lock_);
-    if (!out_) {
+    if (fd_ < 0) {
         const auto dir =
             std::filesystem::path(path_).parent_path();
         if (!dir.empty()) {
             std::error_code ec;
             std::filesystem::create_directories(dir, ec);
         }
-        out_ = std::fopen(path_.c_str(), "a");
-        if (!out_) {
+        fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                     0644);
+        if (fd_ < 0) {
             critics_warn("cannot open result cache ", path_,
                          " for append; results will not persist");
         }
     }
 
+    const std::uint64_t now = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
     JsonWriter w;
     w.beginObject()
         .field("schema", kResultSchemaVersion)
         .field("hash", spec.hashHex())
         .field("app", spec.profile.name)
         .field("variant", spec.variant.label)
+        .field("writtenUnix", now)
         .field("spec", spec.specString());
     const std::string record =
-        w.str() + ",\"result\":" + resultToJson(result) + "}";
+        w.str() + ",\"result\":" + resultToJson(result) + "}\n";
 
     entries_[spec.hashHex()] = Entry{spec.specString(), result};
     ++inserts_;
-    if (out_) {
-        // One line per record, flushed immediately: an interrupt can
-        // lose at most the line being written, never corrupt others.
-        std::fputs(record.c_str(), out_);
-        std::fputc('\n', out_);
-        std::fflush(out_);
+    if (fd_ >= 0) {
+        // One record = one write(2) to an O_APPEND descriptor under
+        // an exclusive flock: concurrent writer processes (shards,
+        // parallel sweeps) serialize whole lines and can never
+        // interleave partial ones.  A crash mid-write leaves at most
+        // one truncated tail line, which loads skip.
+        ::flock(fd_, LOCK_EX);
+        const char *data = record.data();
+        std::size_t left = record.size();
+        while (left > 0) {
+            const ssize_t wrote = ::write(fd_, data, left);
+            if (wrote <= 0) {
+                if (wrote < 0 && errno == EINTR)
+                    continue;
+                critics_warn("short write to result cache ", path_,
+                             "; record may be truncated");
+                break;
+            }
+            data += wrote;
+            left -= static_cast<std::size_t>(wrote);
+        }
+        ::flock(fd_, LOCK_UN);
     }
 }
 
@@ -454,6 +488,13 @@ ResultStore::inserts() const
     return inserts_;
 }
 
+std::uint64_t
+ResultStore::collisions() const
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    return collisions_;
+}
+
 void
 ResultStore::registerStats(stats::StatRegistry &reg,
                            const std::string &prefix) const
@@ -463,6 +504,8 @@ ResultStore::registerStats(stats::StatRegistry &reg,
     reg.addCounter(prefix + ".hits", hits_, "cache hits served");
     reg.addCounter(prefix + ".misses", misses_, "cache misses");
     reg.addCounter(prefix + ".inserts", inserts_, "records appended");
+    reg.addCounter(prefix + ".collisions", collisions_,
+                   "hash matches with a different stored spec");
     reg.addFormula(prefix + ".entries",
                    [this] { return static_cast<double>(size()); },
                    "records resident");
@@ -472,9 +515,9 @@ void
 ResultStore::clear()
 {
     std::lock_guard<std::mutex> guard(lock_);
-    if (out_) {
-        std::fclose(out_);
-        out_ = nullptr;
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
     }
     std::error_code ec;
     std::filesystem::remove(path_, ec);

@@ -4,15 +4,21 @@
  * record per completed job, keyed by the JobSpec content hash and the
  * result schema version.  Records round-trip every RunResult field
  * bit-exactly (doubles as hex-floats), so a warm run reproduces a cold
- * run's tables digit for digit.  Appends are flushed line-atomically,
- * which makes the store safe to interrupt: a truncated tail line is
- * skipped on the next load.
+ * run's tables digit for digit.
+ *
+ * Multi-writer guarantee: each record is appended as a single write(2)
+ * to an O_APPEND descriptor under an exclusive flock(), so any number
+ * of processes (shards of one sweep, concurrent sweeps) may append to
+ * the same file without ever interleaving partial lines — the kernel
+ * serializes whole records.  The only non-atomic failure mode left is
+ * a process dying mid-write, which leaves at most one truncated tail
+ * line; loads skip it.  In-process, a mutex serializes appends across
+ * the worker threads.
  */
 
 #ifndef CRITICS_RUNNER_RESULT_STORE_HH
 #define CRITICS_RUNNER_RESULT_STORE_HH
 
-#include <cstdio>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -54,6 +60,7 @@ struct ResultRecord
     std::string app;
     std::string variant;
     std::string spec;
+    std::uint64_t writtenUnix = 0; ///< 0 in pre-timestamp records
     sim::RunResult result;
 };
 
@@ -83,7 +90,11 @@ class ResultStore
      */
     std::optional<sim::RunResult> lookup(const JobSpec &spec) const;
 
-    /** Append one completed job and flush the line to disk. */
+    /**
+     * Append one completed job as one flock-guarded O_APPEND write,
+     * so concurrent writer processes never tear each other's lines
+     * (see the file comment for the exact guarantee).
+     */
     void insert(const JobSpec &spec, const sim::RunResult &result);
 
     std::size_t size() const;
@@ -93,6 +104,10 @@ class ResultStore
     std::uint64_t hits() const;
     std::uint64_t misses() const;
     std::uint64_t inserts() const;
+    /** Lookups whose hash matched but stored spec differed (a true
+     *  collision, or a stale record from a hash-function change);
+     *  `cache compact` drops such records from disk. */
+    std::uint64_t collisions() const;
 
     /** Register cache counters under `prefix` (conventionally
      *  "runner.cache"); the store must outlive the registry. */
@@ -114,10 +129,11 @@ class ResultStore
     mutable std::mutex lock_;
     std::string path_;
     std::unordered_map<std::string, Entry> entries_;
-    std::FILE *out_ = nullptr; ///< lazily-opened append handle
+    int fd_ = -1; ///< lazily-opened O_APPEND descriptor
     mutable std::uint64_t hits_ = 0;
     mutable std::uint64_t misses_ = 0;
     std::uint64_t inserts_ = 0;
+    mutable std::uint64_t collisions_ = 0;
 };
 
 } // namespace critics::runner

@@ -1,0 +1,75 @@
+#include "runner/shard.hh"
+
+#include <cstdio>
+
+namespace critics::runner
+{
+
+std::string
+ShardSpec::str() const
+{
+    if (!enabled())
+        return "";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%u/%u", index, count);
+    return buf;
+}
+
+std::optional<ShardSpec>
+ShardSpec::parse(const std::string &text)
+{
+    unsigned index = 0, count = 0;
+    char trailing = 0;
+    if (std::sscanf(text.c_str(), "%u/%u%c", &index, &count,
+                    &trailing) != 2) {
+        return std::nullopt;
+    }
+    if (count == 0 || index == 0 || index > count)
+        return std::nullopt;
+    return ShardSpec{index, count};
+}
+
+unsigned
+shardOf(const JobSpec &spec, unsigned count)
+{
+    if (count == 0)
+        return 1;
+    // Upper bits: the FNV low bits also key the cache's hash table,
+    // and reusing them would correlate shard choice with bucket
+    // placement for adversarial spec sets.
+    return static_cast<unsigned>((spec.hash() >> 32) % count) + 1;
+}
+
+std::vector<std::size_t>
+shardIndices(const std::vector<JobSpec> &jobs, const ShardSpec &shard)
+{
+    std::vector<std::size_t> indices;
+    indices.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!shard.enabled() ||
+            shardOf(jobs[i], shard.count) == shard.index) {
+            indices.push_back(i);
+        }
+    }
+    return indices;
+}
+
+std::vector<JobSpec>
+filterShard(const std::vector<JobSpec> &jobs, const ShardSpec &shard)
+{
+    std::vector<JobSpec> subset;
+    for (const std::size_t i : shardIndices(jobs, shard))
+        subset.push_back(jobs[i]);
+    return subset;
+}
+
+std::string
+shardStorePath(const std::string &dir, const ShardSpec &shard)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "results.shard-%u-of-%u.jsonl",
+                  shard.index, shard.count);
+    return dir + "/" + buf;
+}
+
+} // namespace critics::runner

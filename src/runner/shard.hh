@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic batch sharding.  A ShardSpec names one slice of an
+ * N-way partition; jobs are assigned to shards by their content hash,
+ * so the partition is a pure function of the JobSpecs — every process
+ * of a sharded run computes the same split with no coordination, any
+ * job lands in exactly one shard, and re-running a shard is
+ * idempotent.  The per-shard result stores (`results.shard-K.jsonl`)
+ * are disjoint by construction, which is what makes `critics_cli
+ * cache merge` a trivially-correct concatenation.
+ */
+
+#ifndef CRITICS_RUNNER_SHARD_HH
+#define CRITICS_RUNNER_SHARD_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/job.hh"
+
+namespace critics::runner
+{
+
+/**
+ * One slice of an N-way partition: shard `index` of `count`, 1-based
+ * so `--shard 2/4` reads as "shard 2 of 4".  A default-constructed
+ * ShardSpec (count == 0) means "unsharded".
+ */
+struct ShardSpec
+{
+    unsigned index = 0; ///< 1-based when enabled
+    unsigned count = 0; ///< 0 = sharding disabled
+
+    bool enabled() const { return count > 0; }
+
+    /** "K/N", or "" when disabled. */
+    std::string str() const;
+
+    /**
+     * Parse "K/N" with 1 <= K <= N; nullopt on malformed input
+     * (non-numeric, K out of range, N == 0).
+     */
+    static std::optional<ShardSpec> parse(const std::string &text);
+};
+
+/**
+ * The shard (1-based) that owns `spec` in an N-way partition.  Uses
+ * the upper hash bits so shard assignment is independent of the cache
+ * key's low-bit distribution.
+ */
+unsigned shardOf(const JobSpec &spec, unsigned count);
+
+/** Indices of the jobs `shard` owns, in batch order; every index when
+ *  the shard is disabled. */
+std::vector<std::size_t> shardIndices(const std::vector<JobSpec> &jobs,
+                                      const ShardSpec &shard);
+
+/** The subset of `jobs` owned by `shard`, in batch order. */
+std::vector<JobSpec> filterShard(const std::vector<JobSpec> &jobs,
+                                 const ShardSpec &shard);
+
+/** Conventional per-shard store filename, e.g.
+ *  "<dir>/results.shard-2-of-4.jsonl". */
+std::string shardStorePath(const std::string &dir,
+                           const ShardSpec &shard);
+
+} // namespace critics::runner
+
+#endif // CRITICS_RUNNER_SHARD_HH

@@ -1,0 +1,91 @@
+#include "runner/sigint.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+
+namespace critics::runner
+{
+
+namespace
+{
+
+std::atomic<int> sigintCount{0};
+std::atomic<const std::string *> emergencyJson{nullptr};
+char emergencyPath[1024] = {0};
+
+void
+onSigint(int)
+{
+    if (sigintCount.fetch_add(1) + 1 < 2)
+        return; // first Ctrl-C: flag only, workers drain
+
+    // Second Ctrl-C: the user wants out *now*.  Flush the latest
+    // manifest snapshot with async-signal-safe calls only, then die
+    // under the default disposition (SIGINT stays blocked until this
+    // handler returns, so the re-raise delivers on return).
+    const std::string *json = emergencyJson.load();
+    if (json && emergencyPath[0] != '\0') {
+        const int fd = ::open(emergencyPath,
+                              O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+            const char *data = json->data();
+            std::size_t left = json->size();
+            while (left > 0) {
+                const ssize_t wrote = ::write(fd, data, left);
+                if (wrote <= 0)
+                    break;
+                data += wrote;
+                left -= static_cast<std::size_t>(wrote);
+            }
+            ::fsync(fd);
+            ::close(fd);
+        }
+    }
+    ::signal(SIGINT, SIG_DFL);
+    ::raise(SIGINT);
+}
+
+} // namespace
+
+SigintGuard::SigintGuard()
+{
+    sigintCount.store(0);
+    emergencyJson.store(nullptr);
+    emergencyPath[0] = '\0';
+    struct sigaction action{};
+    action.sa_handler = onSigint;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGINT, &action, &previous_);
+}
+
+SigintGuard::~SigintGuard()
+{
+    ::sigaction(SIGINT, &previous_, nullptr);
+    emergencyJson.store(nullptr);
+    emergencyPath[0] = '\0';
+}
+
+bool
+SigintGuard::interrupted()
+{
+    return sigintCount.load() > 0;
+}
+
+void
+SigintGuard::setEmergencyPath(const std::string &path)
+{
+    std::strncpy(emergencyPath, path.c_str(),
+                 sizeof(emergencyPath) - 1);
+    emergencyPath[sizeof(emergencyPath) - 1] = '\0';
+}
+
+void
+SigintGuard::publishEmergency(const std::string *json)
+{
+    emergencyJson.store(json);
+}
+
+} // namespace critics::runner

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SIGINT handling for the orchestrator.  The first Ctrl-C only sets a
+ * flag: workers stop picking up new jobs, completed results are
+ * already on disk, and the batch epilogue writes an `interrupted`
+ * manifest.  Between that flag-set and the worker drain the old
+ * disposition used to be one keypress away — a second Ctrl-C would
+ * re-enter the default handler and kill the process mid-epilogue with
+ * no manifest at all.  Now the second SIGINT force-flushes the latest
+ * published manifest snapshot (open/write/fsync only — every call in
+ * the handler is async-signal-safe) and then re-raises under the
+ * default disposition, so even an impatient double-interrupt leaves a
+ * truthful record of what finished.
+ */
+
+#ifndef CRITICS_RUNNER_SIGINT_HH
+#define CRITICS_RUNNER_SIGINT_HH
+
+#include <csignal>
+#include <string>
+
+namespace critics::runner
+{
+
+/**
+ * Installs the orchestrator's SIGINT handler for the duration of a
+ * batch and restores the previous disposition on destruction.  One
+ * live guard per process (batches never nest across threads).
+ */
+class SigintGuard
+{
+  public:
+    SigintGuard();
+    ~SigintGuard();
+
+    SigintGuard(const SigintGuard &) = delete;
+    SigintGuard &operator=(const SigintGuard &) = delete;
+
+    /** At least one SIGINT has arrived. */
+    static bool interrupted();
+
+    /**
+     * Where a second SIGINT force-writes the emergency manifest.
+     * Truncated to a fixed internal buffer; "" disables the flush.
+     * Call before workers start (it is read from the handler).
+     */
+    static void setEmergencyPath(const std::string &path);
+
+    /**
+     * Publish the manifest snapshot a second SIGINT would flush.  The
+     * pointed-to string must stay alive until the next publish has
+     * *returned* or the guard is destroyed — the handler may read the
+     * previous snapshot concurrently, so callers retain superseded
+     * strings (the orchestrator keeps them per batch).
+     */
+    static void publishEmergency(const std::string *json);
+
+  private:
+    struct sigaction previous_{};
+};
+
+} // namespace critics::runner
+
+#endif // CRITICS_RUNNER_SIGINT_HH

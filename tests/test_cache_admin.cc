@@ -1,0 +1,515 @@
+/**
+ * @file
+ * The sharded runner and the cache lifecycle: deterministic shard
+ * partitioning, multi-process append safety (fork N writers, no torn
+ * lines), merge/compact/gc semantics including truncated-tail,
+ * old-schema and collision/orphan records, sharded-vs-unsharded
+ * bit-identity, and the double-SIGINT emergency manifest flush.
+ */
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "runner/cache_admin.hh"
+#include "runner/json.hh"
+#include "runner/orchestrator.hh"
+#include "runner/result_store.hh"
+#include "runner/shard.hh"
+#include "runner/sigint.hh"
+#include "support/logging.hh"
+
+using namespace critics;
+using namespace critics::runner;
+
+namespace
+{
+
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string &stem)
+    {
+        static std::atomic<int> counter{0};
+        path_ = (std::filesystem::temp_directory_path() /
+                 (stem + "-" + std::to_string(::getpid()) + "-" +
+                  std::to_string(counter.fetch_add(1))))
+                    .string();
+    }
+
+    ~TempPath()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+JobSpec
+tinySpec(std::uint64_t seed = 0,
+         sim::Transform transform = sim::Transform::None)
+{
+    JobSpec spec;
+    spec.profile = workload::findApp("Acrobat");
+    spec.profile.seed += seed;
+    spec.options.traceInsts = 20000;
+    spec.variant.label = "test";
+    spec.variant.transform = transform;
+    return spec;
+}
+
+sim::RunResult
+sampleResult(double salt = 0.0)
+{
+    sim::RunResult r;
+    r.cpu.cycles = 123456789ULL + static_cast<std::uint64_t>(salt);
+    r.cpu.committed = 400000;
+    r.cpu.all.fetch = 0.1 + 0.2 + salt;
+    r.cpu.all.issueWait = 3.14159265358979;
+    r.energy.cpuCore = 0.12345678901234567;
+    r.selectionCoverage = 1.0 / 7.0;
+    r.dynThumbFraction = 1e-17;
+    return r;
+}
+
+/** A store line exactly as ResultStore::insert writes it, with the
+ *  hash and timestamp overridable to fabricate rot. */
+std::string
+makeLine(const JobSpec &spec, const sim::RunResult &result,
+         std::uint64_t writtenUnix, const std::string &hashOverride = "",
+         int schema = kResultSchemaVersion)
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("schema", schema)
+        .field("hash",
+               hashOverride.empty() ? spec.hashHex() : hashOverride)
+        .field("app", spec.profile.name)
+        .field("variant", spec.variant.label)
+        .field("writtenUnix", writtenUnix)
+        .field("spec", spec.specString());
+    return w.str() + ",\"result\":" + resultToJson(result) + "}\n";
+}
+
+std::size_t
+wellFormedLineCount(const std::string &path)
+{
+    std::ifstream in(path);
+    std::string line;
+    std::size_t count = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const auto doc = parseJson(line);
+        if (!doc || !doc->isObject())
+            return static_cast<std::size_t>(-1); // torn line
+        ++count;
+    }
+    return count;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Shard partitioning
+
+TEST(Shard, ParseAcceptsKOverN)
+{
+    const auto ok = ShardSpec::parse("2/4");
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(ok->index, 2u);
+    EXPECT_EQ(ok->count, 4u);
+    EXPECT_EQ(ok->str(), "2/4");
+    EXPECT_TRUE(ok->enabled());
+
+    EXPECT_FALSE(ShardSpec::parse("0/4").has_value());
+    EXPECT_FALSE(ShardSpec::parse("5/4").has_value());
+    EXPECT_FALSE(ShardSpec::parse("1/0").has_value());
+    EXPECT_FALSE(ShardSpec::parse("1").has_value());
+    EXPECT_FALSE(ShardSpec::parse("a/b").has_value());
+    EXPECT_FALSE(ShardSpec::parse("1/2x").has_value());
+    EXPECT_FALSE(ShardSpec{}.enabled());
+}
+
+TEST(Shard, PartitionIsDisjointAndCovering)
+{
+    std::vector<JobSpec> jobs;
+    for (std::uint64_t s = 0; s < 12; ++s) {
+        jobs.push_back(tinySpec(s));
+        jobs.push_back(tinySpec(s, sim::Transform::CritIc));
+    }
+    const unsigned N = 3;
+    std::set<std::size_t> seen;
+    for (unsigned k = 1; k <= N; ++k) {
+        for (const std::size_t i : shardIndices(jobs, ShardSpec{k, N})) {
+            EXPECT_TRUE(seen.insert(i).second)
+                << "job " << i << " owned by two shards";
+        }
+    }
+    EXPECT_EQ(seen.size(), jobs.size());
+    // Deterministic: a re-partition is identical.
+    EXPECT_EQ(shardIndices(jobs, ShardSpec{2, N}),
+              shardIndices(jobs, ShardSpec{2, N}));
+    // Disabled shard owns everything.
+    EXPECT_EQ(shardIndices(jobs, ShardSpec{}).size(), jobs.size());
+}
+
+TEST(Shard, AssignmentIgnoresPresentationLabel)
+{
+    JobSpec a = tinySpec(7);
+    JobSpec b = a;
+    b.variant.label = "renamed";
+    for (unsigned n = 1; n <= 5; ++n)
+        EXPECT_EQ(shardOf(a, n), shardOf(b, n));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process append safety
+
+TEST(ResultStoreMultiProcess, ForkedWritersNeverTearLines)
+{
+    TempPath file("critics-store-mp");
+    constexpr int kWriters = 4;
+    constexpr int kRecords = 8;
+
+    // A pipe barrier lines all writers up before the first append so
+    // the flock actually contends.
+    int barrier[2];
+    ASSERT_EQ(::pipe(barrier), 0);
+
+    std::vector<pid_t> children;
+    for (int w = 0; w < kWriters; ++w) {
+        const pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            ::close(barrier[1]);
+            char go;
+            while (::read(barrier[0], &go, 1) == 0) {
+            }
+            ::close(barrier[0]);
+            {
+                ResultStore store(file.str());
+                for (int m = 0; m < kRecords; ++m) {
+                    store.insert(
+                        tinySpec(static_cast<std::uint64_t>(
+                            w * 1000 + m)),
+                        sampleResult(static_cast<double>(m)));
+                }
+            }
+            ::_exit(0);
+        }
+        children.push_back(pid);
+    }
+    ::close(barrier[0]);
+    ASSERT_EQ(::write(barrier[1], "gggg", kWriters), kWriters);
+    ::close(barrier[1]);
+    for (const pid_t pid : children) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    }
+
+    // No torn lines, and every record of every writer recovered.
+    EXPECT_EQ(wellFormedLineCount(file.str()),
+              static_cast<std::size_t>(kWriters * kRecords));
+    EXPECT_EQ(readResultRecords(file.str()).size(),
+              static_cast<std::size_t>(kWriters * kRecords));
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+
+TEST(CacheMerge, LaterRecordWinsAcrossStores)
+{
+    TempPath a("critics-merge-a"), b("critics-merge-b"),
+        out("critics-merge-out");
+    const JobSpec shared = tinySpec(1);
+    {
+        std::ofstream fa(a.str());
+        fa << makeLine(shared, sampleResult(1.0), 100);
+        fa << makeLine(tinySpec(2), sampleResult(2.0), 100);
+        std::ofstream fb(b.str());
+        fb << makeLine(shared, sampleResult(3.0), 200);
+    }
+    const auto stats = mergeStores(out.str(), {a.str(), b.str()});
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->filesRead, 2u);
+    EXPECT_EQ(stats->recordsKept, 2u);
+    EXPECT_EQ(stats->superseded, 1u);
+
+    const auto records = readResultRecords(out.str());
+    ASSERT_EQ(records.size(), 2u);
+    bool found = false;
+    for (const auto &record : records) {
+        if (record.hash == shared.hashHex()) {
+            found = true;
+            EXPECT_EQ(resultToJson(record.result),
+                      resultToJson(sampleResult(3.0)));
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(CacheMerge, FiltersOldSchemaAndTruncatedTail)
+{
+    TempPath a("critics-merge-schema"), out("critics-merge-out2");
+    {
+        std::ofstream fa(a.str());
+        fa << makeLine(tinySpec(1), sampleResult(), 100);
+        fa << makeLine(tinySpec(2), sampleResult(), 100, "",
+                       kResultSchemaVersion + 1);
+        fa << "{\"schema\":1,\"hash\":\"trunc"; // no newline: torn tail
+    }
+    const auto stats = mergeStores(out.str(), {a.str()});
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->recordsKept, 1u);
+    EXPECT_EQ(stats->oldSchema, 1u);
+    EXPECT_EQ(stats->malformed, 1u);
+    EXPECT_EQ(readResultRecords(out.str()).size(), 1u);
+}
+
+TEST(CacheMerge, SkipsMissingInputsAndMergesIntoAnInput)
+{
+    TempPath a("critics-merge-into");
+    {
+        std::ofstream fa(a.str());
+        fa << makeLine(tinySpec(1), sampleResult(), 100);
+    }
+    // Missing shard stores (a shard with no jobs) are skipped…
+    const auto stats =
+        mergeStores(a.str(), {a.str(), a.str() + ".does-not-exist"});
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->filesRead, 1u);
+    EXPECT_EQ(stats->recordsKept, 1u);
+    // …but zero readable inputs is an error.
+    EXPECT_FALSE(
+        mergeStores(a.str(), {a.str() + ".also-missing"}).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Compact
+
+TEST(CacheCompact, DropsSupersededOldSchemaOrphansAndTornTail)
+{
+    TempPath file("critics-compact");
+    const JobSpec live = tinySpec(1);
+    const sim::RunResult final = sampleResult(9.0);
+    {
+        std::ofstream f(file.str());
+        f << makeLine(live, sampleResult(1.0), 100); // superseded
+        f << makeLine(live, final, 200);             // survives
+        f << makeLine(tinySpec(2), sampleResult(), 100, "",
+                      kResultSchemaVersion + 1);     // old schema
+        // Orphan: a stored hash that is not hash(spec) — a collision
+        // or a hash-function-change leftover.
+        f << makeLine(tinySpec(3), sampleResult(), 100,
+                      "00000000deadbeef");
+        f << "{\"schema\":1,\"hash\":\"tr";          // torn tail
+    }
+    const auto before = std::filesystem::file_size(file.str());
+    const auto stats = compactStore(file.str());
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->recordsKept, 1u);
+    EXPECT_EQ(stats->superseded, 1u);
+    EXPECT_EQ(stats->oldSchema, 1u);
+    EXPECT_EQ(stats->orphans, 1u);
+    EXPECT_EQ(stats->malformed, 1u);
+    EXPECT_EQ(stats->bytesBefore, before);
+    EXPECT_GT(stats->bytesReclaimed(), 0u);
+    EXPECT_LT(std::filesystem::file_size(file.str()), before);
+
+    // The surviving record is the later one, byte-for-byte.
+    const auto records = readResultRecords(file.str());
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].hash, live.hashHex());
+    EXPECT_EQ(resultToJson(records[0].result), resultToJson(final));
+}
+
+TEST(CacheCompact, MissingFileIsAnEmptyNoOp)
+{
+    TempPath file("critics-compact-missing");
+    const auto stats = compactStore(file.str());
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->filesRead, 0u);
+    EXPECT_EQ(stats->recordsKept, 0u);
+    EXPECT_FALSE(std::filesystem::exists(file.str()));
+}
+
+// ---------------------------------------------------------------------------
+// GC
+
+TEST(CacheGc, MaxAgeExpiresOldAndUnstampedRecords)
+{
+    TempPath file("critics-gc-age");
+    {
+        std::ofstream f(file.str());
+        f << makeLine(tinySpec(1), sampleResult(), 1000); // too old
+        f << makeLine(tinySpec(2), sampleResult(), 9000); // fresh
+        f << makeLine(tinySpec(3), sampleResult(), 0);    // unstamped
+    }
+    GcOptions opt;
+    opt.maxAgeSeconds = 5000;
+    opt.nowUnix = 10000; // cutoff = 5000
+    const auto stats = gcStore(file.str(), opt);
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->expired, 2u);
+    const auto records = readResultRecords(file.str());
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].hash, tinySpec(2).hashHex());
+}
+
+TEST(CacheGc, MaxBytesEvictsOldestFirst)
+{
+    TempPath file("critics-gc-bytes");
+    std::uintmax_t oneLine = 0;
+    {
+        std::ofstream f(file.str());
+        const std::string newest =
+            makeLine(tinySpec(3), sampleResult(), 300);
+        oneLine = newest.size();
+        f << makeLine(tinySpec(2), sampleResult(), 200);
+        f << makeLine(tinySpec(1), sampleResult(), 100);
+        f << newest;
+    }
+    GcOptions opt;
+    opt.maxBytes = 2 * oneLine + oneLine / 2; // room for two records
+    const auto stats = gcStore(file.str(), opt);
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->evicted, 1u);
+    EXPECT_LE(std::filesystem::file_size(file.str()), opt.maxBytes);
+    // The oldest record (writtenUnix 100) went first.
+    std::set<std::string> hashes;
+    for (const auto &record : readResultRecords(file.str()))
+        hashes.insert(record.hash);
+    EXPECT_EQ(hashes.count(tinySpec(1).hashHex()), 0u);
+    EXPECT_EQ(hashes.count(tinySpec(2).hashHex()), 1u);
+    EXPECT_EQ(hashes.count(tinySpec(3).hashHex()), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Collision counting
+
+TEST(ResultStore, CollisionLookupIsAMissAndCounted)
+{
+    TempPath file("critics-collision");
+    const JobSpec spec = tinySpec(1);
+    {
+        // A record with spec A's hash but a different spec string —
+        // what a hash collision (or hash-function change) leaves.
+        JobSpec other = tinySpec(2);
+        std::ofstream f(file.str());
+        f << makeLine(other, sampleResult(), 100, spec.hashHex());
+    }
+    ResultStore store(file.str());
+    EXPECT_FALSE(store.lookup(spec).has_value());
+    EXPECT_EQ(store.collisions(), 1u);
+    EXPECT_EQ(store.misses(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded run == unsharded run, digit for digit
+
+TEST(ShardedRunner, MergedShardsReproduceUnshardedBitExactly)
+{
+    setQuiet(true);
+    TempPath dir("critics-sharded-run");
+    std::filesystem::create_directories(dir.str());
+    const std::string unsharded = dir.str() + "/unsharded.jsonl";
+    const std::string merged = dir.str() + "/merged.jsonl";
+
+    std::vector<JobSpec> jobs;
+    for (std::uint64_t s = 0; s < 3; ++s) {
+        jobs.push_back(tinySpec(s));
+        jobs.push_back(tinySpec(s, sim::Transform::CritIc));
+    }
+
+    auto makeOptions = [&](const std::string &cachePath) {
+        RunnerOptions options;
+        options.cachePath = cachePath;
+        options.writeManifest = false;
+        options.progress = false;
+        return options;
+    };
+
+    {
+        Runner runner(makeOptions(unsharded));
+        ASSERT_TRUE(runner.run("full", jobs).allOk());
+    }
+    const unsigned N = 2;
+    std::vector<std::string> shardPaths;
+    std::size_t ownedTotal = 0;
+    for (unsigned k = 1; k <= N; ++k) {
+        RunnerOptions options = makeOptions(
+            dir.str() + "/shard-" + std::to_string(k) + ".jsonl");
+        options.shard = ShardSpec{k, N};
+        Runner runner(options);
+        const auto batch = runner.run("full", jobs);
+        ASSERT_TRUE(batch.allOk());
+        EXPECT_EQ(batch.manifest.shardIndex, k);
+        EXPECT_EQ(batch.manifest.shardCount, N);
+        EXPECT_EQ(batch.manifest.shardTotalJobs, jobs.size());
+        ownedTotal += batch.jobs.size();
+        shardPaths.push_back(options.cachePath);
+    }
+    EXPECT_EQ(ownedTotal, jobs.size());
+
+    ASSERT_TRUE(mergeStores(merged, shardPaths).has_value());
+    const auto expect = readResultRecords(unsharded);
+    const auto got = readResultRecords(merged);
+    ASSERT_EQ(expect.size(), got.size());
+    std::map<std::string, std::string> gotByHash;
+    for (const auto &record : got)
+        gotByHash[record.hash] = resultToJson(record.result);
+    for (const auto &record : expect) {
+        const auto it = gotByHash.find(record.hash);
+        ASSERT_NE(it, gotByHash.end()) << record.hash;
+        EXPECT_EQ(it->second, resultToJson(record.result));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Double-SIGINT emergency flush
+
+TEST(SigintGuardDeath, SecondSigintFlushesManifestThenDies)
+{
+    TempPath dir("critics-sigint");
+    std::filesystem::create_directories(dir.str());
+    const std::string emergency = dir.str() + "/batch.interrupted.json";
+    const std::string payload = "{\"batch\":\"emergency-snapshot\"}\n";
+
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        SigintGuard guard;
+        SigintGuard::setEmergencyPath(emergency);
+        SigintGuard::publishEmergency(&payload);
+        ::raise(SIGINT); // first: flag only
+        if (!SigintGuard::interrupted())
+            ::_exit(3);
+        ::raise(SIGINT); // second: flush + default disposition
+        ::_exit(4);      // unreachable if the re-raise worked
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status))
+        << "child exited " << WEXITSTATUS(status)
+        << " instead of dying by SIGINT";
+    EXPECT_EQ(WTERMSIG(status), SIGINT);
+
+    std::ifstream in(emergency);
+    ASSERT_TRUE(in.good()) << "no emergency manifest written";
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_EQ(contents, payload);
+}
