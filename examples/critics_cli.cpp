@@ -20,6 +20,12 @@
  *       matched by app/variant, every stat of the registry is diffed
  *       under a noise threshold, and any significant drift — faster
  *       or slower — exits non-zero naming the regressed dotted stats.
+ *   critics_cli lint [--apps ...] [--variants ...] [--out report.json]
+ *       Static-analysis gate: synthesize each app's program, apply
+ *       each variant's passes under a full verifier audit (structural
+ *       + differential dataflow + skip advisories + post-pass lints),
+ *       write a machine-readable JSON report and exit non-zero on any
+ *       error-severity diagnostic.  No simulation runs.
  *
  * The original single-run interface still works:
  *   critics_cli --app Acrobat --variant critic [--json]
@@ -34,6 +40,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <mutex>
 #include <string>
@@ -47,8 +54,10 @@
 #include "stats/interval.hh"
 #include "stats/registry.hh"
 #include "stats/trace_event.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
+#include "verify/verify.hh"
 
 using namespace critics;
 
@@ -188,6 +197,15 @@ usage()
         "                      (30d, 12h, 900s, plain seconds) and\n"
         "                      evict oldest-first past <n> bytes\n"
         "                      (512K, 512M, 2G, plain bytes)\n"
+        "critics_cli lint [options]    verify every variant's passes\n"
+        "  --apps <list>       apps or suite (default mobile)\n"
+        "  --variants <list>   variant names (default: all)\n"
+        "  --insts <n>         synthesis budget per app\n"
+        "  --min-run <n>       unconverted-run lint threshold\n"
+        "                      (default 3)\n"
+        "  --out <file>        JSON report path\n"
+        "                      (default lint_report.json)\n"
+        "                      exit 1 on any error-severity finding\n"
         "critics_cli diff <before> <after> [options]\n"
         "                      compare two runs metric-by-metric;\n"
         "                      exit 1 on any drift beyond noise.\n"
@@ -355,6 +373,132 @@ cmdDiff(int argc, char **argv)
                 compared, regressedJobs, regressedMetrics,
                 mismatch ? ", job/stat sets mismatch" : "");
     return (regressedMetrics > 0 || mismatch) ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// lint: the static-analysis gate.
+
+/** Every registered variant name (the usage() list). */
+const char *const kAllVariants[] = {
+    "baseline", "hoist", "critic", "critic-ideal", "critic-branchpair",
+    "opp16", "compress", "opp16+critic", "prefetch", "aluprio",
+    "backendprio", "efetch", "perfectbr", "icache4x", "2xfd", "allhw",
+};
+
+int
+cmdLint(int argc, char **argv)
+{
+    std::string appsArg = "mobile";
+    std::string variantsArg = "all";
+    std::uint64_t insts = 400000;
+    unsigned minRun = 3;
+    std::string outPath = "lint_report.json";
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                critics_fatal(arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--apps") {
+            appsArg = next();
+        } else if (arg == "--variants") {
+            variantsArg = next();
+        } else if (arg == "--insts") {
+            insts = std::stoull(next());
+        } else if (arg == "--min-run") {
+            minRun = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--out") {
+            outPath = next();
+        } else {
+            return usage();
+        }
+    }
+
+    const auto apps = parseApps(appsArg);
+    std::vector<std::string> variantNames;
+    if (variantsArg == "all") {
+        variantNames.assign(std::begin(kAllVariants),
+                            std::end(kAllVariants));
+    } else {
+        variantNames = splitList(variantsArg);
+    }
+    if (variantNames.empty())
+        critics_fatal("--variants needs at least one variant");
+
+    sim::ExperimentOptions expOptions;
+    expOptions.traceInsts = insts;
+
+    json::JsonWriter w;
+    w.beginObject();
+    w.field("schema", 1);
+    w.field("tool", "critics_cli lint");
+    w.beginArray("apps");
+
+    std::size_t totalErrors = 0, totalWarnings = 0, totalAdvice = 0;
+    Table table({"app", "variant", "errors", "warnings", "advice"});
+
+    for (const auto &profile : apps) {
+        sim::AppExperiment exp(profile, expOptions);
+        w.elementObject();
+        w.field("app", profile.name);
+        w.beginArray("variants");
+        for (const auto &name : variantNames) {
+            const sim::Variant variant = parseVariant(name);
+            verify::PassAudit audit;
+            program::Program prog = exp.baseProgram();
+            exp.applyTransform(prog, variant, nullptr, &audit);
+            verify::lintAdvisories(prog, audit.report, minRun);
+
+            w.elementObject();
+            w.field("variant", name);
+            audit.report.writeJson(w);
+            w.endObject();
+
+            totalErrors += audit.report.errors();
+            totalWarnings += audit.report.warnings();
+            totalAdvice += audit.report.advice();
+            table.addRow({profile.name, name,
+                          std::to_string(audit.report.errors()),
+                          std::to_string(audit.report.warnings()),
+                          std::to_string(audit.report.advice())});
+            // Errors are simulator bugs: show them right away, capped
+            // by the report's own per-code stored limit.
+            for (const auto &d : audit.report.diags()) {
+                if (d.severity == verify::Severity::Error) {
+                    std::printf("%s/%s: %s\n", profile.name.c_str(),
+                                name.c_str(), d.render().c_str());
+                }
+            }
+        }
+        w.endArray();
+        w.endObject();
+    }
+
+    w.endArray();
+    w.beginObject("totals");
+    w.field("errors", static_cast<std::uint64_t>(totalErrors));
+    w.field("warnings", static_cast<std::uint64_t>(totalWarnings));
+    w.field("advice", static_cast<std::uint64_t>(totalAdvice));
+    w.endObject();
+    w.field("clean", totalErrors == 0);
+    w.endObject();
+
+    std::ofstream out(outPath, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+        return 2;
+    }
+    out << w.str() << "\n";
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("lint: %zu app(s) x %zu variant(s): %zu error(s), "
+                "%zu warning(s), %zu advisor%s\nreport: %s\n",
+                apps.size(), variantNames.size(), totalErrors,
+                totalWarnings, totalAdvice,
+                totalAdvice == 1 ? "y" : "ies", outPath.c_str());
+    return totalErrors > 0 ? 1 : 0;
 }
 
 int
@@ -844,6 +988,8 @@ run(int argc, char **argv)
             return cmdCache(argc - 2, argv + 2);
         if (command == "diff")
             return cmdDiff(argc - 2, argv + 2);
+        if (command == "lint")
+            return cmdLint(argc - 2, argv + 2);
         if (command == "--help" || command == "-h" ||
             command == "help") {
             usage();

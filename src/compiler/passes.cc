@@ -1,10 +1,12 @@
 #include "compiler/passes.hh"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "program/dfg.hh"
 #include "stats/registry.hh"
 #include "support/logging.hh"
+#include "verify/verify.hh"
 
 namespace critics::compiler
 {
@@ -98,6 +100,11 @@ renameDefLocally(BasicBlock &block, std::size_t defIdx,
     if (nextRedef == block.insts.size() && oldReg > 6)
         return false;
 
+    // The redefining instruction may itself read the old value (e.g.
+    // r3 = r3 + r1): those source reads happen before its write and
+    // must be renamed along with the earlier consumers.
+    const std::size_t lastRead =
+        std::min(nextRedef, block.insts.size() - 1);
 
     auto referenced = [&](std::uint8_t reg, std::size_t lo,
                           std::size_t hi) {
@@ -119,7 +126,7 @@ renameDefLocally(BasicBlock &block, std::size_t defIdx,
         if (referenced(cand, rangeLo, block.insts.size() - 1))
             continue;
         block.insts[defIdx].arch.dst = cand;
-        for (std::size_t i = defIdx + 1; i < nextRedef; ++i) {
+        for (std::size_t i = defIdx + 1; i <= lastRead; ++i) {
             auto &arch = block.insts[i].arch;
             if (arch.src1 == oldReg)
                 arch.src1 = cand;
@@ -131,6 +138,40 @@ renameDefLocally(BasicBlock &block, std::size_t defIdx,
     return false;
 }
 
+/** Uids of instructions already placed by a transformed chain; no
+ *  later motion may cross or displace them. */
+using FrozenSet = std::unordered_set<InstUid>;
+
+/** True when motion must not cross `si`: a format switch, an already
+ *  16-bit instruction (its covering switch's run would go stale), or a
+ *  member of a previously transformed chain. */
+bool
+frozenForMotion(const StaticInst &si, const FrozenSet &frozen)
+{
+    return si.isCdp() || si.format == Format::Thumb16 ||
+           frozen.count(si.uid) != 0;
+}
+
+/** Context for the in-pass skip advisories (satellite of the verifier:
+ *  every blocked/failed counter increment also explains itself when a
+ *  lint audit is listening).  `diag` is null on the hot path. */
+struct PassDiagCtx
+{
+    verify::Report *diag = nullptr;
+    const Program *prog = nullptr;
+    std::uint32_t func = 0;
+    std::uint32_t block = 0;
+
+    void
+    advise(const char *code, std::uint32_t index, std::string msg) const
+    {
+        if (diag != nullptr) {
+            diag->reportAt(verify::Severity::Advice, code, *prog, func,
+                           block, index, std::move(msg));
+        }
+    }
+};
+
 /**
  * Bubble block.insts[from] up to land right after `anchor`, renaming
  * the moving instruction's destination when a WAW/WAR conflict (and
@@ -138,10 +179,27 @@ renameDefLocally(BasicBlock &block, std::size_t defIdx,
  */
 std::size_t
 hoistWithRename(BasicBlock &block, std::size_t from, std::size_t anchor,
-                PassStats &stats)
+                PassStats &stats, const FrozenSet &frozen,
+                const PassDiagCtx &ctx)
 {
     std::size_t pos = from;
+    if (frozenForMotion(block.insts[pos], frozen)) {
+        ++stats.blockedCtl;
+        ctx.advise("verify.pass.blocked-ctl",
+                   static_cast<std::uint32_t>(pos),
+                   "chain member is inside a transformed 16-bit "
+                   "region and may not move");
+        return pos;
+    }
     while (pos > anchor + 1) {
+        if (frozenForMotion(block.insts[pos - 1], frozen)) {
+            ++stats.blockedCtl;
+            ctx.advise("verify.pass.blocked-ctl",
+                       static_cast<std::uint32_t>(pos),
+                       "hoist may not cross a transformed 16-bit "
+                       "region");
+            break;
+        }
         if (program::canSwap(block.insts[pos - 1], block.insts[pos])) {
             std::swap(block.insts[pos - 1], block.insts[pos]);
             --pos;
@@ -162,16 +220,32 @@ hoistWithRename(BasicBlock &block, std::size_t from, std::size_t anchor,
             ++stats.localRenames;
             continue;
         }
+        const std::string blocker =
+            " (blocked by uid " + std::to_string(belowInst.uid) + ")";
         if (belowInst.isControl() || movingInst.isControl() ||
             belowInst.isCdp() || movingInst.isCdp()) {
             ++stats.blockedCtl;
+            ctx.advise("verify.pass.blocked-ctl",
+                       static_cast<std::uint32_t>(pos),
+                       "hoist stopped at a control boundary" + blocker);
         } else if (raw) {
             ++stats.blockedRaw;
+            ctx.advise("verify.pass.blocked-raw",
+                       static_cast<std::uint32_t>(pos),
+                       "hoist stopped by a true dependence" + blocker);
         } else if (nameOnly) {
             ++stats.blockedRename;
+            ctx.advise("verify.pass.blocked-rename",
+                       static_cast<std::uint32_t>(pos),
+                       "WAW/WAR clash and no free rename register" +
+                           blocker);
         } else if ((belowInst.isLoad() || belowInst.isStore()) &&
                    (movingInst.isLoad() || movingInst.isStore())) {
             ++stats.blockedMem;
+            ctx.advise("verify.pass.blocked-mem",
+                       static_cast<std::uint32_t>(pos),
+                       "hoist stopped by a may-alias memory pair" +
+                           blocker);
         }
         break;
     }
@@ -195,18 +269,34 @@ makeSwitchBranch(Program &prog, Format format)
 PassStats
 applyCritIcPass(Program &prog,
                 const std::vector<std::vector<InstUid>> &chains,
-                const CritIcPassOptions &options)
+                const CritIcPassOptions &options,
+                verify::PassAudit *audit)
 {
     PassStats stats;
+    verify::PassVerifier v(options.convertToThumb ? "critic" : "hoist",
+                           prog, audit);
+    v.setIdealThumb(options.forceConvert);
+    FrozenSet frozen;
 
     for (const auto &chain : chains) {
         if (chain.size() < 2)
             continue;
         ++stats.chainsAttempted;
 
+        if (!prog.contains(chain.front())) {
+            if (auto *r = v.sink()) {
+                r->report(verify::Severity::Advice,
+                          "verify.pass.chain-stale",
+                          "chain head uid " +
+                              std::to_string(chain.front()) +
+                              " is no longer in the program");
+            }
+            continue;
+        }
         const program::InstLoc loc = prog.locate(chain.front());
         BasicBlock &block =
             prog.funcs[loc.func].blocks[loc.block];
+        PassDiagCtx ctx{v.sink(), &prog, loc.func, loc.block};
 
         // Sanity: every member must still be in this block.
         bool intact = true;
@@ -214,6 +304,14 @@ applyCritIcPass(Program &prog,
             const int idx = indexInBlock(block, uid);
             if (idx < 0) {
                 intact = false;
+                if (auto *r = v.sink()) {
+                    r->report(verify::Severity::Advice,
+                              "verify.pass.chain-stale",
+                              "chain member uid " + std::to_string(uid) +
+                                  " left the head's block (f" +
+                                  std::to_string(loc.func) + "/b" +
+                                  std::to_string(loc.block) + ")");
+                }
                 break;
             }
         }
@@ -240,7 +338,7 @@ applyCritIcPass(Program &prog,
             }
             const std::size_t landed = hoistWithRename(
                 block, static_cast<std::size_t>(from),
-                static_cast<std::size_t>(anchor), stats);
+                static_cast<std::size_t>(anchor), stats, frozen, ctx);
             if (landed != static_cast<std::size_t>(anchor) + 1) {
                 contiguous = false;
                 break;
@@ -249,6 +347,11 @@ applyCritIcPass(Program &prog,
         }
         if (!contiguous) {
             ++stats.hoistFailures;
+            ctx.advise("verify.pass.hoist-failed",
+                       static_cast<std::uint32_t>(
+                           indexInBlock(block, chain.front())),
+                       "chain of " + std::to_string(chain.size()) +
+                           " could not be packed contiguous");
             continue; // partial hoists are harmless; skip conversion
         }
 
@@ -259,6 +362,8 @@ applyCritIcPass(Program &prog,
                 indexInBlock(block, chain.front()));
             const std::size_t groupLen = chain.size();
             while (groupLo > 0) {
+                if (frozenForMotion(block.insts[groupLo - 1], frozen))
+                    break; // never displace a transformed region
                 bool legal = true;
                 for (std::size_t k = 0; k < groupLen; ++k) {
                     if (program::canSwap(block.insts[groupLo - 1],
@@ -301,6 +406,9 @@ applyCritIcPass(Program &prog,
 
         if (!options.convertToThumb) {
             ++stats.chainsTransformed;
+            v.noteTransformedChain(chain);
+            for (const InstUid uid : chain)
+                frozen.insert(uid);
             continue; // Hoist-only design point
         }
 
@@ -309,9 +417,17 @@ applyCritIcPass(Program &prog,
         bool convertible = true;
         if (!options.forceConvert) {
             for (std::size_t k = 0; k < chain.size(); ++k) {
-                if (!directConvertible(
-                        block.insts[first + static_cast<int>(k)])) {
+                const StaticInst &member =
+                    block.insts[first + static_cast<int>(k)];
+                if (!directConvertible(member)) {
                     convertible = false;
+                    ctx.advise(
+                        "verify.pass.unconvertible",
+                        static_cast<std::uint32_t>(
+                            first + static_cast<int>(k)),
+                        "member uid " + std::to_string(member.uid) +
+                            " has no direct 16-bit encoding; chain "
+                            "conversion is all-or-nothing");
                     break;
                 }
             }
@@ -362,9 +478,13 @@ applyCritIcPass(Program &prog,
           }
         }
         ++stats.chainsTransformed;
+        v.noteTransformedChain(chain);
+        for (const InstUid uid : chain)
+            frozen.insert(uid);
     }
 
     prog.layout();
+    v.finish(prog);
     return stats;
 }
 
@@ -377,7 +497,8 @@ namespace
 void
 emitConvertedRun(Program &prog, std::vector<StaticInst> &out,
                  const std::vector<StaticInst> &insts, std::size_t start,
-                 std::size_t len, PassStats &stats)
+                 std::size_t len, PassStats &stats,
+                 const PassDiagCtx &ctx)
 {
     // First expand, then chunk under CDPs.
     std::vector<StaticInst> expanded;
@@ -385,6 +506,10 @@ emitConvertedRun(Program &prog, std::vector<StaticInst> &out,
     for (std::size_t i = start; i < start + len; ++i) {
         StaticInst si = insts[i];
         if (!directConvertible(si)) {
+            ctx.advise("verify.lint.mov-expansion",
+                       static_cast<std::uint32_t>(i),
+                       "2-address expansion lengthens the run by a "
+                       "mov");
             // mov dst, src1 ; op dst, dst, src2 — the 1.6x-style
             // instruction-count cost of the 16-bit format.
             StaticInst mov;
@@ -422,11 +547,16 @@ emitConvertedRun(Program &prog, std::vector<StaticInst> &out,
  *                       (OPP16) or keep them in 32-bit form (Compress)
  */
 PassStats
-convertRuns(Program &prog, unsigned minRun, bool allowExpansion)
+convertRuns(Program &prog, unsigned minRun, bool allowExpansion,
+            const char *passName, verify::PassAudit *audit)
 {
     PassStats stats;
-    for (auto &fn : prog.funcs) {
-        for (auto &block : fn.blocks) {
+    verify::PassVerifier v(passName, prog, audit);
+    for (std::uint32_t f = 0; f < prog.funcs.size(); ++f) {
+        for (std::uint32_t b = 0; b < prog.funcs[f].blocks.size();
+             ++b) {
+            BasicBlock &block = prog.funcs[f].blocks[b];
+            PassDiagCtx ctx{v.sink(), &prog, f, b};
             std::vector<StaticInst> out;
             out.reserve(block.insts.size() + 8);
             const auto &insts = block.insts;
@@ -455,8 +585,18 @@ convertRuns(Program &prog, unsigned minRun, bool allowExpansion)
                 }
                 const std::size_t len = j - i;
                 if (len >= minRun) {
-                    emitConvertedRun(prog, out, insts, i, len, stats);
+                    emitConvertedRun(prog, out, insts, i, len, stats,
+                                     ctx);
                 } else {
+                    if (len >= 2) {
+                        ctx.advise(
+                            "verify.pass.short-run",
+                            static_cast<std::uint32_t>(i),
+                            "convertible run of " + std::to_string(len) +
+                                " below the minimum of " +
+                                std::to_string(minRun) +
+                                "; switch overhead would not pay off");
+                    }
                     for (std::size_t k = i; k < j; ++k)
                         out.push_back(insts[k]);
                 }
@@ -466,21 +606,22 @@ convertRuns(Program &prog, unsigned minRun, bool allowExpansion)
         }
     }
     prog.layout();
+    v.finish(prog);
     return stats;
 }
 
 } // namespace
 
 PassStats
-applyOpp16Pass(Program &prog, unsigned minRun)
+applyOpp16Pass(Program &prog, unsigned minRun, verify::PassAudit *audit)
 {
-    return convertRuns(prog, minRun, false);
+    return convertRuns(prog, minRun, false, "opp16", audit);
 }
 
 PassStats
-applyCompressPass(Program &prog)
+applyCompressPass(Program &prog, verify::PassAudit *audit)
 {
-    return convertRuns(prog, 2, false);
+    return convertRuns(prog, 2, false, "compress", audit);
 }
 
 } // namespace critics::compiler

@@ -31,6 +31,11 @@ namespace critics::stats
 class StatRegistry;
 }
 
+namespace critics::verify
+{
+struct PassAudit;
+}
+
 namespace critics::compiler
 {
 
@@ -76,17 +81,27 @@ struct CritIcPassOptions
  * Apply the CritIC transformation for the selected chains.  Each chain
  * is a list of instruction uids inside one basic block, in block order.
  * Re-lays out the program before returning.
+ *
+ * Every pass checks its own post-conditions through verify::PassVerifier
+ * (structural always, differential dataflow under CRITICS_VERIFY=full)
+ * and panics on an error-severity finding.  When `audit` is given (the
+ * `critics_cli lint` path) findings — including a located advisory for
+ * every skipped/blocked chain, explaining *why* it was not transformed —
+ * accumulate in the audit instead of panicking.
  */
 PassStats applyCritIcPass(
     program::Program &prog,
     const std::vector<std::vector<program::InstUid>> &chains,
-    const CritIcPassOptions &options);
+    const CritIcPassOptions &options,
+    verify::PassAudit *audit = nullptr);
 
 /** OPP16: convert convertible runs of >= minRun instructions. */
-PassStats applyOpp16Pass(program::Program &prog, unsigned minRun = 3);
+PassStats applyOpp16Pass(program::Program &prog, unsigned minRun = 3,
+                         verify::PassAudit *audit = nullptr);
 
 /** Compress [78]: function-wide conversion avoiding expansion cases. */
-PassStats applyCompressPass(program::Program &prog);
+PassStats applyCompressPass(program::Program &prog,
+                            verify::PassAudit *audit = nullptr);
 
 } // namespace critics::compiler
 

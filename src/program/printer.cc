@@ -67,9 +67,19 @@ formatEncoding(const StaticInst &si)
     std::ostringstream os;
     os << "0x" << std::hex << std::uppercase << std::setfill('0');
     if (si.isCdp()) {
-        os << std::setw(4) << isa::encodeCdp(si.cdpRun);
+        // The verifier prints instructions it has just flagged; a CDP
+        // with a corrupt run length must render, not assert.
+        if (si.cdpRun >= 1 && si.cdpRun <= isa::MaxCdpRun)
+            os << std::setw(4) << isa::encodeCdp(si.cdpRun);
+        else
+            os << "????";
     } else if (si.format == isa::Format::Thumb16) {
-        os << std::setw(4) << isa::encodeThumb16(si.arch);
+        // CritIC.Ideal force-converts instructions with no real 16-bit
+        // encoding; render those as a placeholder instead of asserting.
+        if (isa::thumbConvertible(si.arch))
+            os << std::setw(4) << isa::encodeThumb16(si.arch);
+        else
+            os << "????";
     } else {
         os << std::setw(8) << isa::encodeArm32(si.arch);
     }

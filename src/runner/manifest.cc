@@ -89,6 +89,10 @@ RunManifest::toJson() const
         .field("cacheCollisions", runnerStats.cacheCollisions)
         .field("poolTasks", runnerStats.poolTasks)
         .field("poolThreads", runnerStats.poolThreads)
+        .field("verifyChecks", runnerStats.verifyChecks)
+        .field("verifyFullChecks", runnerStats.verifyFullChecks)
+        .field("verifyErrors", runnerStats.verifyErrors)
+        .field("verifyAdvisories", runnerStats.verifyAdvisories)
         .endObject();
     w.beginArray("jobs");
     for (const auto &job : jobs) {
@@ -163,6 +167,10 @@ RunManifest::read(const std::string &path, RunManifest &out)
         out.runnerStats.cacheCollisions = uint("cacheCollisions");
         out.runnerStats.poolTasks = uint("poolTasks");
         out.runnerStats.poolThreads = uint("poolThreads");
+        out.runnerStats.verifyChecks = uint("verifyChecks");
+        out.runnerStats.verifyFullChecks = uint("verifyFullChecks");
+        out.runnerStats.verifyErrors = uint("verifyErrors");
+        out.runnerStats.verifyAdvisories = uint("verifyAdvisories");
     }
     // Optional (absent in unsharded manifests).
     if (const JsonValue *sh = doc->find("shard");

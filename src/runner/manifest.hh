@@ -38,7 +38,8 @@ struct JobRecord
 };
 
 /** Runner-infrastructure counters snapshotted at batch end
- *  (process-cumulative: result-cache traffic and pool activity). */
+ *  (process-cumulative: result-cache traffic, pool activity, and pass
+ *  verification work — observability only, never part of a result). */
 struct RunnerCounters
 {
     std::uint64_t cacheHits = 0;
@@ -47,6 +48,10 @@ struct RunnerCounters
     std::uint64_t cacheCollisions = 0;
     std::uint64_t poolTasks = 0;
     std::uint64_t poolThreads = 0;
+    std::uint64_t verifyChecks = 0;     ///< structural post-condition walks
+    std::uint64_t verifyFullChecks = 0; ///< differential dataflow checks
+    std::uint64_t verifyErrors = 0;
+    std::uint64_t verifyAdvisories = 0; ///< warnings + advisory lints
 };
 
 struct RunManifest

@@ -14,6 +14,7 @@
 #include "stats/registry.hh"
 #include "stats/trace_event.hh"
 #include "support/logging.hh"
+#include "verify/verify.hh"
 
 namespace critics::runner
 {
@@ -393,6 +394,19 @@ Runner::run(const std::string &batchName,
         ThreadPool::shared().tasksSubmitted();
     batch.manifest.runnerStats.poolThreads =
         ThreadPool::shared().threadCount();
+    {
+        const verify::Counters &vc = verify::counters();
+        auto relaxed = [](const std::atomic<std::uint64_t> &v) {
+            return v.load(std::memory_order_relaxed);
+        };
+        batch.manifest.runnerStats.verifyChecks =
+            relaxed(vc.structuralChecks);
+        batch.manifest.runnerStats.verifyFullChecks =
+            relaxed(vc.fullChecks);
+        batch.manifest.runnerStats.verifyErrors = relaxed(vc.errors);
+        batch.manifest.runnerStats.verifyAdvisories =
+            relaxed(vc.warnings) + relaxed(vc.advisories);
+    }
     batch.manifest.jobs = buildJobRecords(/*emergency=*/false);
     if (options_.writeManifest) {
         batch.manifestPath = batch.manifest.write(manifestDir);

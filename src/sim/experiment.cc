@@ -98,13 +98,13 @@ AppExperiment::run(const Variant &variant)
     return run(variant, RunHooks{});
 }
 
-RunResult
-AppExperiment::run(const Variant &variant, const RunHooks &hooks)
+compiler::PassStats
+AppExperiment::applyTransform(program::Program &prog,
+                              const Variant &variant,
+                              double *selectionCoverage,
+                              verify::PassAudit *audit)
 {
-    RunResult result;
-
-    // ---- Software transform ------------------------------------------
-    program::Program prog = program_; // transformed copy
+    compiler::PassStats pass;
     const double fraction =
         variant.profileFraction.value_or(options_.profileFraction);
 
@@ -115,7 +115,8 @@ AppExperiment::run(const Variant &variant, const RunHooks &hooks)
         sel.ideal = ideal;
         const Selection selection =
             analysis::selectCritIcs(minedAt(fraction), sel);
-        result.selectionCoverage = selection.expectedCoverage;
+        if (selectionCoverage != nullptr)
+            *selectionCoverage = selection.expectedCoverage;
         return selection;
     };
 
@@ -126,43 +127,56 @@ AppExperiment::run(const Variant &variant, const RunHooks &hooks)
         CritIcPassOptions opt;
         opt.convertToThumb = false;
         opt.switchMode = compiler::SwitchMode::None;
-        result.pass = compiler::applyCritIcPass(
-            prog, selectChains(false).chains, opt);
+        pass = compiler::applyCritIcPass(
+            prog, selectChains(false).chains, opt, audit);
         break;
       }
       case Transform::CritIc: {
         CritIcPassOptions opt;
         opt.switchMode = variant.switchMode;
-        result.pass = compiler::applyCritIcPass(
-            prog, selectChains(false).chains, opt);
+        pass = compiler::applyCritIcPass(
+            prog, selectChains(false).chains, opt, audit);
         break;
       }
       case Transform::CritIcIdeal: {
         CritIcPassOptions opt;
         opt.switchMode = variant.switchMode;
         opt.forceConvert = true;
-        result.pass = compiler::applyCritIcPass(
-            prog, selectChains(true).chains, opt);
+        pass = compiler::applyCritIcPass(
+            prog, selectChains(true).chains, opt, audit);
         break;
       }
       case Transform::Opp16:
-        result.pass = compiler::applyOpp16Pass(prog);
+        pass = compiler::applyOpp16Pass(prog, 3, audit);
         break;
       case Transform::Compress:
-        result.pass = compiler::applyCompressPass(prog);
+        pass = compiler::applyCompressPass(prog, audit);
         break;
       case Transform::Opp16PlusCritIc: {
         CritIcPassOptions opt;
         opt.switchMode = variant.switchMode;
-        result.pass = compiler::applyCritIcPass(
-            prog, selectChains(false).chains, opt);
-        const compiler::PassStats opp = compiler::applyOpp16Pass(prog);
-        result.pass.instsConverted += opp.instsConverted;
-        result.pass.instsExpanded += opp.instsExpanded;
-        result.pass.cdpsInserted += opp.cdpsInserted;
+        pass = compiler::applyCritIcPass(
+            prog, selectChains(false).chains, opt, audit);
+        const compiler::PassStats opp =
+            compiler::applyOpp16Pass(prog, 3, audit);
+        pass.instsConverted += opp.instsConverted;
+        pass.instsExpanded += opp.instsExpanded;
+        pass.cdpsInserted += opp.cdpsInserted;
         break;
       }
     }
+    return pass;
+}
+
+RunResult
+AppExperiment::run(const Variant &variant, const RunHooks &hooks)
+{
+    RunResult result;
+
+    // ---- Software transform ------------------------------------------
+    program::Program prog = program_; // transformed copy
+    result.pass =
+        applyTransform(prog, variant, &result.selectionCoverage);
     result.staticThumbFraction = prog.thumbFraction();
 
     // ---- Trace re-emission against the transformed binary -------------

@@ -138,6 +138,20 @@ class AppExperiment
     /** Same run with interval sampling / trace export attached. */
     RunResult run(const Variant &variant, const RunHooks &hooks);
 
+    /**
+     * Apply the variant's software transform to `prog` (a copy of
+     * baseProgram()), exactly as run() does before simulating.  When
+     * `audit` is given, each pass collects its verifier findings and
+     * skip advisories there instead of panicking — the spine of
+     * `critics_cli lint`.  Returns the pass stats; `selectionCoverage`
+     * (optional) receives the chain selection's expected dynamic
+     * coverage.
+     */
+    compiler::PassStats applyTransform(
+        program::Program &prog, const Variant &variant,
+        double *selectionCoverage = nullptr,
+        verify::PassAudit *audit = nullptr);
+
     /** baselineCycles / variantCycles. */
     double speedup(const RunResult &result);
 

@@ -1,0 +1,255 @@
+#include "verify/dataflow.hh"
+
+#include <array>
+#include <string>
+
+#include "isa/isa.hh"
+
+namespace critics::verify
+{
+
+using program::BasicBlock;
+using program::InstUid;
+using program::Program;
+using program::StaticInst;
+using isa::Format;
+
+namespace
+{
+
+/** Scan one block recording each instruction's source producers. */
+template <typename Fn>
+void
+scanBlock(const BasicBlock &block, Fn &&record)
+{
+    std::array<InstUid, isa::NumArchRegs> lastWriter;
+    lastWriter.fill(program::NoUid);
+    for (const StaticInst &si : block.insts) {
+        DataflowSnapshot::InstDf df;
+        const std::uint8_t srcs[2] = {si.arch.src1, si.arch.src2};
+        for (int s = 0; s < 2; ++s) {
+            if (srcs[s] == isa::NoReg)
+                continue;
+            df.hasSrc[s] = true;
+            df.src[s].reg = srcs[s];
+            const InstUid writer = lastWriter[srcs[s]];
+            df.src[s].external = writer == program::NoUid;
+            df.src[s].uid = writer;
+        }
+        record(si, df);
+        if (si.arch.dst != isa::NoReg)
+            lastWriter[si.arch.dst] = si.uid;
+    }
+}
+
+std::string
+describeRef(const ProducerRef &ref)
+{
+    if (ref.external) {
+        return "live-in r" + std::to_string(
+            static_cast<unsigned>(ref.reg));
+    }
+    return "uid " + std::to_string(ref.uid);
+}
+
+} // namespace
+
+void
+DataflowSnapshot::capture(const Program &prog)
+{
+    insts.clear();
+    for (std::uint32_t f = 0; f < prog.funcs.size(); ++f) {
+        for (std::uint32_t b = 0; b < prog.funcs[f].blocks.size();
+             ++b) {
+            scanBlock(prog.funcs[f].blocks[b],
+                      [&](const StaticInst &si, InstDf df) {
+                          df.func = f;
+                          df.block = b;
+                          insts[si.uid] = df;
+                      });
+        }
+    }
+}
+
+void
+verifyDataflow(const DataflowSnapshot &pre, const Program &post,
+               Report &report)
+{
+    // Post-pass facts, including inserted instructions (needed to
+    // resolve values routed through mov-expansions).
+    DataflowSnapshot now;
+    now.capture(post);
+
+    // Resolve a post-pass producer through any chain of *inserted*
+    // instructions: an inserted mov forwards its src1's value, so the
+    // effective producer is the mov's own src1 producer, transitively.
+    auto resolve = [&](ProducerRef ref) {
+        std::size_t hops = 0;
+        while (!ref.external && pre.insts.find(ref.uid) ==
+               pre.insts.end()) {
+            const auto it = now.insts.find(ref.uid);
+            if (it == now.insts.end() || !it->second.hasSrc[0] ||
+                ++hops > 64) {
+                break; // leave unresolved; the compare below reports it
+            }
+            ref = it->second.src[0];
+        }
+        return ref;
+    };
+
+    for (const auto &[uid, before] : pre.insts) {
+        const auto it = now.insts.find(uid);
+        if (it == now.insts.end()) {
+            report.report(Severity::Error,
+                          "verify.dataflow.uid-vanished",
+                          "uid " + std::to_string(uid) +
+                              " (f" + std::to_string(before.func) +
+                              "/b" + std::to_string(before.block) +
+                              ") vanished from the program");
+            continue;
+        }
+        const auto &after = it->second;
+        if (after.func != before.func || after.block != before.block) {
+            report.report(Severity::Error, "verify.dataflow.uid-moved",
+                          "uid " + std::to_string(uid) + " moved f" +
+                              std::to_string(before.func) + "/b" +
+                              std::to_string(before.block) + " -> f" +
+                              std::to_string(after.func) + "/b" +
+                              std::to_string(after.block));
+            continue;
+        }
+        for (int s = 0; s < 2; ++s) {
+            if (!before.hasSrc[s]) {
+                // Passes never grow an instruction's operand list.
+                continue;
+            }
+            if (!after.hasSrc[s]) {
+                report.report(Severity::Error,
+                              "verify.dataflow.raw-broken",
+                              "uid " + std::to_string(uid) + " src" +
+                                  std::to_string(s + 1) +
+                                  " operand vanished");
+                continue;
+            }
+            const ProducerRef resolved = resolve(after.src[s]);
+            if (resolved == before.src[s])
+                continue;
+            if (!before.src[s].external && resolved.external) {
+                report.report(
+                    Severity::Error, "verify.dataflow.use-before-def",
+                    "uid " + std::to_string(uid) + " src" +
+                        std::to_string(s + 1) + " read " +
+                        describeRef(before.src[s]) +
+                        " before the pass but its def no longer "
+                        "dominates (now " + describeRef(resolved) +
+                        ")");
+            } else {
+                report.report(
+                    Severity::Error, "verify.dataflow.raw-broken",
+                    "uid " + std::to_string(uid) + " src" +
+                        std::to_string(s + 1) + " producer changed: " +
+                        describeRef(before.src[s]) + " -> " +
+                        describeRef(resolved));
+            }
+        }
+    }
+}
+
+void
+verifyChainsContiguous(
+    const Program &prog,
+    const std::vector<std::vector<InstUid>> &chains, Report &report)
+{
+    for (const auto &chain : chains) {
+        if (chain.size() < 2)
+            continue;
+        if (!prog.contains(chain.front())) {
+            report.report(Severity::Error,
+                          "verify.dataflow.chain-split",
+                          "chain head uid " +
+                              std::to_string(chain.front()) +
+                              " is not in the program");
+            continue;
+        }
+        const program::InstLoc head = prog.locate(chain.front());
+        const BasicBlock &block =
+            prog.funcs[head.func].blocks[head.block];
+        bool broken = false;
+        std::size_t member = 0;
+        for (std::size_t i = head.index;
+             i < block.insts.size() && member < chain.size(); ++i) {
+            const StaticInst &si = block.insts[i];
+            if (si.uid == chain[member]) {
+                ++member;
+                continue;
+            }
+            // Only the format switches themselves may interleave: a
+            // CDP chaining two sub-runs of a long chain.
+            if (si.isCdp())
+                continue;
+            broken = true;
+            break;
+        }
+        if (broken || member != chain.size()) {
+            report.reportAt(
+                Severity::Error, "verify.dataflow.chain-split", prog,
+                head.func, head.block,
+                static_cast<std::uint32_t>(head.index),
+                "transformed chain of " + std::to_string(chain.size()) +
+                    " is no longer contiguous (matched " +
+                    std::to_string(member) + " member(s) from uid " +
+                    std::to_string(chain.front()) + ")");
+        }
+    }
+}
+
+void
+lintAdvisories(const Program &prog, Report &report, unsigned minRun)
+{
+    for (std::uint32_t f = 0; f < prog.funcs.size(); ++f) {
+        for (std::uint32_t b = 0; b < prog.funcs[f].blocks.size();
+             ++b) {
+            const auto &insts = prog.funcs[f].blocks[b].insts;
+            std::size_t runStart = 0, runLen = 0;
+            auto flushRun = [&](std::size_t end) {
+                if (runLen >= minRun) {
+                    report.reportAt(
+                        Severity::Advice,
+                        "verify.lint.unconverted-run", prog, f, b,
+                        static_cast<std::uint32_t>(runStart),
+                        std::to_string(runLen) +
+                            " directly convertible instructions left "
+                            "in 32-bit form");
+                }
+                runStart = end + 1;
+                runLen = 0;
+            };
+            for (std::size_t i = 0; i < insts.size(); ++i) {
+                const StaticInst &si = insts[i];
+                if (si.isCdp() && si.cdpRun < 2) {
+                    report.reportAt(Severity::Advice,
+                                    "verify.lint.dead-switch", prog, f,
+                                    b, static_cast<std::uint32_t>(i),
+                                    "CDP switch covers a run of " +
+                                        std::to_string(si.cdpRun) +
+                                        ": the 32-bit switch word "
+                                        "costs more than it saves");
+                }
+                const bool convertible =
+                    si.format == Format::Arm32 && !si.isCdp() &&
+                    !si.isControl() &&
+                    isa::thumbDirectlyConvertible(si.arch);
+                if (convertible) {
+                    if (runLen == 0)
+                        runStart = i;
+                    ++runLen;
+                } else {
+                    flushRun(i);
+                }
+            }
+            flushRun(insts.size());
+        }
+    }
+}
+
+} // namespace critics::verify

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Differential dataflow verification: prove a pass output executes the
+ * same register dataflow as its input.
+ *
+ * A DataflowSnapshot captures, per instruction uid, the producing uid
+ * (or live-in register) of every source operand — the intra-block RAW
+ * def-use edges BlockDfg computes, keyed by uid so they survive code
+ * motion.  verifyDataflow() recomputes the edges on the transformed
+ * program and checks each pre-pass edge still holds, resolving
+ * *inserted* instructions (OPP16's mov-expansions) transitively so a
+ * value routed through a new mov still traces to its original
+ * producer.  Local renames need no special handling: a legal rename
+ * rewrites every consumer, so the uid-keyed edges are unchanged.
+ *
+ * Also here: the CritIC chain-contiguity check and the advisory lint
+ * pass (dead format switches, convertible-but-unconverted runs).
+ */
+
+#ifndef CRITICS_VERIFY_DATAFLOW_HH
+#define CRITICS_VERIFY_DATAFLOW_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "program/program.hh"
+#include "verify/diagnostics.hh"
+
+namespace critics::verify
+{
+
+/** Producer of one source operand: an in-block uid, or the live-in
+ *  value of `reg` (external = defined outside the block). */
+struct ProducerRef
+{
+    bool external = true;
+    std::uint8_t reg = isa::NoReg;      ///< operand register
+    program::InstUid uid = program::NoUid; ///< producer when !external
+
+    bool
+    operator==(const ProducerRef &o) const
+    {
+        return external == o.external &&
+               (external ? reg == o.reg : uid == o.uid);
+    }
+};
+
+/** Per-uid dataflow facts of one program, captured before a pass. */
+struct DataflowSnapshot
+{
+    struct InstDf
+    {
+        std::uint32_t func = 0;
+        std::uint32_t block = 0;
+        ProducerRef src[2];
+        bool hasSrc[2] = {false, false};
+    };
+
+    std::unordered_map<program::InstUid, InstDf> insts;
+
+    bool empty() const { return insts.empty(); }
+    void capture(const program::Program &prog);
+};
+
+/**
+ * Check the transformed program against a pre-pass snapshot:
+ *   - verify.dataflow.uid-vanished: a pre-pass uid disappeared
+ *   - verify.dataflow.uid-moved: a uid changed function or block
+ *   - verify.dataflow.use-before-def: an operand that had an in-block
+ *     producer now reads a live-in value (its def sank below the use)
+ *   - verify.dataflow.raw-broken: an operand resolves to a different
+ *     producer than before the pass
+ */
+void verifyDataflow(const DataflowSnapshot &pre,
+                    const program::Program &post, Report &report);
+
+/**
+ * Check each transformed CritIC chain is still contiguous inside one
+ * block — members in order with nothing interleaved except the format
+ * switches themselves (verify.dataflow.chain-split).
+ */
+void verifyChainsContiguous(
+    const program::Program &prog,
+    const std::vector<std::vector<program::InstUid>> &chains,
+    Report &report);
+
+/**
+ * Advisory lints (Severity::Advice):
+ *   - verify.lint.dead-switch: a CDP paying its 32-bit switch word for
+ *     a run too short to win back the bytes (run < 2)
+ *   - verify.lint.unconverted-run: >= minRun consecutive directly
+ *     convertible 32-bit instructions left unconverted
+ */
+void lintAdvisories(const program::Program &prog, Report &report,
+                    unsigned minRun = 3);
+
+} // namespace critics::verify
+
+#endif // CRITICS_VERIFY_DATAFLOW_HH

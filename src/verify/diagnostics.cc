@@ -1,0 +1,166 @@
+#include "verify/diagnostics.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "program/printer.hh"
+#include "support/json.hh"
+
+namespace critics::verify
+{
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Error:
+        return "error";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Advice:
+        return "advice";
+    }
+    return "?";
+}
+
+std::string
+Diagnostic::render() const
+{
+    std::ostringstream os;
+    os << severityName(severity) << ' ' << code;
+    if (located) {
+        os << " at f" << func << "/b" << block << "/i" << index;
+        if (uid != program::NoUid)
+            os << " uid " << uid;
+    }
+    os << ": " << message;
+    if (!where.empty())
+        os << "\n    " << where;
+    return os.str();
+}
+
+void
+Report::add(Diagnostic diag)
+{
+    switch (diag.severity) {
+      case Severity::Error:
+        ++errors_;
+        break;
+      case Severity::Warning:
+        ++warnings_;
+        break;
+      case Severity::Advice:
+        ++advice_;
+        break;
+    }
+    const std::size_t seen = ++counts_[diag.code];
+    if (seen > MaxStoredPerCode) {
+        ++suppressed_;
+        return;
+    }
+    diags_.push_back(std::move(diag));
+}
+
+void
+Report::report(Severity severity, std::string code, std::string message)
+{
+    Diagnostic d;
+    d.severity = severity;
+    d.code = std::move(code);
+    d.message = std::move(message);
+    add(std::move(d));
+}
+
+void
+Report::reportAt(Severity severity, std::string code,
+                 const program::Program &prog, std::uint32_t fn,
+                 std::uint32_t blk, std::uint32_t idx,
+                 std::string message)
+{
+    Diagnostic d;
+    d.severity = severity;
+    d.code = std::move(code);
+    d.message = std::move(message);
+    d.located = true;
+    d.func = fn;
+    d.block = blk;
+    d.index = idx;
+    const auto &block = prog.funcs[fn].blocks[blk];
+    if (idx < block.insts.size()) {
+        d.uid = block.insts[idx].uid;
+        d.where = prog.funcs[fn].name + ": " +
+                  program::formatInst(block.insts[idx]);
+    }
+    add(std::move(d));
+}
+
+std::size_t
+Report::countOf(const std::string &code) const
+{
+    const auto it = counts_.find(code);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+std::string
+Report::render(std::size_t maxLines) const
+{
+    // Errors first, then warnings, then advice, preserving insertion
+    // order inside each severity.
+    std::vector<const Diagnostic *> ordered;
+    ordered.reserve(diags_.size());
+    for (const auto sev :
+         {Severity::Error, Severity::Warning, Severity::Advice}) {
+        for (const auto &d : diags_)
+            if (d.severity == sev)
+                ordered.push_back(&d);
+    }
+    std::ostringstream os;
+    os << errors_ << " error(s), " << warnings_ << " warning(s), "
+       << advice_ << " advisory(ies)";
+    const std::size_t shown = std::min(maxLines, ordered.size());
+    for (std::size_t i = 0; i < shown; ++i)
+        os << '\n' << ordered[i]->render();
+    const std::size_t hidden = ordered.size() - shown + suppressed_;
+    if (hidden > 0)
+        os << '\n' << "... " << hidden << " more finding(s) not shown";
+    return os.str();
+}
+
+void
+Report::writeJson(json::JsonWriter &w, std::size_t maxFindings) const
+{
+    w.field("errors", static_cast<std::uint64_t>(errors_));
+    w.field("warnings", static_cast<std::uint64_t>(warnings_));
+    w.field("advice", static_cast<std::uint64_t>(advice_));
+    w.beginObject("codes");
+    for (const auto &[code, count] : counts_)
+        w.field(code.c_str(), static_cast<std::uint64_t>(count));
+    w.endObject();
+    w.beginArray("findings");
+    std::size_t written = 0;
+    for (const auto sev :
+         {Severity::Error, Severity::Warning, Severity::Advice}) {
+        for (const auto &d : diags_) {
+            if (d.severity != sev || written >= maxFindings)
+                continue;
+            ++written;
+            w.elementObject()
+                .field("severity", severityName(d.severity))
+                .field("code", d.code)
+                .field("message", d.message);
+            if (d.located) {
+                w.field("func", static_cast<std::uint64_t>(d.func))
+                    .field("block", static_cast<std::uint64_t>(d.block))
+                    .field("index", static_cast<std::uint64_t>(d.index));
+                if (d.uid != program::NoUid)
+                    w.field("uid", static_cast<std::uint64_t>(d.uid));
+                if (!d.where.empty())
+                    w.field("where", d.where);
+            }
+            w.endObject();
+        }
+    }
+    w.endArray();
+}
+
+} // namespace critics::verify

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Diagnostic machinery for the IR verifier and lint framework.
+ *
+ * Every finding carries a *stable dotted code* (`verify.struct.cdp-overrun`,
+ * `verify.dataflow.raw-broken`, ...) so tests, CI gates and the
+ * `critics_cli lint` JSON report can match on identity rather than on
+ * message text, plus an optional uid/func/block/index location rendered
+ * through program/printer at report time (locations go stale the moment
+ * a pass mutates the block, so the human-readable line is captured
+ * eagerly).  The full invariant catalogue lives in DESIGN.md
+ * ("IR invariants").
+ */
+
+#ifndef CRITICS_VERIFY_DIAGNOSTICS_HH
+#define CRITICS_VERIFY_DIAGNOSTICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "program/program.hh"
+
+namespace critics::json
+{
+class JsonWriter;
+}
+
+namespace critics::verify
+{
+
+enum class Severity : std::uint8_t
+{
+    Error,   ///< the program is illegal / semantics were broken
+    Warning, ///< suspicious but not provably wrong
+    Advice,  ///< optimization opportunity or explained skip
+};
+
+const char *severityName(Severity severity);
+
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    std::string code;    ///< stable dotted id, e.g. "verify.struct.uid-dup"
+    std::string message;
+
+    bool located = false;
+    std::uint32_t func = 0;
+    std::uint32_t block = 0;
+    std::uint32_t index = 0;
+    program::InstUid uid = program::NoUid;
+    std::string where; ///< rendered location line (captured eagerly)
+
+    /** "error verify.struct.uid-dup at f1/b2/i3 uid 17: message". */
+    std::string render() const;
+};
+
+/**
+ * Collects diagnostics from one verification run.  Per-code counts are
+ * exact; the stored diagnostic list is capped per code (advisory lints
+ * like `verify.lint.unconverted-run` fire thousands of times on a
+ * baseline program, and the report must stay bounded).
+ */
+class Report
+{
+  public:
+    /** Stored diagnostics per code; counts keep accumulating past it. */
+    static constexpr std::size_t MaxStoredPerCode = 64;
+
+    void add(Diagnostic diag);
+
+    /** Unlocated finding. */
+    void report(Severity severity, std::string code, std::string message);
+
+    /** Finding located at prog.funcs[fn].blocks[blk].insts[idx]; the
+     *  uid and a printed instruction line are captured now. */
+    void reportAt(Severity severity, std::string code,
+                  const program::Program &prog, std::uint32_t fn,
+                  std::uint32_t blk, std::uint32_t idx,
+                  std::string message);
+
+    std::size_t errors() const { return errors_; }
+    std::size_t warnings() const { return warnings_; }
+    std::size_t advice() const { return advice_; }
+    bool clean() const { return errors_ == 0; }
+
+    /** Exact number of findings with this code (uncapped). */
+    std::size_t countOf(const std::string &code) const;
+    bool has(const std::string &code) const { return countOf(code) > 0; }
+
+    const std::vector<Diagnostic> &diags() const { return diags_; }
+    const std::map<std::string, std::size_t> &codeCounts() const
+    {
+        return counts_;
+    }
+
+    /** Multi-line human rendering of up to `maxLines` findings (errors
+     *  first), with a suppression trailer when capped. */
+    std::string render(std::size_t maxLines = 24) const;
+
+    /** Append `errors`/`warnings`/`advice` counts, a `codes` object and
+     *  a capped `findings` array to the writer's open object. */
+    void writeJson(json::JsonWriter &w,
+                   std::size_t maxFindings = 200) const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+    std::map<std::string, std::size_t> counts_;
+    std::size_t errors_ = 0;
+    std::size_t warnings_ = 0;
+    std::size_t advice_ = 0;
+    std::size_t suppressed_ = 0;
+};
+
+} // namespace critics::verify
+
+#endif // CRITICS_VERIFY_DIAGNOSTICS_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Structural (machine-verifier-style) well-formedness checks over a
+ * program::Program.  These prove the *shape* of the IR legal — uid
+ * uniqueness, control transfers only at block tails with in-range
+ * targets, operand registers inside their format's encodable range,
+ * CDP switch runs covering exactly the following Thumb16 instructions
+ * with no nesting/overrun, branch-pair switches properly paired, and
+ * consistent memory metadata.  They are cheap (one linear walk) and run
+ * unconditionally after every compiler pass; the differential dataflow
+ * checks live in verify/dataflow.hh.
+ */
+
+#ifndef CRITICS_VERIFY_STRUCTURAL_HH
+#define CRITICS_VERIFY_STRUCTURAL_HH
+
+#include "program/program.hh"
+#include "verify/diagnostics.hh"
+
+namespace critics::verify
+{
+
+struct StructuralOptions
+{
+    /**
+     * CritIC.Ideal (forceConvert) deliberately re-encodes instructions
+     * the 16-bit format cannot express — the paper's "no
+     * convertibility limits" hypothetical.  Under this flag the Thumb
+     * encodability checks (register range, predication, missing 16-bit
+     * encoding) downgrade from Error to Advice so the ideal design
+     * point lints clean while the violations stay visible.
+     */
+    bool idealThumb = false;
+};
+
+/** Run every structural check; findings accumulate into `report`. */
+void verifyStructure(const program::Program &prog, Report &report,
+                     const StructuralOptions &options = {});
+
+} // namespace critics::verify
+
+#endif // CRITICS_VERIFY_STRUCTURAL_HH

@@ -1,0 +1,139 @@
+#include "verify/verify.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "stats/registry.hh"
+#include "support/logging.hh"
+
+namespace critics::verify
+{
+
+Level
+levelFromEnv()
+{
+    const char *value = std::getenv("CRITICS_VERIFY");
+    if (value == nullptr || *value == '\0')
+        return Level::Structural;
+    if (std::strcmp(value, "off") == 0 || std::strcmp(value, "0") == 0)
+        return Level::Off;
+    if (std::strcmp(value, "struct") == 0 ||
+        std::strcmp(value, "structural") == 0 ||
+        std::strcmp(value, "1") == 0) {
+        return Level::Structural;
+    }
+    if (std::strcmp(value, "full") == 0 || std::strcmp(value, "2") == 0)
+        return Level::Full;
+    static std::once_flag warned;
+    std::call_once(warned, [value] {
+        critics_warn("unknown CRITICS_VERIFY value '", value,
+                     "' (want off|structural|full); using structural");
+    });
+    return Level::Structural;
+}
+
+Counters &
+counters()
+{
+    static Counters instance;
+    return instance;
+}
+
+void
+registerStats(stats::StatRegistry &reg)
+{
+    Counters &c = counters();
+    const auto bind = [&reg](const char *name,
+                             const std::atomic<std::uint64_t> &v,
+                             const char *desc) {
+        reg.addFormula(name,
+                       [&v] {
+                           return static_cast<double>(
+                               v.load(std::memory_order_relaxed));
+                       },
+                       desc);
+    };
+    bind("verify.structChecks", c.structuralChecks,
+         "structural pass post-condition walks");
+    bind("verify.fullChecks", c.fullChecks,
+         "differential dataflow verifications");
+    bind("verify.errors", c.errors, "error-severity findings");
+    bind("verify.warnings", c.warnings, "warning-severity findings");
+    bind("verify.advisories", c.advisories, "advisory lint findings");
+}
+
+PassVerifier::PassVerifier(const char *passName,
+                           const program::Program &prog,
+                           PassAudit *audit)
+    : name_(passName),
+      audit_(audit),
+      level_(audit ? audit->level : levelFromEnv())
+{
+    if (audit_) {
+        // The audit's report may already hold findings from earlier
+        // passes (opp16+critic shares one); count only our deltas.
+        baseErrors_ = audit_->report.errors();
+        baseWarnings_ = audit_->report.warnings();
+        baseAdvice_ = audit_->report.advice();
+    }
+    if (level_ == Level::Full)
+        pre_.capture(prog);
+}
+
+Report *
+PassVerifier::sink()
+{
+    return audit_ ? &audit_->report : nullptr;
+}
+
+void
+PassVerifier::noteTransformedChain(
+    const std::vector<program::InstUid> &chain)
+{
+    if (level_ == Level::Full)
+        chains_.push_back(chain);
+}
+
+void
+PassVerifier::finish(const program::Program &prog)
+{
+    if (level_ == Level::Off)
+        return;
+
+    Report local;
+    Report &report = audit_ ? audit_->report : local;
+
+    verifyStructure(prog, report, structural_);
+    counters().structuralChecks.fetch_add(1, std::memory_order_relaxed);
+    if (level_ == Level::Full) {
+        verifyDataflow(pre_, prog, report);
+        verifyChainsContiguous(prog, chains_, report);
+        counters().fullChecks.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // The deltas include the in-pass skip advisories the pass itself
+    // reported through sink(); counting them here (once, at finish)
+    // keeps the increment out of the per-chain hot path.
+    Counters &c = counters();
+    c.errors.fetch_add(report.errors() - baseErrors_,
+                       std::memory_order_relaxed);
+    c.warnings.fetch_add(report.warnings() - baseWarnings_,
+                         std::memory_order_relaxed);
+    c.advisories.fetch_add(report.advice() - baseAdvice_,
+                           std::memory_order_relaxed);
+
+    if (audit_) {
+        audit_->transformedChains.insert(
+            audit_->transformedChains.end(), chains_.begin(),
+            chains_.end());
+        return;
+    }
+    if (!report.clean()) {
+        critics_panic("pass '", name_,
+                      "' violated its post-conditions:\n",
+                      report.render());
+    }
+}
+
+} // namespace critics::verify

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Edge cases in program/dfg.cc beyond test_program.cc's basics: the
+ * store/store disambiguation matrix, terminator/CDP immobility from
+ * both sides, hoistUpTo's displaced-order invariant and early stop,
+ * and dependsOn direction/reflexivity corners.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "program/dfg.hh"
+
+using namespace critics;
+using critics::test::inst;
+using program::BasicBlock;
+using program::FlowKind;
+using program::StaticInst;
+using program::canSwap;
+using program::hoistUpTo;
+using isa::OpClass;
+
+namespace
+{
+
+StaticInst
+store(program::InstUid uid, std::uint8_t src, std::uint32_t region,
+      std::uint8_t aliasClass)
+{
+    StaticInst si = inst(uid, OpClass::Store, isa::NoReg, src);
+    si.memRegionId = region;
+    si.aliasClass = aliasClass;
+    return si;
+}
+
+} // namespace
+
+TEST(CanSwap, StoreStoreSameRegionSameClassBlocks)
+{
+    const StaticInst a = store(0, 1, 0, 3);
+    const StaticInst b = store(1, 2, 0, 3);
+    EXPECT_FALSE(canSwap(a, b));
+}
+
+TEST(CanSwap, StoreStoreSameRegionDifferentClassSwaps)
+{
+    const StaticInst a = store(0, 1, 0, 3);
+    const StaticInst b = store(1, 2, 0, 4);
+    EXPECT_TRUE(canSwap(a, b));
+}
+
+TEST(CanSwap, StoreStoreDifferentRegionSwaps)
+{
+    // Same alias class but provably disjoint regions.
+    const StaticInst a = store(0, 1, 0, 3);
+    const StaticInst b = store(1, 2, 1, 3);
+    EXPECT_TRUE(canSwap(a, b));
+}
+
+TEST(CanSwap, StoreStoreWildcardClassBlocksEitherSide)
+{
+    const StaticInst a = store(0, 1, 0, 0xFF);
+    const StaticInst b = store(1, 2, 0, 5);
+    EXPECT_FALSE(canSwap(a, b));
+    EXPECT_FALSE(canSwap(b, a));
+}
+
+TEST(CanSwap, TerminatorAndCdpBlockFromBothSides)
+{
+    StaticInst jump = inst(0, OpClass::Branch, isa::NoReg);
+    jump.flow = FlowKind::Jump;
+    const StaticInst alu = inst(1, OpClass::IntAlu, 4);
+    EXPECT_FALSE(canSwap(jump, alu));
+    EXPECT_FALSE(canSwap(alu, jump));
+
+    StaticInst cdp = inst(2, OpClass::Cdp, isa::NoReg);
+    cdp.format = isa::Format::Thumb16;
+    cdp.cdpRun = 1;
+    EXPECT_FALSE(canSwap(cdp, alu));
+    EXPECT_FALSE(canSwap(alu, cdp)); // can't drift into a covered run
+}
+
+TEST(HoistUpTo, EarlyStopPreservesDisplacedOrder)
+{
+    // The mover (reads r2) bubbles past two independents, stops just
+    // below its r2 producer, and the displaced instructions keep their
+    // relative order.
+    BasicBlock bb;
+    bb.insts.push_back(inst(0, OpClass::IntAlu, 1));
+    bb.insts.push_back(inst(1, OpClass::IntAlu, 2, 1));
+    bb.insts.push_back(inst(2, OpClass::IntAlu, 3));
+    bb.insts.push_back(inst(3, OpClass::IntAlu, 4));
+    bb.insts.push_back(inst(4, OpClass::IntAlu, 5, 2)); // reads r2
+    const std::size_t landed = hoistUpTo(bb, 4, 0);
+    EXPECT_EQ(landed, 2u);
+    EXPECT_EQ(bb.insts[0].uid, 0u);
+    EXPECT_EQ(bb.insts[1].uid, 1u); // producer stays put
+    EXPECT_EQ(bb.insts[2].uid, 4u); // mover lands just after it
+    EXPECT_EQ(bb.insts[3].uid, 2u); // displaced insts slid down in order
+    EXPECT_EQ(bb.insts[4].uid, 3u);
+}
+
+TEST(HoistUpTo, ReachesAnchorWhenPathIsClear)
+{
+    BasicBlock bb;
+    bb.insts.push_back(inst(0, OpClass::IntAlu, 1));
+    bb.insts.push_back(inst(1, OpClass::IntAlu, 2));
+    bb.insts.push_back(inst(2, OpClass::IntAlu, 3));
+    bb.insts.push_back(inst(3, OpClass::IntAlu, 4, 1)); // only needs r1
+    const std::size_t landed = hoistUpTo(bb, 3, 0);
+    EXPECT_EQ(landed, 1u);
+    EXPECT_EQ(bb.insts[1].uid, 3u);
+}
+
+TEST(HoistUpTo, StoppedByStoreStoreAliasing)
+{
+    // A store cannot bubble past a may-aliasing store even when no
+    // registers conflict.
+    BasicBlock bb;
+    bb.insts.push_back(inst(0, OpClass::IntAlu, 1));
+    bb.insts.push_back(store(1, 2, 0, 7));
+    bb.insts.push_back(store(2, 3, 0, 7));
+    const std::size_t landed = hoistUpTo(bb, 2, 0);
+    EXPECT_EQ(landed, 2u);
+}
+
+TEST(BlockDfg, DependsOnDirectionAndReflexivity)
+{
+    // 0: def r1; 1: r2 = f(r1); 2: r3 = f(r2); 3: independent.
+    BasicBlock bb;
+    bb.insts.push_back(inst(0, OpClass::IntAlu, 1));
+    bb.insts.push_back(inst(1, OpClass::IntAlu, 2, 1));
+    bb.insts.push_back(inst(2, OpClass::IntAlu, 3, 2));
+    bb.insts.push_back(inst(3, OpClass::IntAlu, 7));
+    const program::BlockDfg dfg(bb);
+    EXPECT_TRUE(dfg.dependsOn(2, 0));  // through the chain
+    EXPECT_FALSE(dfg.dependsOn(3, 0));
+    EXPECT_FALSE(dfg.dependsOn(0, 2)); // direction matters
+    EXPECT_FALSE(dfg.dependsOn(2, 2)); // not reflexive
+}
+
+TEST(BlockDfg, ProducersTrackRedefinition)
+{
+    // The second def of r1 shadows the first for later readers.
+    BasicBlock bb;
+    bb.insts.push_back(inst(0, OpClass::IntAlu, 1));
+    bb.insts.push_back(inst(1, OpClass::IntAlu, 1));
+    bb.insts.push_back(inst(2, OpClass::IntAlu, 2, 1));
+    const program::BlockDfg dfg(bb);
+    EXPECT_EQ(dfg.producers(2)[0], 1);
+    EXPECT_TRUE(dfg.consumers(0).empty());
+    ASSERT_EQ(dfg.consumers(1).size(), 1u);
+    EXPECT_EQ(dfg.consumers(1)[0], 2);
+}
