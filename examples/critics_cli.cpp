@@ -36,7 +36,10 @@
  *           backendprio, efetch, perfectbr, icache4x, 2xfd, allhw
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -45,6 +48,11 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "analysis/criticality.hh"
+#include "analysis/miner.hh"
+#include "program/emit.hh"
+#include "runner/manifest.hh"
 
 #include "runner/cache_admin.hh"
 #include "runner/orchestrator.hh"
@@ -178,6 +186,19 @@ usage()
         "                      (default stats_cli.jsonl)\n"
         "  --trace-out <file>  Chrome trace of runner phases and\n"
         "                      per-job spans (load in Perfetto)\n"
+        "critics_cli bench [options]   tracked simulator microbench:\n"
+        "                      N repetitions of a fixed app/variant\n"
+        "                      matrix, median sim-insts/s per stage\n"
+        "                      (emit, analyze, simulate); appends the\n"
+        "                      measurement to BENCH_sim.json\n"
+        "  --quick             small matrix for CI smoke\n"
+        "  --reps <n>          repetitions (default 5; 3 with --quick)\n"
+        "  --insts <n>         dynamic insts per app (default 400000)\n"
+        "  --apps/--variants   override the fixed matrix\n"
+        "  --label <text>      measurement label (default full/quick)\n"
+        "  --out <file>        trajectory file (default BENCH_sim.json)\n"
+        "  --baseline <file>   print simulate-stage delta vs the last\n"
+        "                      measurement in <file> (non-gating)\n"
         "critics_cli report [file ...] summarize run manifests\n"
         "                      (default: all manifests in the cache\n"
         "                      dir); exit 1 on any failed job\n"
@@ -499,6 +520,332 @@ cmdLint(int argc, char **argv)
                 totalWarnings, totalAdvice,
                 totalAdvice == 1 ? "y" : "ies", outPath.c_str());
     return totalErrors > 0 ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// bench: the tracked simulator microbenchmark.
+
+/** One stage's timings across repetitions. */
+struct StageSamples
+{
+    std::vector<double> instsPerSec; ///< one entry per repetition
+
+    double
+    median() const
+    {
+        if (instsPerSec.empty())
+            return 0.0;
+        std::vector<double> sorted = instsPerSec;
+        std::sort(sorted.begin(), sorted.end());
+        return sorted[sorted.size() / 2];
+    }
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Median simulate-stage insts/s of the last measurement in a
+ *  BENCH_sim.json document; 0 when absent/unreadable. */
+double
+lastSimulateRate(const json::JsonValue &doc, std::string *label)
+{
+    const json::JsonValue *ms = doc.find("measurements");
+    if (ms == nullptr || !ms->isArray() || ms->elements.empty())
+        return 0.0;
+    const json::JsonValue &last = ms->elements.back();
+    if (label != nullptr) {
+        if (const auto *l = last.find("label"))
+            *label = l->asString().value_or("");
+    }
+    const json::JsonValue *stages = last.find("stages");
+    if (stages == nullptr)
+        return 0.0;
+    const json::JsonValue *sim = stages->find("simulate");
+    if (sim == nullptr)
+        return 0.0;
+    if (const auto *rate = sim->find("medianInstsPerSec"))
+        return rate->asDouble().value_or(0.0);
+    return 0.0;
+}
+
+int
+cmdBench(int argc, char **argv)
+{
+    bool quick = false;
+    std::string appsArg, variantsArg, label, baselinePath;
+    std::string outPath = "BENCH_sim.json";
+    std::uint64_t insts = 0;
+    unsigned reps = 0;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                critics_fatal(arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--apps") {
+            appsArg = next();
+        } else if (arg == "--variants") {
+            variantsArg = next();
+        } else if (arg == "--insts") {
+            insts = std::stoull(next());
+        } else if (arg == "--reps") {
+            reps = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--label") {
+            label = next();
+        } else if (arg == "--out") {
+            outPath = next();
+        } else if (arg == "--baseline") {
+            baselinePath = next();
+        } else {
+            return usage();
+        }
+    }
+
+    // The fixed matrix: stable across releases so the recorded
+    // trajectory stays comparable.  --quick shrinks it for CI smoke.
+    if (appsArg.empty())
+        appsArg = quick ? "Acrobat,Office" : "Acrobat,Angrybirds,Office,Browser";
+    if (variantsArg.empty())
+        variantsArg = quick ? "baseline,critic" : "baseline,critic,opp16,allhw";
+    if (insts == 0)
+        insts = quick ? 150000 : 400000;
+    if (reps == 0)
+        reps = quick ? 3 : 5;
+    if (label.empty())
+        label = quick ? "quick" : "full";
+
+    const auto apps = parseApps(appsArg);
+    std::vector<sim::Variant> variants;
+    for (const auto &name : splitList(variantsArg))
+        variants.push_back(parseVariant(name));
+    if (variants.empty())
+        critics_fatal("--variants needs at least one variant");
+
+    sim::ExperimentOptions expOptions;
+    expOptions.traceInsts = insts;
+
+    // One experiment per app, built untimed: synthesis and the control
+    // walk are one-time costs the paper sweeps never repeat.
+    std::vector<std::unique_ptr<sim::AppExperiment>> exps;
+    std::uint64_t matrixInsts = 0;
+    for (const auto &profile : apps) {
+        exps.push_back(
+            std::make_unique<sim::AppExperiment>(profile, expOptions));
+        matrixInsts += exps.back()->baseTrace().size();
+    }
+
+    StageSamples emitStage, analyzeStage, simulateStage;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        // Stage 1: trace emission (the per-variant re-emission cost).
+        auto t0 = std::chrono::steady_clock::now();
+        for (const auto &exp : exps) {
+            const program::Trace trace =
+                program::emitTrace(exp->baseProgram(), exp->path());
+            critics_assert(trace.size() > 0, "empty bench trace");
+        }
+        emitStage.instsPerSec.push_back(
+            static_cast<double>(matrixInsts) / secondsSince(t0));
+
+        // Stage 2: offline criticality analysis (fanout, chains,
+        // mining), always from scratch so caching cannot hide cost.
+        t0 = std::chrono::steady_clock::now();
+        for (const auto &exp : exps) {
+            const auto fanout = analysis::computeFanout(
+                exp->baseTrace(), expOptions.crit);
+            const auto chains = analysis::extractChains(
+                exp->baseTrace(), fanout, expOptions.crit);
+            const auto mined = analysis::mineCritIcs(
+                exp->baseTrace(), exp->baseProgram(), chains, fanout,
+                expOptions.crit, expOptions.profileFraction);
+            critics_assert(!mined.chains.empty() || true, "unused");
+        }
+        analyzeStage.instsPerSec.push_back(
+            static_cast<double>(matrixInsts) / secondsSince(t0));
+
+        // Stage 3: the simulate-one-job path, exactly as the runner
+        // drives it (transform + re-emission/memo + pipeline model).
+        t0 = std::chrono::steady_clock::now();
+        std::uint64_t simInsts = 0;
+        for (const auto &exp : exps) {
+            for (const auto &variant : variants) {
+                const auto result = exp->run(variant);
+                critics_assert(result.cpu.cycles > 0, "empty run");
+                simInsts += exp->baseTrace().size();
+            }
+        }
+        simulateStage.instsPerSec.push_back(
+            static_cast<double>(simInsts) / secondsSince(t0));
+    }
+
+    // ---- Report ------------------------------------------------------
+    Table table({"stage", "median insts/s", "min", "max"});
+    auto addRow = [&](const char *name, const StageSamples &s) {
+        const auto [lo, hi] = std::minmax_element(
+            s.instsPerSec.begin(), s.instsPerSec.end());
+        table.addRow({name, fmt(s.median(), 0), fmt(*lo, 0),
+                      fmt(*hi, 0)});
+    };
+    addRow("emit", emitStage);
+    addRow("analyze", analyzeStage);
+    addRow("simulate", simulateStage);
+    std::printf("%s\n", table.render().c_str());
+
+    // ---- Persist the trajectory --------------------------------------
+    // BENCH_sim.json accumulates measurements; the newest is appended
+    // so the perf history of the simulator is recorded in-tree.
+    double prevRate = 0.0;
+    std::string prevLabel;
+
+    json::JsonWriter w;
+    w.beginObject();
+    w.field("schema", 1);
+    w.field("tool", "critics_cli bench");
+    w.beginArray("measurements");
+
+    // Copy prior measurements structurally (the writer re-serializes
+    // the parsed document, then the new entry is appended).
+    std::function<void(const json::JsonValue &, const char *)>
+        copyMember;
+    copyMember = [&](const json::JsonValue &v, const char *key) {
+        switch (v.kind) {
+          case json::JsonValue::Kind::Object:
+            if (key)
+                w.beginObject(key);
+            else
+                w.elementObject();
+            for (const auto &[k, member] : v.members)
+                copyMember(member, k.c_str());
+            w.endObject();
+            break;
+          case json::JsonValue::Kind::Array:
+            w.beginArray(key);
+            for (const auto &el : v.elements)
+                copyMember(el, nullptr);
+            w.endArray();
+            break;
+          case json::JsonValue::Kind::String:
+            if (key)
+                w.field(key, v.text);
+            else
+                w.element(v.text);
+            break;
+          case json::JsonValue::Kind::Number:
+            // Preserve the original spelling via a raw double/uint.
+            if (v.text.find_first_of(".eE") == std::string::npos) {
+                if (key)
+                    w.field(key, v.asUint().value_or(0));
+                else
+                    w.element(static_cast<double>(
+                        v.asDouble().value_or(0.0)));
+            } else {
+                if (key)
+                    w.fieldReadable(key, v.asDouble().value_or(0.0));
+                else
+                    w.element(v.asDouble().value_or(0.0));
+            }
+            break;
+          case json::JsonValue::Kind::Bool:
+            if (key)
+                w.field(key, v.boolean);
+            break;
+          case json::JsonValue::Kind::Null:
+            break;
+        }
+    };
+    {
+        std::ifstream in(outPath);
+        if (in) {
+            const std::string text(
+                (std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+            if (const auto doc = json::parseJson(text)) {
+                prevRate = lastSimulateRate(*doc, &prevLabel);
+                if (const auto *ms = doc->find("measurements");
+                    ms != nullptr && ms->isArray()) {
+                    for (const auto &m : ms->elements)
+                        copyMember(m, nullptr);
+                }
+            }
+        }
+    }
+
+    w.elementObject();
+    w.field("label", label);
+    w.field("git", runner::gitDescribe());
+    w.field("quick", quick);
+    w.field("apps", appsArg);
+    w.field("variants", variantsArg);
+    w.field("insts", insts);
+    w.field("reps", reps);
+    w.beginObject("stages");
+    auto writeStage = [&](const char *name, const StageSamples &s) {
+        w.beginObject(name);
+        w.fieldReadable("medianInstsPerSec", s.median());
+        w.beginArray("perRep");
+        for (const double r : s.instsPerSec)
+            w.element(r);
+        w.endArray();
+        w.endObject();
+    };
+    writeStage("emit", emitStage);
+    writeStage("analyze", analyzeStage);
+    writeStage("simulate", simulateStage);
+    w.endObject();
+    w.endObject();
+    w.endArray();
+    w.endObject();
+
+    std::ofstream out(outPath, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+        return 2;
+    }
+    out << w.str() << "\n";
+    std::printf("bench: %s (%s, %u rep(s), %s insts/app)\n",
+                outPath.c_str(), label.c_str(), reps,
+                fmt(double(insts), 0).c_str());
+
+    // Delta against the previous in-file measurement, and optionally
+    // against a committed baseline file (CI's non-gating perf-smoke).
+    const double nowRate = simulateStage.median();
+    if (prevRate > 0.0) {
+        std::printf("simulate: %s insts/s vs %s insts/s (%s) -> %.2fx\n",
+                    fmt(nowRate, 0).c_str(), fmt(prevRate, 0).c_str(),
+                    prevLabel.c_str(), nowRate / prevRate);
+    }
+    if (!baselinePath.empty()) {
+        std::ifstream in(baselinePath);
+        if (in) {
+            const std::string text(
+                (std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+            std::string baseLabel;
+            double baseRate = 0.0;
+            if (const auto doc = json::parseJson(text))
+                baseRate = lastSimulateRate(*doc, &baseLabel);
+            if (baseRate > 0.0) {
+                std::printf("simulate vs baseline %s (%s): %.2fx\n",
+                            baselinePath.c_str(), baseLabel.c_str(),
+                            nowRate / baseRate);
+            } else {
+                std::printf("baseline %s: no simulate rate found\n",
+                            baselinePath.c_str());
+            }
+        } else {
+            std::printf("baseline %s: unreadable\n",
+                        baselinePath.c_str());
+        }
+    }
+    return 0;
 }
 
 int
@@ -982,6 +1329,8 @@ run(int argc, char **argv)
         const std::string command = argv[1];
         if (command == "run")
             return cmdRun(argc - 2, argv + 2);
+        if (command == "bench")
+            return cmdBench(argc - 2, argv + 2);
         if (command == "report")
             return cmdReport(argc - 2, argv + 2);
         if (command == "cache")

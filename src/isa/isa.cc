@@ -27,41 +27,6 @@ opClassName(OpClass op)
 }
 
 bool
-isControl(OpClass op)
-{
-    return op == OpClass::Branch || op == OpClass::Call ||
-           op == OpClass::Return;
-}
-
-bool
-isMemory(OpClass op)
-{
-    return op == OpClass::Load || op == OpClass::Store;
-}
-
-unsigned
-execLatency(OpClass op)
-{
-    switch (op) {
-      case OpClass::IntAlu:   return 1;
-      case OpClass::IntMult:  return 3;
-      case OpClass::IntDiv:   return 12;
-      case OpClass::FloatAdd: return 3;
-      case OpClass::FloatMul: return 4;
-      case OpClass::FloatDiv: return 16;
-      case OpClass::Store:    return 1;
-      case OpClass::Branch:   return 1;
-      case OpClass::Call:     return 1;
-      case OpClass::Return:   return 1;
-      case OpClass::Cdp:      return 1;
-      case OpClass::Nop:      return 1;
-      case OpClass::Load:     return 2; // L1 hit; memory system overrides
-      default:
-        critics_panic("execLatency: bad op class");
-    }
-}
-
-bool
 hasThumbEncoding(OpClass op)
 {
     switch (op) {

@@ -73,15 +73,50 @@ enum class Format : std::uint8_t
 /** @return the human-readable mnemonic-ish name of an op class. */
 const char *opClassName(OpClass op);
 
-/** @return true for control-transfer classes (Branch/Call/Return). */
-bool isControl(OpClass op);
+/** @return true for control-transfer classes (Branch/Call/Return).
+ *  Inline: called per dynamic instruction in the fetch loop. */
+constexpr bool
+isControl(OpClass op)
+{
+    return op == OpClass::Branch || op == OpClass::Call ||
+           op == OpClass::Return;
+}
 
 /** @return true for memory classes (Load/Store). */
-bool isMemory(OpClass op);
+constexpr bool
+isMemory(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Store;
+}
+
+namespace detail
+{
+/** Fixed execution latencies indexed by OpClass; keep in enum order. */
+constexpr std::uint8_t ExecLatencyTable[NumOpClasses] = {
+    1,  // IntAlu
+    3,  // IntMult
+    12, // IntDiv
+    3,  // FloatAdd
+    4,  // FloatMul
+    16, // FloatDiv
+    2,  // Load: L1 hit; the memory system overrides
+    1,  // Store
+    1,  // Branch
+    1,  // Call
+    1,  // Return
+    1,  // Cdp
+    1,  // Nop
+};
+} // namespace detail
 
 /** Fixed execution latency in cycles for non-load classes.  Loads get
- *  their latency from the memory system instead. */
-unsigned execLatency(OpClass op);
+ *  their latency from the memory system instead.  Inline table lookup:
+ *  called once per issue candidate in the simulator's inner loop. */
+constexpr unsigned
+execLatency(OpClass op)
+{
+    return detail::ExecLatencyTable[static_cast<std::size_t>(op)];
+}
 
 /** @return true if the op class has a 16-bit encoding at all.  Divides
  *  (integer and FP) have no Thumb encoding in our ISA, mirroring the

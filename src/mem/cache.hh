@@ -101,6 +101,7 @@ class Cache
     CacheStats stats_;
     std::vector<Line> lines_; ///< sets * assoc, set-major
     Addr lineMask_;
+    unsigned lineShift_; ///< log2(lineBytes); indexes without dividing
     std::size_t numSets_;
     std::uint64_t useClock_ = 0;
 };

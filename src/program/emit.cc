@@ -118,16 +118,16 @@ emitTrace(const Program &prog, const ControlPath &path)
                   case FlowKind::CondBranch: {
                     critics_assert(outcomeIdx < path.branchOutcomes.size(),
                                    "path branch outcomes exhausted");
-                    d.isCond = true;
-                    d.taken = path.branchOutcomes[outcomeIdx++] != 0;
-                    d.branchTarget = d.taken ? nextVisitAddr
-                                             : d.address + d.sizeBytes;
+                    d.setCond(true);
+                    d.setTaken(path.branchOutcomes[outcomeIdx++] != 0);
+                    d.branchTarget = d.taken() ? nextVisitAddr
+                                               : d.address + d.sizeBytes;
                     break;
                   }
                   case FlowKind::Jump:
                   case FlowKind::CallFn:
                   case FlowKind::Ret:
-                    d.taken = true;
+                    d.setTaken(true);
                     d.branchTarget = nextVisitAddr;
                     break;
                   case FlowKind::FallThrough:
@@ -137,7 +137,7 @@ emitTrace(const Program &prog, const ControlPath &path)
                 // Control instruction inserted mid-block by a compiler
                 // pass (approach-1 switch branches): always taken to the
                 // next sequential instruction.
-                d.taken = true;
+                d.setTaken(true);
                 d.branchTarget = (i + 1 < bb.insts.size())
                     ? bb.insts[i + 1].address : d.address + d.sizeBytes;
             }
@@ -145,6 +145,11 @@ emitTrace(const Program &prog, const ControlPath &path)
             if (si.arch.dst != isa::NoReg) {
                 lastWriter[si.arch.dst] =
                     static_cast<DynIdx>(trace.insts.size());
+            }
+            if (d.op != isa::OpClass::Cdp) {
+                ++trace.dynCount;
+                if (d.sizeBytes == 2)
+                    ++trace.thumbDynCount;
             }
             trace.insts.push_back(d);
         }

@@ -28,9 +28,17 @@ namespace critics::program
 using DynIdx = std::int32_t;
 constexpr DynIdx NoDep = -1;
 
-/** One executed instruction. */
+/**
+ * One executed instruction, packed to 28 bytes so the simulator's
+ * sequential sweep touches at most two cache lines per record.  The
+ * two booleans of the old layout live in a single flags byte; the
+ * flag bits are precomputed at emit time (DESIGN.md §7).
+ */
 struct DynInst
 {
+    static constexpr std::uint8_t kTaken = 1u << 0; ///< transfer taken
+    static constexpr std::uint8_t kCond = 1u << 1;  ///< conditional br
+
     InstUid staticUid = NoUid;
     std::uint32_t address = 0;      ///< PC
     std::uint32_t memAddr = 0;      ///< loads/stores
@@ -40,21 +48,56 @@ struct DynInst
     isa::OpClass op = isa::OpClass::IntAlu;
     std::uint8_t sizeBytes = 4;
     std::uint8_t cdpRun = 0;        ///< CDP: following 16-bit run length
-    bool taken = false;             ///< control: was the transfer taken
-    bool isCond = false;            ///< conditional branch
+    std::uint8_t flags = 0;         ///< kTaken | kCond
+
+    bool taken() const { return (flags & kTaken) != 0; }
+    bool isCond() const { return (flags & kCond) != 0; }
+    void
+    setTaken(bool v)
+    {
+        flags = v ? (flags | kTaken)
+                  : static_cast<std::uint8_t>(flags & ~kTaken);
+    }
+    void
+    setCond(bool v)
+    {
+        flags = v ? (flags | kCond)
+                  : static_cast<std::uint8_t>(flags & ~kCond);
+    }
 
     bool isLoad() const { return op == isa::OpClass::Load; }
     bool isStore() const { return op == isa::OpClass::Store; }
     bool isControl() const { return isa::isControl(op); }
 };
 
-/** A dynamic instruction stream. */
+static_assert(sizeof(DynInst) == 28,
+              "DynInst must stay a packed 28-byte record; widening it "
+              "slows the simulator's sequential trace sweep");
+
+/**
+ * A dynamic instruction stream.  `dynCount`/`thumbDynCount` are filled
+ * by emitTrace so consumers (the dynamic-thumb-fraction statistic)
+ * never rescan the stream; hand-built traces that skip emitTrace and
+ * never read dynThumbFraction() may leave them zero.
+ */
 struct Trace
 {
     std::vector<DynInst> insts;
+    std::uint64_t dynCount = 0;      ///< executed insts excluding CDPs
+    std::uint64_t thumbDynCount = 0; ///< 16-bit ones among dynCount
 
     std::size_t size() const { return insts.size(); }
     const DynInst &operator[](std::size_t i) const { return insts[i]; }
+
+    /** Fraction of executed (non-CDP) instructions in the 16-bit
+     *  format — Fig. 13b, excluding switch overhead. */
+    double
+    dynThumbFraction() const
+    {
+        return dynCount ? static_cast<double>(thumbDynCount) /
+                          static_cast<double>(dynCount)
+                        : 0.0;
+    }
 };
 
 /** Packed (function, block) visit. */

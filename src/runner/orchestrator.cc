@@ -199,6 +199,17 @@ Runner::run(const std::string &batchName,
 
     const auto startWall = Clock::now();
 
+    // Render and hash every job's ~2 KB canonical spec exactly once:
+    // these strings were previously rebuilt per cache lookup, per
+    // insert and — worst — per emergency-manifest snapshot, which made
+    // snapshot publishing quadratic in the batch size.
+    std::vector<std::string> specs(owned.size());
+    std::vector<std::string> hashes(owned.size());
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+        specs[i] = owned[i].specString();
+        hashes[i] = hashHexOf(hashSpecString(specs[i]));
+    }
+
     // Emergency-manifest plumbing for a double Ctrl-C: after every
     // job completion a fresh manifest snapshot is published for the
     // signal handler to flush.  Superseded snapshots are retired, not
@@ -216,7 +227,7 @@ Runner::run(const std::string &batchName,
             JobRecord record;
             record.app = owned[i].profile.name;
             record.variant = owned[i].variant.label;
-            record.hash = owned[i].hashHex();
+            record.hash = hashes[i];
             record.ok = outcome.ok;
             record.fromCache = outcome.fromCache;
             record.attempts = outcome.attempts;
@@ -281,7 +292,7 @@ Runner::run(const std::string &batchName,
     std::vector<std::size_t> misses;
     for (std::size_t i = 0; i < owned.size(); ++i) {
         if (options_.useCache && !options_.refresh) {
-            if (auto cached = store_.lookup(owned[i])) {
+            if (auto cached = store_.lookup(hashes[i], specs[i])) {
                 auto &outcome = batch.outcomes[i];
                 outcome.ok = true;
                 outcome.fromCache = true;
@@ -299,7 +310,7 @@ Runner::run(const std::string &batchName,
     std::unordered_map<std::string, std::size_t> byHash;
     std::vector<std::vector<std::size_t>> duplicates;
     for (const std::size_t i : misses) {
-        const std::string hash = owned[i].hashHex();
+        const std::string &hash = hashes[i];
         const auto it = byHash.find(hash);
         if (it == byHash.end()) {
             byHash.emplace(hash, unique.size());
@@ -359,8 +370,10 @@ Runner::run(const std::string &batchName,
                 static_cast<double>(outcome.attempts));
         }
 
-        if (outcome.ok && options_.useCache)
-            store_.insert(spec, outcome.result);
+        if (outcome.ok && options_.useCache) {
+            store_.insert(hashes[i], specs[i], spec.profile.name,
+                          spec.variant.label, outcome.result);
+        }
 
         {
             // bookLock serializes outcome writes with snapshot

@@ -381,13 +381,20 @@ ResultStore::load()
 std::optional<sim::RunResult>
 ResultStore::lookup(const JobSpec &spec) const
 {
+    return lookup(spec.hashHex(), spec.specString());
+}
+
+std::optional<sim::RunResult>
+ResultStore::lookup(const std::string &hashHex,
+                    const std::string &spec) const
+{
     std::lock_guard<std::mutex> guard(lock_);
-    const auto it = entries_.find(spec.hashHex());
+    const auto it = entries_.find(hashHex);
     if (it == entries_.end()) {
         ++misses_;
         return std::nullopt;
     }
-    if (it->second.spec != spec.specString()) {
+    if (it->second.spec != spec) {
         // Hash collision (or a stale record from a hash-function
         // change): a miss, counted separately so `cache compact` and
         // the runner.cache stats can surface the rot.
@@ -401,6 +408,15 @@ ResultStore::lookup(const JobSpec &spec) const
 
 void
 ResultStore::insert(const JobSpec &spec, const sim::RunResult &result)
+{
+    insert(spec.hashHex(), spec.specString(), spec.profile.name,
+           spec.variant.label, result);
+}
+
+void
+ResultStore::insert(const std::string &hashHex, const std::string &spec,
+                    const std::string &app, const std::string &variant,
+                    const sim::RunResult &result)
 {
     std::lock_guard<std::mutex> guard(lock_);
     if (fd_ < 0) {
@@ -425,15 +441,15 @@ ResultStore::insert(const JobSpec &spec, const sim::RunResult &result)
     JsonWriter w;
     w.beginObject()
         .field("schema", kResultSchemaVersion)
-        .field("hash", spec.hashHex())
-        .field("app", spec.profile.name)
-        .field("variant", spec.variant.label)
+        .field("hash", hashHex)
+        .field("app", app)
+        .field("variant", variant)
         .field("writtenUnix", now)
-        .field("spec", spec.specString());
+        .field("spec", spec);
     const std::string record =
         w.str() + ",\"result\":" + resultToJson(result) + "}\n";
 
-    entries_[spec.hashHex()] = Entry{spec.specString(), result};
+    entries_[hashHex] = Entry{spec, result};
     ++inserts_;
     if (fd_ >= 0) {
         // One record = one write(2) to an O_APPEND descriptor under

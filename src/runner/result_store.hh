@@ -90,12 +90,23 @@ class ResultStore
      */
     std::optional<sim::RunResult> lookup(const JobSpec &spec) const;
 
+    /** Same lookup with the spec string and content hash precomputed
+     *  by the caller: spec strings are ~2 KB canonical renders, and
+     *  the orchestrator hashes each job exactly once per batch. */
+    std::optional<sim::RunResult> lookup(const std::string &hashHex,
+                                         const std::string &spec) const;
+
     /**
      * Append one completed job as one flock-guarded O_APPEND write,
      * so concurrent writer processes never tear each other's lines
      * (see the file comment for the exact guarantee).
      */
     void insert(const JobSpec &spec, const sim::RunResult &result);
+
+    /** Same append with precomputed key strings (see lookup). */
+    void insert(const std::string &hashHex, const std::string &spec,
+                const std::string &app, const std::string &variant,
+                const sim::RunResult &result);
 
     std::size_t size() const;
     const std::string &path() const { return path_; }

@@ -1,7 +1,9 @@
 #include "sim/experiment.hh"
 
+#include <cstring>
 #include <sstream>
 
+#include "support/env.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 
@@ -12,13 +14,41 @@ using analysis::SelectOptions;
 using analysis::Selection;
 using compiler::CritIcPassOptions;
 
+struct AppExperiment::MinedSlot
+{
+    std::once_flag once;
+    analysis::MineResult result;
+};
+
+struct AppExperiment::TransformSlot
+{
+    std::once_flag once;
+    compiler::PassStats pass;
+    double selectionCoverage = 0.0;
+    double staticThumbFraction = 0.0;
+    program::Trace trace;
+};
+
+TransformKey
+transformMemoKey(const Variant &variant, double defaultFraction)
+{
+    const double fraction =
+        variant.profileFraction.value_or(defaultFraction);
+    std::uint64_t fractionBits = 0;
+    static_assert(sizeof fractionBits == sizeof fraction);
+    std::memcpy(&fractionBits, &fraction, sizeof fractionBits);
+    return {static_cast<std::uint8_t>(variant.transform),
+            static_cast<std::uint8_t>(variant.switchMode),
+            variant.maxChainLen, variant.exactChainLen, fractionBits};
+}
+
 AppExperiment::AppExperiment(const workload::AppProfile &profile,
                              const ExperimentOptions &options)
     : profile_(profile),
       options_(options),
       program_(workload::synthesize(profile))
 {
-    Rng walkRng(hashCombine(profile.seed, 0xA117ULL));
+    Rng walkRng(streamSeed(profile.seed, RngStream::Walk));
     program::WalkLimits limits;
     limits.targetInsts = options_.traceInsts;
     path_ = program::walkProgram(program_, walkRng, limits);
@@ -28,29 +58,29 @@ AppExperiment::AppExperiment(const workload::AppProfile &profile,
 const analysis::FanoutInfo &
 AppExperiment::fanout()
 {
-    std::lock_guard<std::recursive_mutex> guard(lazyLock_);
-    if (!fanout_)
+    std::call_once(fanoutOnce_, [&] {
         fanout_ = analysis::computeFanout(trace_, options_.crit);
+    });
     return *fanout_;
 }
 
 const analysis::DynChains &
 AppExperiment::chains()
 {
-    std::lock_guard<std::recursive_mutex> guard(lazyLock_);
-    if (!chains_)
-        chains_ = analysis::extractChains(trace_, fanout(), options_.crit);
+    std::call_once(chainsOnce_, [&] {
+        chains_ =
+            analysis::extractChains(trace_, fanout(), options_.crit);
+    });
     return *chains_;
 }
 
 const analysis::ChainStats &
 AppExperiment::chainStats()
 {
-    std::lock_guard<std::recursive_mutex> guard(lazyLock_);
-    if (!chainStats_) {
+    std::call_once(chainStatsOnce_, [&] {
         chainStats_ = analysis::chainStatistics(trace_, chains(),
                                                 fanout(), options_.crit);
-    }
+    });
     return *chainStats_;
 }
 
@@ -63,33 +93,74 @@ AppExperiment::mined()
 const analysis::MineResult &
 AppExperiment::minedAt(double fraction)
 {
-    std::lock_guard<std::recursive_mutex> guard(lazyLock_);
-    const int key = static_cast<int>(fraction * 1000.0 + 0.5);
-    auto it = mined_.find(key);
-    if (it == mined_.end()) {
-        it = mined_.emplace(key,
-            analysis::mineCritIcs(trace_, program_, chains(), fanout(),
-                                  options_.crit, fraction)).first;
+    // Key on the exact bit pattern of the fraction: the old
+    // int(fraction*1000+0.5) key collided for fractions closer than
+    // 1e-3 and misrounded negative values.
+    std::uint64_t key = 0;
+    static_assert(sizeof key == sizeof fraction);
+    std::memcpy(&key, &fraction, sizeof key);
+    std::shared_ptr<MinedSlot> slot;
+    {
+        std::lock_guard<std::mutex> guard(minedLock_);
+        auto &entry = mined_[key];
+        if (!entry)
+            entry = std::make_shared<MinedSlot>();
+        slot = entry;
     }
-    return it->second;
+    std::call_once(slot->once, [&] {
+        slot->result =
+            analysis::mineCritIcs(trace_, program_, chains(), fanout(),
+                                  options_.crit, fraction);
+    });
+    return slot->result;
 }
 
 const std::unordered_set<program::InstUid> &
 AppExperiment::criticalSet()
 {
-    std::lock_guard<std::recursive_mutex> guard(lazyLock_);
-    if (!criticalSet_)
+    std::call_once(criticalSetOnce_, [&] {
         criticalSet_ = analysis::buildCriticalSet(trace_, fanout());
+    });
     return *criticalSet_;
+}
+
+double
+AppExperiment::baselineStaticThumbFraction()
+{
+    std::call_once(staticThumbOnce_, [&] {
+        staticThumb_ = program_.thumbFraction();
+    });
+    return staticThumb_;
 }
 
 const RunResult &
 AppExperiment::baseline()
 {
-    std::lock_guard<std::recursive_mutex> guard(lazyLock_);
-    if (!baseline_)
-        baseline_ = run(Variant{});
+    std::call_once(baselineOnce_, [&] { baseline_ = run(Variant{}); });
     return *baseline_;
+}
+
+std::shared_ptr<const AppExperiment::TransformSlot>
+AppExperiment::transformedTrace(const Variant &variant)
+{
+    const TransformKey key =
+        transformMemoKey(variant, options_.profileFraction);
+    std::shared_ptr<TransformSlot> slot;
+    {
+        std::lock_guard<std::mutex> guard(memoLock_);
+        auto &entry = memo_[key];
+        if (!entry)
+            entry = std::make_shared<TransformSlot>();
+        slot = entry;
+    }
+    std::call_once(slot->once, [&] {
+        program::Program prog = program_; // transformed copy
+        slot->pass =
+            applyTransform(prog, variant, &slot->selectionCoverage);
+        slot->staticThumbFraction = prog.thumbFraction();
+        slot->trace = program::emitTrace(prog, path_);
+    });
+    return slot;
 }
 
 RunResult
@@ -173,32 +244,51 @@ AppExperiment::run(const Variant &variant, const RunHooks &hooks)
 {
     RunResult result;
 
-    // ---- Software transform ------------------------------------------
-    program::Program prog = program_; // transformed copy
-    result.pass =
-        applyTransform(prog, variant, &result.selectionCoverage);
-    result.staticThumbFraction = prog.thumbFraction();
-
-    // ---- Trace re-emission against the transformed binary -------------
     const bool transformed = variant.transform != Transform::None;
-    program::Trace localTrace;
-    const program::Trace *tracePtr = &trace_;
-    if (transformed) {
-        localTrace = program::emitTrace(prog, path_);
-        tracePtr = &localTrace;
-    }
+    const bool packedPath = packedTraceEnabled();
 
-    std::uint64_t thumbDyn = 0, dynTotal = 0;
-    for (const auto &d : tracePtr->insts) {
-        if (d.op == isa::OpClass::Cdp)
-            continue;
-        ++dynTotal;
-        if (d.sizeBytes == 2)
-            ++thumbDyn;
+    // ---- Software transform + trace against the transformed binary ----
+    program::Trace legacyTrace; // legacy escape hatch only
+    std::shared_ptr<const TransformSlot> memo; // keeps trace alive
+    const program::Trace *tracePtr = &trace_;
+    if (!packedPath) {
+        // Pre-overhaul path (CRITICS_PACKED_TRACE=off): deep-copy the
+        // program, re-apply the transform and re-emit the trace for
+        // every run, then rescan the stream for the dynamic thumb
+        // fraction.  Kept one release for bit-exactness regression.
+        program::Program prog = program_; // transformed copy
+        result.pass =
+            applyTransform(prog, variant, &result.selectionCoverage);
+        result.staticThumbFraction = prog.thumbFraction();
+        if (transformed) {
+            legacyTrace = program::emitTrace(prog, path_);
+            tracePtr = &legacyTrace;
+        }
+        std::uint64_t thumbDyn = 0, dynTotal = 0;
+        for (const auto &d : tracePtr->insts) {
+            if (d.op == isa::OpClass::Cdp)
+                continue;
+            ++dynTotal;
+            if (d.sizeBytes == 2)
+                ++thumbDyn;
+        }
+        result.dynThumbFraction = dynTotal
+            ? static_cast<double>(thumbDyn) /
+                  static_cast<double>(dynTotal)
+            : 0.0;
+    } else if (transformed) {
+        memo = transformedTrace(variant);
+        result.pass = memo->pass;
+        result.selectionCoverage = memo->selectionCoverage;
+        result.staticThumbFraction = memo->staticThumbFraction;
+        tracePtr = &memo->trace;
+        result.dynThumbFraction = memo->trace.dynThumbFraction();
+    } else {
+        // Transform::None: the baseline binary and trace already
+        // exist — no copy, no re-emission, no rescan.
+        result.staticThumbFraction = baselineStaticThumbFraction();
+        result.dynThumbFraction = trace_.dynThumbFraction();
     }
-    result.dynThumbFraction = dynTotal
-        ? static_cast<double>(thumbDyn) / static_cast<double>(dynTotal)
-        : 0.0;
 
     // ---- Hardware configuration ----------------------------------------
     cpu::CpuConfig cpuCfg;

@@ -17,6 +17,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <unordered_set>
 
 #include "analysis/criticality.hh"
@@ -108,6 +109,22 @@ struct RunResult
     double dynThumbFraction = 0.0;  ///< Fig. 13b (excl. switch overhead)
 };
 
+/**
+ * Memo key for transformed traces: exactly the Variant fields that can
+ * change the transformed binary (and therefore the re-emitted trace),
+ * with the effective profile fraction keyed on its exact bit pattern.
+ * Hardware-only knobs are deliberately absent, so variants differing
+ * only in hardware share one transformed trace.
+ */
+using TransformKey = std::tuple<std::uint8_t, std::uint8_t, unsigned,
+                                unsigned, std::uint64_t>;
+
+/** The key AppExperiment::run files a variant's transformed trace
+ *  under; `defaultFraction` supplies the profile fraction when the
+ *  variant carries no override. */
+TransformKey transformMemoKey(const Variant &variant,
+                              double defaultFraction);
+
 class AppExperiment
 {
   public:
@@ -121,8 +138,10 @@ class AppExperiment
 
     // ---- Offline profile (lazy, cached) ----------------------------------
     // Thread-safe: the runner executes many variants of one app
-    // concurrently against a single shared AppExperiment, so the lazy
-    // getters serialize behind a lock.  References stay valid once
+    // concurrently against a single shared AppExperiment.  Each field
+    // computes behind its own once-latch, so two variants needing
+    // *different* products (say fanout and mining) overlap instead of
+    // serializing behind one big lock.  References stay valid once
     // returned (the caches only grow).
     const analysis::FanoutInfo &fanout();
     const analysis::DynChains &chains();
@@ -156,21 +175,49 @@ class AppExperiment
     double speedup(const RunResult &result);
 
   private:
-    // Recursive: chainStats() takes the lock and calls chains(), which
-    // takes it again.
-    mutable std::recursive_mutex lazyLock_;
+    struct MinedSlot;     ///< per-fraction once-latch + result
+    struct TransformSlot; ///< per-key once-latch + transformed trace
+
+    /** Shared transformed trace (and pass products) for the variant's
+     *  memo key, built at most once per AppExperiment. */
+    std::shared_ptr<const TransformSlot>
+    transformedTrace(const Variant &variant);
+
+    /** Static thumb fraction of the *baseline* binary, computed once
+     *  (Transform::None runs no longer copy the program to get it). */
+    double baselineStaticThumbFraction();
+
     workload::AppProfile profile_;
     ExperimentOptions options_;
     program::Program program_;
     program::ControlPath path_;
     program::Trace trace_;
 
+    // One once-latch per lazily derived field.  Dependencies only ever
+    // point "down" (chainStats -> chains -> fanout), and a latch's
+    // compute function takes no lock, so cross-field call_once nesting
+    // cannot deadlock.
+    std::once_flag fanoutOnce_;
+    std::once_flag chainsOnce_;
+    std::once_flag chainStatsOnce_;
+    std::once_flag criticalSetOnce_;
+    std::once_flag baselineOnce_;
+    std::once_flag staticThumbOnce_;
+    double staticThumb_ = 0.0;
+
     std::optional<analysis::FanoutInfo> fanout_;
     std::optional<analysis::DynChains> chains_;
     std::optional<analysis::ChainStats> chainStats_;
-    std::map<int, analysis::MineResult> mined_;
     std::optional<std::unordered_set<program::InstUid>> criticalSet_;
     std::optional<RunResult> baseline_;
+
+    // Keyed caches: the map mutex covers slot creation only; the
+    // compute runs under the slot's own once-latch, so concurrent
+    // misses on *different* keys build in parallel.
+    std::mutex minedLock_;
+    std::map<std::uint64_t, std::shared_ptr<MinedSlot>> mined_;
+    std::mutex memoLock_;
+    std::map<TransformKey, std::shared_ptr<TransformSlot>> memo_;
 };
 
 /** Render Table I (the baseline configuration) for bench headers. */

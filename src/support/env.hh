@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Runtime feature toggles read from the environment.
+ *
+ * CRITICS_PACKED_TRACE=off selects the pre-overhaul simulator paths
+ * (per-instruction criticality hash probes, the full ROB issue scan,
+ * per-run trace re-emission without memoization).  It exists solely so
+ * the bit-exactness regression tests and a worried user can prove the
+ * packed fast paths change no emitted statistic; it is kept for one
+ * release and then removed (DESIGN.md §7).
+ */
+
+#ifndef CRITICS_SUPPORT_ENV_HH
+#define CRITICS_SUPPORT_ENV_HH
+
+#include <cstdlib>
+#include <cstring>
+
+namespace critics
+{
+
+/** @return false iff CRITICS_PACKED_TRACE=off (or =0) is set.  Read on
+ *  every call — once per simulated job, never in an inner loop — so
+ *  tests can toggle the escape hatch between runs with setenv(). */
+inline bool
+packedTraceEnabled()
+{
+    const char *env = std::getenv("CRITICS_PACKED_TRACE");
+    if (env == nullptr)
+        return true;
+    return std::strcmp(env, "off") != 0 && std::strcmp(env, "0") != 0;
+}
+
+} // namespace critics
+
+#endif // CRITICS_SUPPORT_ENV_HH

@@ -25,6 +25,30 @@ std::uint64_t splitMix64(std::uint64_t &state);
 std::uint64_t hashCombine(std::uint64_t a, std::uint64_t b);
 
 /**
+ * Named per-purpose RNG streams.  Every consumer of a profile seed
+ * derives its generator as streamSeed(seed, stream), so streams are
+ * independent by construction and adding a new consumer can never
+ * perturb an existing one (the historical reseeding-collision risk).
+ * The enumerator values are the exact stream constants the historical
+ * call sites already used, so existing seeds keep producing the same
+ * programs and walks.
+ */
+enum class RngStream : std::uint64_t
+{
+    Synth = 0xC417C5ULL,  ///< program synthesis (workload::synthesize)
+    Walk = 0xA117ULL,     ///< control-path walk (program::walkProgram)
+    Sample = 0x5A3417EULL ///< reserved: per-sample split for future
+                          ///< sample-parallel jobs (ROADMAP)
+};
+
+/** Seed for one named stream of a base seed. */
+inline std::uint64_t
+streamSeed(std::uint64_t seed, RngStream stream)
+{
+    return hashCombine(seed, static_cast<std::uint64_t>(stream));
+}
+
+/**
  * xoshiro256** PRNG with explicit, portable distribution helpers.
  */
 class Rng

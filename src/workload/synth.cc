@@ -388,7 +388,7 @@ synthesize(const AppProfile &profile)
 {
     critics_assert(profile.numFunctions > profile.dispatchTargets + 8,
                    "profile needs more functions than dispatch targets");
-    Rng rng(hashCombine(profile.seed, 0xC417C5ULL));
+    Rng rng(streamSeed(profile.seed, RngStream::Synth));
     Program prog;
 
     prog.memRegions = {

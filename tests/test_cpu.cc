@@ -132,8 +132,8 @@ TEST(Pipeline, MispredictsBlockFetch)
         auto d = dyn(i % 128, 0x10000 + 4 * (i % 128), OpClass::IntAlu);
         if (i % 8 == 7) {
             d.op = OpClass::Branch;
-            d.isCond = true;
-            d.taken = rng.chance(0.5);
+            d.setCond(true);
+            d.setTaken(rng.chance(0.5));
             d.branchTarget = 0x10000 + 4 * ((i + 1) % 128);
         }
         trace.insts.push_back(d);
@@ -156,7 +156,7 @@ TEST(Pipeline, TakenBranchesBreakFetchGroups)
     program::Trace trace;
     for (int i = 0; i < 4000; ++i) {
         auto d = dyn(0, 0x10000, OpClass::Branch);
-        d.taken = true;
+        d.setTaken(true);
         d.branchTarget = 0x10000;
         trace.insts.push_back(d);
     }

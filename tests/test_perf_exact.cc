@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Bit-exactness regression tests for the simulator hot-path overhaul:
+ * the packed fast paths (dense criticality masks, compact issue scan,
+ * shared transformed-trace memo, emit-time thumb counts) must emit
+ * statistics identical field-for-field to the pre-overhaul code, which
+ * stays reachable for one release via CRITICS_PACKED_TRACE=off.  Also
+ * covers the transformed-trace memo key and the packed DynInst flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/experiment.hh"
+#include "support/env.hh"
+
+using namespace critics;
+using sim::AppExperiment;
+using sim::ExperimentOptions;
+using sim::Transform;
+using sim::TransformKey;
+using sim::Variant;
+
+namespace
+{
+
+ExperimentOptions
+smallOptions()
+{
+    ExperimentOptions opt;
+    opt.traceInsts = 40000;
+    opt.warmupFraction = 0.25;
+    return opt;
+}
+
+workload::AppProfile
+smallApp(const std::string &name)
+{
+    auto profile = workload::findApp(name);
+    profile.numFunctions = std::min(profile.numFunctions, 120u);
+    profile.dispatchTargets = std::min(profile.dispatchTargets, 24u);
+    return profile;
+}
+
+/** The variant matrix: every mechanism the fast paths touch — plain
+ *  baseline, a criticality-set consumer (prioritization + prefetch), a
+ *  transform with CDPs, and a transform stack. */
+std::vector<Variant>
+exactnessMatrix()
+{
+    std::vector<Variant> variants;
+    variants.push_back(Variant{});
+    {
+        Variant v;
+        v.label = "allprio";
+        v.aluPrio = true;
+        v.backendPrio = true;
+        v.criticalLoadPrefetch = true;
+        variants.push_back(v);
+    }
+    {
+        Variant v;
+        v.label = "critic";
+        v.transform = Transform::CritIc;
+        variants.push_back(v);
+    }
+    {
+        Variant v;
+        v.label = "opp16+critic";
+        v.transform = Transform::Opp16PlusCritIc;
+        v.efetch = true;
+        variants.push_back(v);
+    }
+    return variants;
+}
+
+void
+expectSameStage(const cpu::StageBreakdown &a,
+                const cpu::StageBreakdown &b)
+{
+    EXPECT_EQ(a.fetch, b.fetch);
+    EXPECT_EQ(a.decode, b.decode);
+    EXPECT_EQ(a.issueWait, b.issueWait);
+    EXPECT_EQ(a.execute, b.execute);
+    EXPECT_EQ(a.commitWait, b.commitWait);
+    EXPECT_EQ(a.insts, b.insts);
+}
+
+void
+expectSameCache(const mem::CacheStats &a, const mem::CacheStats &b)
+{
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.prefetchFills, b.prefetchFills);
+    EXPECT_EQ(a.prefetchHits, b.prefetchHits);
+}
+
+/** Every CpuStats field, doubles compared for exact equality: the
+ *  packed paths must change no arithmetic, only its cost. */
+void
+expectSameStats(const cpu::CpuStats &a, const cpu::CpuStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.stallForIIcache, b.stallForIIcache);
+    EXPECT_EQ(a.stallForIRedirect, b.stallForIRedirect);
+    EXPECT_EQ(a.stallForRd, b.stallForRd);
+    EXPECT_EQ(a.decodeCdpBubbles, b.decodeCdpBubbles);
+    EXPECT_EQ(a.fetchedBytes, b.fetchedBytes);
+    EXPECT_EQ(a.condBranches, b.condBranches);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.fetchWindows, b.fetchWindows);
+    EXPECT_EQ(a.efetchAccuracy, b.efetchAccuracy);
+    expectSameStage(a.all, b.all);
+    expectSameStage(a.crit, b.crit);
+    expectSameCache(a.mem.icache, b.mem.icache);
+    expectSameCache(a.mem.dcache, b.mem.dcache);
+    expectSameCache(a.mem.l2, b.mem.l2);
+    EXPECT_EQ(a.mem.dram.reads, b.mem.dram.reads);
+    EXPECT_EQ(a.mem.dram.rowHits, b.mem.dram.rowHits);
+    EXPECT_EQ(a.mem.dram.rowConflicts, b.mem.dram.rowConflicts);
+    EXPECT_EQ(a.mem.dram.activates, b.mem.dram.activates);
+    EXPECT_EQ(a.mem.dram.totalLatency, b.mem.dram.totalLatency);
+    EXPECT_EQ(a.mem.stride.trains, b.mem.stride.trains);
+    EXPECT_EQ(a.mem.stride.issued, b.mem.stride.issued);
+    EXPECT_EQ(a.mem.storeAccesses, b.mem.storeAccesses);
+}
+
+/** RAII toggle for the escape hatch. */
+class PackedTraceOff
+{
+  public:
+    PackedTraceOff() { ::setenv("CRITICS_PACKED_TRACE", "off", 1); }
+    ~PackedTraceOff() { ::unsetenv("CRITICS_PACKED_TRACE"); }
+};
+
+} // namespace
+
+TEST(PackedTrace, EnvToggle)
+{
+    EXPECT_TRUE(packedTraceEnabled());
+    {
+        PackedTraceOff off;
+        EXPECT_FALSE(packedTraceEnabled());
+    }
+    EXPECT_TRUE(packedTraceEnabled());
+}
+
+TEST(PackedTrace, BitExactVsLegacyPath)
+{
+    for (const char *app : {"Acrobat", "Office"}) {
+        std::vector<sim::RunResult> legacy;
+        {
+            PackedTraceOff off;
+            AppExperiment exp(smallApp(app), smallOptions());
+            for (const Variant &v : exactnessMatrix())
+                legacy.push_back(exp.run(v));
+        }
+        AppExperiment exp(smallApp(app), smallOptions());
+        std::size_t i = 0;
+        for (const Variant &v : exactnessMatrix()) {
+            const sim::RunResult fast = exp.run(v);
+            const sim::RunResult &old = legacy[i++];
+            SCOPED_TRACE(std::string(app) + "/" + v.label);
+            expectSameStats(fast.cpu, old.cpu);
+            EXPECT_EQ(fast.selectionCoverage, old.selectionCoverage);
+            EXPECT_EQ(fast.staticThumbFraction,
+                      old.staticThumbFraction);
+            EXPECT_EQ(fast.dynThumbFraction, old.dynThumbFraction);
+            EXPECT_EQ(fast.pass.instsConverted, old.pass.instsConverted);
+            EXPECT_EQ(fast.pass.cdpsInserted, old.pass.cdpsInserted);
+            EXPECT_EQ(fast.pass.chainsTransformed,
+                      old.pass.chainsTransformed);
+        }
+    }
+}
+
+TEST(PackedTrace, MemoizedRerunIsIdentical)
+{
+    // The second run of a transformed variant is served from the memo;
+    // it must match the first (freshly built) run exactly.
+    AppExperiment exp(smallApp("Angrybirds"), smallOptions());
+    Variant v;
+    v.label = "critic";
+    v.transform = Transform::CritIc;
+    const auto first = exp.run(v);
+    const auto second = exp.run(v);
+    expectSameStats(first.cpu, second.cpu);
+    EXPECT_EQ(first.dynThumbFraction, second.dynThumbFraction);
+}
+
+TEST(TransformMemoKey, DistinguishesEveryBinaryChangingField)
+{
+    const double fraction = 0.72;
+    const Variant base;
+    const TransformKey baseKey = sim::transformMemoKey(base, fraction);
+
+    // Every field that changes the transformed binary must change the
+    // key.
+    Variant v = base;
+    v.transform = Transform::CritIc;
+    EXPECT_NE(sim::transformMemoKey(v, fraction), baseKey);
+
+    Variant sw = v;
+    sw.switchMode = compiler::SwitchMode::BranchPair;
+    EXPECT_NE(sim::transformMemoKey(sw, fraction),
+              sim::transformMemoKey(v, fraction));
+
+    Variant len = v;
+    len.maxChainLen = 7;
+    EXPECT_NE(sim::transformMemoKey(len, fraction),
+              sim::transformMemoKey(v, fraction));
+
+    Variant exact = v;
+    exact.exactChainLen = 3;
+    EXPECT_NE(sim::transformMemoKey(exact, fraction),
+              sim::transformMemoKey(v, fraction));
+
+    Variant frac = v;
+    frac.profileFraction = 0.7205;
+    EXPECT_NE(sim::transformMemoKey(frac, fraction),
+              sim::transformMemoKey(v, fraction));
+
+    // Closer than the old 1e-3 rounding granularity: still distinct.
+    Variant fracNear = v;
+    fracNear.profileFraction = 0.72049999;
+    EXPECT_NE(sim::transformMemoKey(fracNear, fraction),
+              sim::transformMemoKey(frac, fraction));
+
+    // Hardware-only knobs share the transformed trace.
+    Variant hw = v;
+    hw.perfectBranch = true;
+    hw.efetch = true;
+    hw.icache4x = true;
+    hw.doubleFrontend = true;
+    hw.aluPrio = true;
+    hw.backendPrio = true;
+    hw.criticalLoadPrefetch = true;
+    EXPECT_EQ(sim::transformMemoKey(hw, fraction),
+              sim::transformMemoKey(v, fraction));
+
+    // An explicit override equal to the default is the same key: the
+    // effective fraction is what the miner sees.
+    Variant same = v;
+    same.profileFraction = fraction;
+    EXPECT_EQ(sim::transformMemoKey(same, fraction),
+              sim::transformMemoKey(v, fraction));
+}
+
+TEST(MinedAtKey, SubMilliFractionsAreDistinct)
+{
+    // The old int(fraction*1000+0.5) key collapsed these two; with the
+    // bit-pattern key each fraction mines its own result.
+    AppExperiment exp(smallApp("Acrobat"), smallOptions());
+    const auto &a = exp.minedAt(0.5000);
+    const auto &b = exp.minedAt(0.50004);
+    EXPECT_NE(&a, &b);
+    // Same bit pattern still hits the cache.
+    EXPECT_EQ(&a, &exp.minedAt(0.5000));
+}
+
+TEST(DynInst, PackedFlags)
+{
+    program::DynInst d;
+    EXPECT_FALSE(d.taken());
+    EXPECT_FALSE(d.isCond());
+    d.setTaken(true);
+    EXPECT_TRUE(d.taken());
+    EXPECT_FALSE(d.isCond());
+    d.setCond(true);
+    EXPECT_TRUE(d.taken());
+    EXPECT_TRUE(d.isCond());
+    d.setTaken(false);
+    EXPECT_FALSE(d.taken());
+    EXPECT_TRUE(d.isCond());
+}
+
+TEST(Trace, EmitFillsThumbCounts)
+{
+    AppExperiment exp(smallApp("Acrobat"), smallOptions());
+    const program::Trace &t = exp.baseTrace();
+    ASSERT_GT(t.dynCount, 0u);
+    // Cross-check the emit-time counters against a rescan.
+    std::uint64_t dyn = 0, thumb = 0;
+    for (const auto &d : t.insts) {
+        if (d.op == isa::OpClass::Cdp)
+            continue;
+        ++dyn;
+        if (d.sizeBytes == 2)
+            ++thumb;
+    }
+    EXPECT_EQ(t.dynCount, dyn);
+    EXPECT_EQ(t.thumbDynCount, thumb);
+}
