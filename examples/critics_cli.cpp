@@ -38,6 +38,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <functional>
 #include <cstring>
@@ -49,6 +50,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "analysis/criticality.hh"
 #include "analysis/miner.hh"
 #include "program/emit.hh"
@@ -57,7 +60,12 @@
 #include "runner/cache_admin.hh"
 #include "runner/orchestrator.hh"
 #include "sim/experiment.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "serve/worker.hh"
 #include "sim/report.hh"
+#include "sim/variants.hh"
 #include "stats/diff.hh"
 #include "stats/interval.hh"
 #include "stats/registry.hh"
@@ -72,89 +80,12 @@ using namespace critics;
 namespace
 {
 
-sim::Variant
-parseVariant(const std::string &name)
-{
-    sim::Variant v;
-    v.label = name;
-    if (name == "baseline") {
-    } else if (name == "hoist") {
-        v.transform = sim::Transform::Hoist;
-    } else if (name == "critic") {
-        v.transform = sim::Transform::CritIc;
-    } else if (name == "critic-ideal") {
-        v.transform = sim::Transform::CritIcIdeal;
-    } else if (name == "critic-branchpair") {
-        v.transform = sim::Transform::CritIc;
-        v.switchMode = compiler::SwitchMode::BranchPair;
-    } else if (name == "opp16") {
-        v.transform = sim::Transform::Opp16;
-    } else if (name == "compress") {
-        v.transform = sim::Transform::Compress;
-    } else if (name == "opp16+critic") {
-        v.transform = sim::Transform::Opp16PlusCritIc;
-    } else if (name == "prefetch") {
-        v.criticalLoadPrefetch = true;
-    } else if (name == "aluprio") {
-        v.aluPrio = true;
-    } else if (name == "backendprio") {
-        v.backendPrio = true;
-    } else if (name == "efetch") {
-        v.efetch = true;
-    } else if (name == "perfectbr") {
-        v.perfectBranch = true;
-    } else if (name == "icache4x") {
-        v.icache4x = true;
-    } else if (name == "2xfd") {
-        v.doubleFrontend = true;
-    } else if (name == "allhw") {
-        v.doubleFrontend = v.icache4x = v.efetch = v.perfectBranch =
-            v.backendPrio = true;
-    } else {
-        critics_fatal("unknown variant '", name,
-                      "' (see --help for the list)");
-    }
-    return v;
-}
-
-std::vector<std::string>
-splitList(const std::string &text)
-{
-    std::vector<std::string> out;
-    std::string current;
-    for (const char c : text) {
-        if (c == ',') {
-            if (!current.empty())
-                out.push_back(current);
-            current.clear();
-        } else {
-            current.push_back(c);
-        }
-    }
-    if (!current.empty())
-        out.push_back(current);
-    return out;
-}
-
-/** --apps value: a suite name or a comma list of app names. */
-std::vector<workload::AppProfile>
-parseApps(const std::string &value)
-{
-    if (value == "mobile" || value == "android")
-        return workload::mobileApps();
-    if (value == "specint")
-        return workload::specIntApps();
-    if (value == "specfloat")
-        return workload::specFloatApps();
-    if (value == "all")
-        return workload::allApps();
-    std::vector<workload::AppProfile> apps;
-    for (const auto &name : splitList(value))
-        apps.push_back(workload::findApp(name));
-    if (apps.empty())
-        critics_fatal("--apps needs at least one app");
-    return apps;
-}
+// The apps/variants string vocabulary is shared with the serve
+// protocol and the worker argv (sim/variants.hh), so a spec submitted
+// over the wire resolves to exactly the grid these flags would build.
+using sim::parseApps;
+using sim::parseVariant;
+using sim::splitList;
 
 int
 usage()
@@ -235,7 +166,32 @@ usage()
         "  --rel <frac>        relative noise threshold (default 0.01)\n"
         "  --abs <eps>         absolute noise floor (default 1e-9)\n"
         "  --store <file>      result store for manifest sides\n"
-        "                      (default: the shared cache)\n\n"
+        "                      (default: the shared cache)\n"
+        "critics_cli serve [options]   job-queue daemon: JSONL\n"
+        "                      submit/status/wait over TCP, warm jobs\n"
+        "                      answered from the result store without\n"
+        "                      simulating, cold jobs hash-sharded\n"
+        "                      across forked serve-worker processes\n"
+        "                      (crash -> bounded restart); SIGTERM\n"
+        "                      drains in-flight work and exits\n"
+        "  --host <ip>         bind address (default 127.0.0.1)\n"
+        "  --port <n>          TCP port (0 = pick one; see below)\n"
+        "  --port-file <f>     write the bound port here after listen\n"
+        "  --workers <n>       worker processes per batch (default 2;\n"
+        "                      0 = run jobs in-process)\n"
+        "  --max-restarts <n>  respawns per crashed worker (default 2)\n"
+        "  --attempts <n>      per-job attempt budget (default 2)\n"
+        "  --cache-file <f>    result store (default: shared cache)\n"
+        "  --trace-out <f>     Chrome trace, one span per request\n"
+        "  --stats-out <f>     serve.* stats JSON on shutdown\n"
+        "critics_cli submit [options]  submit a sweep to a daemon and\n"
+        "                      stream its progress events\n"
+        "  --host/--port/--port-file   daemon address\n"
+        "  --apps/--variants/--insts/--batch/--refresh   as `run`\n"
+        "  --no-wait           print the job id and return\n"
+        "critics_cli status <job> [--host ...] one-line job state\n"
+        "critics_cli wait <job> [--host ...]   stream events until\n"
+        "                      done; exit 1 if any job failed\n\n"
         "critics_cli --app <name> --variant <name> [--insts n]\n"
         "                      [--json] [--stats-interval n]\n"
         "                      [--stats-out f] [--trace-out f]\n"
@@ -399,13 +355,6 @@ cmdDiff(int argc, char **argv)
 // ---------------------------------------------------------------------------
 // lint: the static-analysis gate.
 
-/** Every registered variant name (the usage() list). */
-const char *const kAllVariants[] = {
-    "baseline", "hoist", "critic", "critic-ideal", "critic-branchpair",
-    "opp16", "compress", "opp16+critic", "prefetch", "aluprio",
-    "backendprio", "efetch", "perfectbr", "icache4x", "2xfd", "allhw",
-};
-
 int
 cmdLint(int argc, char **argv)
 {
@@ -439,12 +388,10 @@ cmdLint(int argc, char **argv)
 
     const auto apps = parseApps(appsArg);
     std::vector<std::string> variantNames;
-    if (variantsArg == "all") {
-        variantNames.assign(std::begin(kAllVariants),
-                            std::end(kAllVariants));
-    } else {
+    if (variantsArg == "all")
+        variantNames = sim::allVariantNames();
+    else
         variantNames = splitList(variantsArg);
-    }
     if (variantNames.empty())
         critics_fatal("--variants needs at least one variant");
 
@@ -1221,6 +1168,343 @@ cmdCache(int argc, char **argv)
     return usage();
 }
 
+// ---------------------------------------------------------------------------
+// serve / submit / status / wait: simulation as a service.
+
+serve::Server *gServeInstance = nullptr;
+
+/** SIGTERM/SIGINT → graceful drain.  requestShutdown() is an atomic
+ *  store plus a self-pipe write, so it is safe to call from here. */
+void
+serveSignalHandler(int)
+{
+    if (gServeInstance != nullptr)
+        gServeInstance->requestShutdown();
+}
+
+/** This binary's path, for exec'ing serve-worker children. */
+std::string
+selfExecutable()
+{
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return "critics_cli"; // fall back to execvp's PATH lookup
+}
+
+/** --port / --port-file → a port number; 0 when neither resolves. */
+unsigned short
+resolvePort(const std::string &portArg, const std::string &portFile)
+{
+    if (!portArg.empty())
+        return static_cast<unsigned short>(std::stoul(portArg));
+    if (!portFile.empty()) {
+        std::ifstream in(portFile);
+        unsigned port = 0;
+        if (in >> port)
+            return static_cast<unsigned short>(port);
+    }
+    return 0;
+}
+
+bool
+connectDaemon(serve::ServeClient &client, const std::string &host,
+              const std::string &portArg, const std::string &portFile)
+{
+    const unsigned short port = resolvePort(portArg, portFile);
+    if (port == 0) {
+        std::fprintf(stderr,
+                     "need --port <n> or --port-file <f> to find the "
+                     "daemon\n");
+        return false;
+    }
+    std::string error;
+    if (!client.connect(host, port, &error)) {
+        std::fprintf(stderr, "cannot connect: %s\n", error.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Stream a job's events to stdout until its "done" line; exit code
+ *  0 only when the batch finished with zero failed jobs. */
+int
+streamJob(serve::ServeClient &client, const std::string &jobId)
+{
+    serve::Request request;
+    request.op = serve::Request::Op::Wait;
+    request.job = jobId;
+    if (!client.sendLine(serve::renderRequest(request)))
+        return 1;
+    for (;;) {
+        const auto line = client.readLine(-1);
+        if (!line) {
+            std::fprintf(stderr,
+                         "connection lost; the job keeps running — "
+                         "`critics_cli wait %s` resumes the stream\n",
+                         jobId.c_str());
+            return 1;
+        }
+        std::printf("%s\n", line->c_str());
+        std::fflush(stdout);
+        const auto doc = json::parseJson(*line);
+        if (!doc)
+            continue;
+        if (const auto *ok = doc->find("ok")) {
+            if (ok->asBool() == false)
+                return 1; // protocol error (e.g. unknown job)
+        }
+        const auto *event = doc->find("event");
+        if (event != nullptr &&
+            event->asString().value_or("") == "done") {
+            const auto *state = doc->find("state");
+            const auto *failed = doc->find("failed");
+            const bool clean =
+                state != nullptr &&
+                state->asString().value_or("") == "done" &&
+                failed != nullptr && failed->asUint().value_or(1) == 0;
+            return clean ? 0 : 1;
+        }
+    }
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    serve::ServerOptions options;
+    std::string traceOut, statsOut;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                critics_fatal(arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--host") {
+            options.host = next();
+        } else if (arg == "--port") {
+            options.port =
+                static_cast<unsigned short>(std::stoul(next()));
+        } else if (arg == "--port-file") {
+            options.portFile = next();
+        } else if (arg == "--workers") {
+            options.workers =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--max-restarts") {
+            options.maxRestarts =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--attempts") {
+            options.maxAttempts =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--cache-file") {
+            options.cachePath = next();
+        } else if (arg == "--trace-out") {
+            traceOut = next();
+        } else if (arg == "--stats-out") {
+            statsOut = next();
+        } else {
+            return usage();
+        }
+    }
+    options.workerExe = selfExecutable();
+
+    stats::TraceEventWriter trace;
+    if (!traceOut.empty())
+        options.trace = &trace;
+
+    serve::Server server(options);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "serve: %s\n", error.c_str());
+        return 1;
+    }
+
+    stats::StatRegistry reg;
+    server.registerStats(reg);
+
+    gServeInstance = &server;
+    std::signal(SIGTERM, serveSignalHandler);
+    std::signal(SIGINT, serveSignalHandler);
+
+    std::printf("serving on %s:%u (pid %d, %u worker(s))\n",
+                options.host.c_str(), server.port(),
+                static_cast<int>(::getpid()), options.workers);
+    std::fflush(stdout);
+
+    server.wait();
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    gServeInstance = nullptr;
+
+    if (!statsOut.empty()) {
+        std::ofstream out(statsOut, std::ios::trunc);
+        out << reg.toJson() << "\n";
+    }
+    if (!traceOut.empty() && trace.writeTo(traceOut)) {
+        std::printf("trace: %s (%zu events)\n", traceOut.c_str(),
+                    trace.size());
+    }
+    std::printf("serve: drained; %llu warm hit(s), %llu simulated, "
+                "%llu failed, %llu worker restart(s)\n",
+                static_cast<unsigned long long>(server.warmHits()),
+                static_cast<unsigned long long>(server.simulated()),
+                static_cast<unsigned long long>(server.failedJobs()),
+                static_cast<unsigned long long>(
+                    server.workerRestarts()));
+    return 0;
+}
+
+int
+cmdSubmit(int argc, char **argv)
+{
+    std::string host = "127.0.0.1", portArg, portFile;
+    bool noWait = false;
+    serve::Request request;
+    request.op = serve::Request::Op::Submit;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                critics_fatal(arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--host") {
+            host = next();
+        } else if (arg == "--port") {
+            portArg = next();
+        } else if (arg == "--port-file") {
+            portFile = next();
+        } else if (arg == "--apps") {
+            request.submit.apps = next();
+        } else if (arg == "--variants") {
+            request.submit.variants = next();
+        } else if (arg == "--insts") {
+            request.submit.insts = std::stoull(next());
+        } else if (arg == "--batch") {
+            request.submit.batch = next();
+        } else if (arg == "--refresh") {
+            request.submit.refresh = true;
+        } else if (arg == "--sleep-ms") {
+            request.submit.sleepMs = std::stoull(next());
+        } else if (arg == "--no-wait") {
+            noWait = true;
+        } else {
+            return usage();
+        }
+    }
+
+    serve::ServeClient client;
+    if (!connectDaemon(client, host, portArg, portFile))
+        return 1;
+    if (!client.sendLine(serve::renderRequest(request)))
+        return 1;
+    const auto reply = client.readLine(-1);
+    if (!reply) {
+        std::fprintf(stderr, "daemon closed the connection\n");
+        return 1;
+    }
+    std::printf("%s\n", reply->c_str());
+    const auto doc = json::parseJson(*reply);
+    if (!doc)
+        return 1;
+    const auto *ok = doc->find("ok");
+    if (ok == nullptr || ok->asBool() != true)
+        return 1;
+    const auto *job = doc->find("job");
+    const std::string jobId =
+        job != nullptr ? job->asString().value_or("") : "";
+    if (jobId.empty())
+        return 1;
+    if (noWait)
+        return 0;
+    return streamJob(client, jobId);
+}
+
+int
+cmdStatus(int argc, char **argv)
+{
+    std::string host = "127.0.0.1", portArg, portFile, jobId;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                critics_fatal(arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--host") {
+            host = next();
+        } else if (arg == "--port") {
+            portArg = next();
+        } else if (arg == "--port-file") {
+            portFile = next();
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            jobId = arg;
+        }
+    }
+    if (jobId.empty()) {
+        std::fprintf(stderr, "status wants a job id (serve-<n>)\n");
+        return 2;
+    }
+    serve::ServeClient client;
+    if (!connectDaemon(client, host, portArg, portFile))
+        return 1;
+    serve::Request request;
+    request.op = serve::Request::Op::Status;
+    request.job = jobId;
+    if (!client.sendLine(serve::renderRequest(request)))
+        return 1;
+    const auto reply = client.readLine(-1);
+    if (!reply) {
+        std::fprintf(stderr, "daemon closed the connection\n");
+        return 1;
+    }
+    std::printf("%s\n", reply->c_str());
+    const auto doc = json::parseJson(*reply);
+    if (!doc)
+        return 1;
+    const auto *ok = doc->find("ok");
+    return (ok != nullptr && ok->asBool() == true) ? 0 : 1;
+}
+
+int
+cmdWait(int argc, char **argv)
+{
+    std::string host = "127.0.0.1", portArg, portFile, jobId;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                critics_fatal(arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--host") {
+            host = next();
+        } else if (arg == "--port") {
+            portArg = next();
+        } else if (arg == "--port-file") {
+            portFile = next();
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            jobId = arg;
+        }
+    }
+    if (jobId.empty()) {
+        std::fprintf(stderr, "wait wants a job id (serve-<n>)\n");
+        return 2;
+    }
+    serve::ServeClient client;
+    if (!connectDaemon(client, host, portArg, portFile))
+        return 1;
+    return streamJob(client, jobId);
+}
+
 int
 legacySingleRun(int argc, char **argv)
 {
@@ -1339,6 +1623,16 @@ run(int argc, char **argv)
             return cmdDiff(argc - 2, argv + 2);
         if (command == "lint")
             return cmdLint(argc - 2, argv + 2);
+        if (command == "serve")
+            return cmdServe(argc - 2, argv + 2);
+        if (command == "serve-worker")
+            return serve::serveWorkerMain(argc - 2, argv + 2);
+        if (command == "submit")
+            return cmdSubmit(argc - 2, argv + 2);
+        if (command == "status")
+            return cmdStatus(argc - 2, argv + 2);
+        if (command == "wait")
+            return cmdWait(argc - 2, argv + 2);
         if (command == "--help" || command == "-h" ||
             command == "help") {
             usage();

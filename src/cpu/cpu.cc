@@ -7,7 +7,6 @@
 #include "stats/interval.hh"
 #include "stats/registry.hh"
 #include "stats/trace_event.hh"
-#include "support/env.hh"
 #include "support/logging.hh"
 
 namespace critics::cpu
@@ -144,9 +143,9 @@ struct RobEntry
     std::uint32_t issueC = 0;
     std::uint32_t completeC = 0;
     std::uint32_t readyC = Unknown; ///< known once producers issued
-    /** Producer this entry last blocked on (packed path): readiness
-     *  cannot change until that dep's resultCycle is set, so the scan
-     *  skips the full dependency walk until then. */
+    /** Producer this entry last blocked on: readiness cannot change
+     *  until that dep's resultCycle is set, so the issue scan skips
+     *  the full dependency walk until then. */
     DynIdx waitDep = program::NoDep;
     bool issued = false;
 };
@@ -195,17 +194,13 @@ runTrace(const Trace &trace, const CpuConfig &config,
         (config.aluPrioritization || config.backendPrio) &&
         criticalSet != nullptr;
 
-    // Packed fast paths (dense criticality masks + compact issue scan);
-    // CRITICS_PACKED_TRACE=off selects the pre-overhaul equivalents.
-    const bool packed = packedTraceEnabled();
-
     // Flatten the per-uid criticality set into a per-dynamic-index byte
     // mask once per run, so the issue partition and the prefetch hook
     // index an array instead of probing a hash set per instruction.
     // Uids are dense (Program::allocUid is sequential), so the
     // intermediate per-uid table is small.
     std::vector<std::uint8_t> critDyn;
-    if (criticalSet != nullptr && packed) {
+    if (criticalSet != nullptr) {
         program::InstUid maxUid = 0;
         for (const DynInst &d : trace.insts)
             maxUid = std::max(maxUid, d.staticUid);
@@ -223,9 +218,7 @@ runTrace(const Trace &trace, const CpuConfig &config,
     auto isCritStatic = [&](DynIdx idx) {
         if (criticalSet == nullptr)
             return false;
-        if (packed)
-            return critDyn[static_cast<std::size_t>(idx)] != 0;
-        return criticalSet->count(trace.insts[idx].staticUid) > 0;
+        return critDyn[static_cast<std::size_t>(idx)] != 0;
     };
 
     // ---- Pipeline state --------------------------------------------------
@@ -258,12 +251,12 @@ runTrace(const Trace &trace, const CpuConfig &config,
     std::vector<std::size_t> eligible;
     eligible.reserve(config.robSize);
 
-    // ROB slots still waiting to issue, in program order: the packed
-    // issue scan walks only these, instead of re-walking every
-    // in-flight instruction (most of which have long since issued)
-    // with a modulo per step.  Dispatch appends; a stable compaction
-    // after issue preserves program order, so the eligible vector it
-    // produces is element-for-element identical to the full scan's.
+    // ROB slots still waiting to issue, in program order: the issue
+    // scan walks only these, instead of re-walking every in-flight
+    // instruction (most of which have long since issued) with a
+    // modulo per step.  Dispatch appends; a stable compaction after
+    // issue preserves program order, so the eligible vector comes out
+    // element-for-element identical to a full ROB rescan.
     std::vector<std::size_t> unissued;
     unissued.reserve(config.robSize);
 
@@ -356,72 +349,41 @@ runTrace(const Trace &trace, const CpuConfig &config,
 
         // ---- Issue ------------------------------------------------------
         eligible.clear();
-        if (packed) {
-            // Same program-order enumeration over the same not-yet-
-            // issued set as the full scan below, so `eligible` comes
-            // out identical.  Two shortcuts keep the per-cycle cost to
-            // a couple of loads per waiting entry: a known readyC is
-            // compared directly, and an entry blocked on a producer is
-            // skipped until that producer's resultCycle appears —
-            // readiness cannot change before then, and resultCycle is
-            // only written after this scan, so the entry unblocks in
-            // exactly the cycle the full rescan would have.
-            for (const std::size_t slot : unissued) {
-                RobEntry &entry = rob[slot];
-                std::uint32_t ready = entry.readyC;
-                if (ready == Unknown) {
-                    if (entry.waitDep != program::NoDep &&
-                        resultCycle[entry.waitDep] == Unknown) {
-                        continue;
-                    }
-                    const DynInst &d = trace.insts[entry.dyn];
-                    ready = entry.dispatchC + 1;
-                    bool known = true;
-                    for (const DynIdx dep : {d.dep0, d.dep1}) {
-                        if (dep == program::NoDep)
-                            continue;
-                        const std::uint32_t rc = resultCycle[dep];
-                        if (rc == Unknown) {
-                            entry.waitDep = dep;
-                            known = false;
-                            break;
-                        }
-                        ready = std::max(ready, rc);
-                    }
-                    if (!known)
-                        continue;
-                    entry.readyC = ready;
-                }
-                if (cycle >= ready)
-                    eligible.push_back(slot);
-            }
-        } else {
-            for (std::size_t k = 0; k < robCount; ++k) {
-                const std::size_t slot = (robHead + k) % config.robSize;
-                RobEntry &entry = rob[slot];
-                if (entry.issued)
+        // Program-order enumeration over the not-yet-issued set.  Two
+        // shortcuts keep the per-cycle cost to a couple of loads per
+        // waiting entry: a known readyC is compared directly, and an
+        // entry blocked on a producer is skipped until that producer's
+        // resultCycle appears — readiness cannot change before then,
+        // and resultCycle is only written after this scan, so the
+        // entry unblocks in exactly the cycle a full rescan would.
+        for (const std::size_t slot : unissued) {
+            RobEntry &entry = rob[slot];
+            std::uint32_t ready = entry.readyC;
+            if (ready == Unknown) {
+                if (entry.waitDep != program::NoDep &&
+                    resultCycle[entry.waitDep] == Unknown) {
                     continue;
-                if (entry.readyC == Unknown) {
-                    const DynInst &d = trace.insts[entry.dyn];
-                    std::uint32_t ready = entry.dispatchC + 1;
-                    bool known = true;
-                    for (const DynIdx dep : {d.dep0, d.dep1}) {
-                        if (dep == program::NoDep)
-                            continue;
-                        const std::uint32_t rc = resultCycle[dep];
-                        if (rc == Unknown) {
-                            known = false;
-                            break;
-                        }
-                        ready = std::max(ready, rc);
-                    }
-                    if (!known)
-                        continue;
-                    entry.readyC = ready;
                 }
-                if (cycle >= entry.readyC)
-                    eligible.push_back(slot);
+                const DynInst &d = trace.insts[entry.dyn];
+                ready = entry.dispatchC + 1;
+                bool known = true;
+                for (const DynIdx dep : {d.dep0, d.dep1}) {
+                    if (dep == program::NoDep)
+                        continue;
+                    const std::uint32_t rc = resultCycle[dep];
+                    if (rc == Unknown) {
+                        entry.waitDep = dep;
+                        known = false;
+                        break;
+                    }
+                    ready = std::max(ready, rc);
+                }
+                if (!known)
+                    continue;
+                entry.readyC = ready;
             }
+            if (cycle >= ready)
+                eligible.push_back(slot);
         }
 
         if (usePriority && !eligible.empty()) {
@@ -471,7 +433,7 @@ runTrace(const Trace &trace, const CpuConfig &config,
             ++issuedCount;
         }
 
-        if (packed && issuedCount > 0) {
+        if (issuedCount > 0) {
             unissued.erase(
                 std::remove_if(unissued.begin(), unissued.end(),
                                [&](std::size_t slot) {
@@ -499,8 +461,7 @@ runTrace(const Trace &trace, const CpuConfig &config,
             entry.popC = pe.popC;
             entry.dispatchC = static_cast<std::uint32_t>(cycle);
             ++robCount;
-            if (packed)
-                unissued.push_back(slot);
+            unissued.push_back(slot);
             decodePipe.pop_front();
         }
 

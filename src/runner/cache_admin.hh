@@ -11,7 +11,11 @@
  * store reproduces the original run's report digit for digit — the
  * same hexfloat round-trip guarantee the store itself makes.  Rewrites
  * go through a temp file in the destination directory followed by a
- * rename, so a crash mid-operation never corrupts the original.
+ * rename, so a crash mid-operation never corrupts the original, and
+ * hold the destination store's writer flock for the whole fold +
+ * rename so a concurrent appender can never write to the inode the
+ * rename orphans (ResultStore::insert revalidates and reopens after
+ * the lock).
  */
 
 #ifndef CRITICS_RUNNER_CACHE_ADMIN_HH

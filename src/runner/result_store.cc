@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <sys/file.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -337,6 +338,29 @@ ResultStore::~ResultStore()
 }
 
 void
+ResultStore::openLocked()
+{
+    const auto dir = std::filesystem::path(path_).parent_path();
+    if (!dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+    }
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0) {
+        critics_warn("cannot open result cache ", path_,
+                     " for append; results will not persist");
+    }
+}
+
+void
+ResultStore::reload()
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    entries_.clear();
+    load();
+}
+
+void
 ResultStore::load()
 {
     std::ifstream in(path_);
@@ -419,20 +443,8 @@ ResultStore::insert(const std::string &hashHex, const std::string &spec,
                     const sim::RunResult &result)
 {
     std::lock_guard<std::mutex> guard(lock_);
-    if (fd_ < 0) {
-        const auto dir =
-            std::filesystem::path(path_).parent_path();
-        if (!dir.empty()) {
-            std::error_code ec;
-            std::filesystem::create_directories(dir, ec);
-        }
-        fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND,
-                     0644);
-        if (fd_ < 0) {
-            critics_warn("cannot open result cache ", path_,
-                         " for append; results will not persist");
-        }
-    }
+    if (fd_ < 0)
+        openLocked();
 
     const std::uint64_t now = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::seconds>(
@@ -458,6 +470,29 @@ ResultStore::insert(const std::string &hashHex, const std::string &spec,
         // interleave partial ones.  A crash mid-write leaves at most
         // one truncated tail line, which loads skip.
         ::flock(fd_, LOCK_EX);
+        // A cache rewriter (merge/compact/gc) holds this same lock
+        // across its temp+rename; if one ran while we were blocked,
+        // this descriptor now points at the orphaned old inode and
+        // the append would vanish with it.  Revalidate that the path
+        // still names our inode, reopening (and re-locking) if not.
+        for (int attempt = 0; attempt < 8 && fd_ >= 0; ++attempt) {
+            struct stat viaFd{}, viaPath{};
+            if (::fstat(fd_, &viaFd) != 0)
+                break;
+            if (::stat(path_.c_str(), &viaPath) == 0 &&
+                viaFd.st_dev == viaPath.st_dev &&
+                viaFd.st_ino == viaPath.st_ino) {
+                break; // still the live file
+            }
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+            fd_ = -1;
+            openLocked();
+            if (fd_ >= 0)
+                ::flock(fd_, LOCK_EX);
+        }
+    }
+    if (fd_ >= 0) {
         const char *data = record.data();
         std::size_t left = record.size();
         while (left > 0) {

@@ -14,6 +14,12 @@
  * a process dying mid-write, which leaves at most one truncated tail
  * line; loads skip it.  In-process, a mutex serializes appends across
  * the worker threads.
+ *
+ * Cache rewriters (`cache merge/compact/gc`) hold the same flock
+ * across their temp+rename replacement of the file; an appender that
+ * wakes up holding a lock on the replaced inode detects the swap
+ * (path no longer names its inode) and reopens before writing, so no
+ * record is ever appended to an orphaned file.
  */
 
 #ifndef CRITICS_RUNNER_RESULT_STORE_HH
@@ -128,8 +134,14 @@ class ResultStore
     /** Delete the backing file and forget all records. */
     void clear();
 
+    /** Drop the in-memory index and re-read the backing file — how a
+     *  long-running daemon picks up records appended by worker
+     *  processes or a completed `cache merge`. */
+    void reload();
+
   private:
     void load();
+    void openLocked(); ///< open the append fd (caller holds lock_)
 
     struct Entry
     {

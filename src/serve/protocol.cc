@@ -1,0 +1,264 @@
+#include "serve/protocol.hh"
+
+#include "support/json.hh"
+
+namespace critics::serve
+{
+
+void
+LineReader::feed(const char *data, std::size_t len)
+{
+    buffer_.append(data, len);
+}
+
+std::optional<std::string>
+LineReader::nextLine()
+{
+    const auto pos = buffer_.find('\n', scanned_);
+    if (pos == std::string::npos) {
+        scanned_ = buffer_.size();
+        return std::nullopt;
+    }
+    std::string line = buffer_.substr(0, pos);
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    buffer_.erase(0, pos + 1);
+    scanned_ = 0;
+    return line;
+}
+
+namespace
+{
+
+const char *
+opName(Request::Op op)
+{
+    switch (op) {
+      case Request::Op::Submit: return "submit";
+      case Request::Op::Status: return "status";
+      case Request::Op::Wait: return "wait";
+      case Request::Op::Ping: return "ping";
+      case Request::Op::Stats: return "stats";
+      case Request::Op::Shutdown: return "shutdown";
+    }
+    return "ping";
+}
+
+std::optional<Request::Op>
+opOf(const std::string &name)
+{
+    if (name == "submit")
+        return Request::Op::Submit;
+    if (name == "status")
+        return Request::Op::Status;
+    if (name == "wait")
+        return Request::Op::Wait;
+    if (name == "ping")
+        return Request::Op::Ping;
+    if (name == "stats")
+        return Request::Op::Stats;
+    if (name == "shutdown")
+        return Request::Op::Shutdown;
+    return std::nullopt;
+}
+
+void
+fail(std::string *error, const std::string &what)
+{
+    if (error != nullptr)
+        *error = what;
+}
+
+} // namespace
+
+std::optional<Request>
+parseRequest(const std::string &line, std::string *error)
+{
+    const auto doc = json::parseJson(line);
+    if (!doc || !doc->isObject()) {
+        fail(error, "request is not a JSON object");
+        return std::nullopt;
+    }
+    const auto *opField = doc->find("op");
+    const auto opText = opField ? opField->asString() : std::nullopt;
+    if (!opText) {
+        fail(error, "request has no \"op\"");
+        return std::nullopt;
+    }
+    const auto op = opOf(*opText);
+    if (!op) {
+        fail(error, "unknown op '" + *opText + "'");
+        return std::nullopt;
+    }
+
+    Request request;
+    request.op = *op;
+    if (*op == Request::Op::Status || *op == Request::Op::Wait) {
+        const auto *job = doc->find("job");
+        const auto id = job ? job->asString() : std::nullopt;
+        if (!id || id->empty()) {
+            fail(error, "status/wait needs a \"job\" id");
+            return std::nullopt;
+        }
+        request.job = *id;
+    }
+    if (*op == Request::Op::Submit) {
+        SubmitRequest &s = request.submit;
+        if (const auto *f = doc->find("batch")) {
+            const auto v = f->asString();
+            if (!v || v->empty()) {
+                fail(error, "\"batch\" must be a non-empty string");
+                return std::nullopt;
+            }
+            s.batch = *v;
+        }
+        if (const auto *f = doc->find("apps")) {
+            const auto v = f->asString();
+            if (!v) {
+                fail(error, "\"apps\" must be a string");
+                return std::nullopt;
+            }
+            s.apps = *v;
+        }
+        if (const auto *f = doc->find("variants")) {
+            const auto v = f->asString();
+            if (!v) {
+                fail(error, "\"variants\" must be a string");
+                return std::nullopt;
+            }
+            s.variants = *v;
+        }
+        if (const auto *f = doc->find("insts")) {
+            const auto v = f->asUint();
+            if (!v || *v == 0) {
+                fail(error, "\"insts\" must be a positive integer");
+                return std::nullopt;
+            }
+            s.insts = *v;
+        }
+        if (const auto *f = doc->find("refresh")) {
+            const auto v = f->asBool();
+            if (!v) {
+                fail(error, "\"refresh\" must be a bool");
+                return std::nullopt;
+            }
+            s.refresh = *v;
+        }
+        if (const auto *f = doc->find("sleep-ms")) {
+            const auto v = f->asUint();
+            if (!v) {
+                fail(error, "\"sleep-ms\" must be an integer");
+                return std::nullopt;
+            }
+            s.sleepMs = *v;
+        }
+    }
+    return request;
+}
+
+std::string
+renderRequest(const Request &request)
+{
+    json::JsonWriter w;
+    w.beginObject().field("op", opName(request.op));
+    if (request.op == Request::Op::Status ||
+        request.op == Request::Op::Wait) {
+        w.field("job", request.job);
+    }
+    if (request.op == Request::Op::Submit) {
+        const SubmitRequest &s = request.submit;
+        w.field("batch", s.batch)
+            .field("apps", s.apps)
+            .field("variants", s.variants)
+            .field("insts", s.insts)
+            .field("refresh", s.refresh);
+        if (s.sleepMs > 0)
+            w.field("sleep-ms", s.sleepMs);
+    }
+    w.endObject();
+    return w.str();
+}
+
+std::string
+renderJobEvent(const JobEvent &event)
+{
+    json::JsonWriter w;
+    w.beginObject()
+        .field("event", "job")
+        .field("hash", event.hash)
+        .field("app", event.app)
+        .field("variant", event.variant)
+        .field("ok", event.ok)
+        .field("from-cache", event.fromCache);
+    if (!event.error.empty())
+        w.field("error", event.error);
+    w.endObject();
+    return w.str();
+}
+
+std::optional<JobEvent>
+parseJobEvent(const std::string &line)
+{
+    const auto doc = json::parseJson(line);
+    if (!doc || !doc->isObject())
+        return std::nullopt;
+    const auto *kind = doc->find("event");
+    const auto kindText = kind ? kind->asString() : std::nullopt;
+    if (!kindText || *kindText != "job")
+        return std::nullopt;
+
+    JobEvent event;
+    const auto *hash = doc->find("hash");
+    const auto hashText = hash ? hash->asString() : std::nullopt;
+    if (!hashText || hashText->empty())
+        return std::nullopt;
+    event.hash = *hashText;
+    if (const auto *f = doc->find("app"))
+        event.app = f->asString().value_or("");
+    if (const auto *f = doc->find("variant"))
+        event.variant = f->asString().value_or("");
+    if (const auto *f = doc->find("ok"))
+        event.ok = f->asBool().value_or(false);
+    if (const auto *f = doc->find("from-cache"))
+        event.fromCache = f->asBool().value_or(false);
+    if (const auto *f = doc->find("error"))
+        event.error = f->asString().value_or("");
+    return event;
+}
+
+std::string
+renderShardDone(const ShardDone &done)
+{
+    json::JsonWriter w;
+    w.beginObject()
+        .field("event", "shard-done")
+        .field("failed", done.failed)
+        .field("total", done.total)
+        .endObject();
+    return w.str();
+}
+
+std::optional<ShardDone>
+parseShardDone(const std::string &line)
+{
+    const auto doc = json::parseJson(line);
+    if (!doc || !doc->isObject())
+        return std::nullopt;
+    const auto *kind = doc->find("event");
+    const auto kindText = kind ? kind->asString() : std::nullopt;
+    if (!kindText || *kindText != "shard-done")
+        return std::nullopt;
+
+    ShardDone done;
+    const auto *failed = doc->find("failed");
+    const auto *total = doc->find("total");
+    const auto failedVal = failed ? failed->asUint() : std::nullopt;
+    const auto totalVal = total ? total->asUint() : std::nullopt;
+    if (!failedVal || !totalVal)
+        return std::nullopt;
+    done.failed = *failedVal;
+    done.total = *totalVal;
+    return done;
+}
+
+} // namespace critics::serve

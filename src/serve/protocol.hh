@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Wire format of the serve subsystem: newline-delimited JSON objects
+ * (JSONL) on both legs — client → server requests and server → client
+ * replies/events over TCP, and worker → supervisor progress events
+ * over a stdout pipe.  One line is one message; a message never
+ * contains a raw newline (jsonEscape guarantees it), so framing is
+ * just "split on \n" and a crashed peer leaves at most one truncated
+ * tail line, which readers drop — the same tail discipline as the
+ * result store.
+ *
+ * Requests:  {"op":"submit","batch":B,"apps":A,"variants":V,
+ *             "insts":N,"refresh":false,"sleep-ms":0}
+ *            {"op":"status","job":J}  {"op":"wait","job":J}
+ *            {"op":"ping"}  {"op":"stats"}  {"op":"shutdown"}
+ *
+ * Job events (worker stdout AND server wait/status streams):
+ *            {"event":"job","hash":H,"app":A,"variant":V,
+ *             "ok":true,"from-cache":false,"error":""}
+ * Worker end-of-shard marker:
+ *            {"event":"shard-done","failed":F,"total":T}
+ */
+
+#ifndef CRITICS_SERVE_PROTOCOL_HH
+#define CRITICS_SERVE_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace critics::serve
+{
+
+/**
+ * Incremental newline framer.  feed() raw bytes as they arrive from a
+ * socket or pipe; nextLine() yields each complete line (without the
+ * terminator) in arrival order.  Bytes after the last newline stay
+ * buffered until more data arrives — or forever, which is how a
+ * truncated tail from a crashed writer is discarded.
+ */
+class LineReader
+{
+  public:
+    void feed(const char *data, std::size_t len);
+    std::optional<std::string> nextLine();
+
+  private:
+    std::string buffer_;
+    std::size_t scanned_ = 0; ///< prefix known to hold no newline
+};
+
+/** The payload of an "op":"submit" request: one apps × variants sweep
+ *  described in the shared string vocabulary of sim/variants.hh, so
+ *  the server and its workers rebuild exactly the grid the client
+ *  named. */
+struct SubmitRequest
+{
+    std::string batch = "serve";
+    std::string apps = "mobile";
+    std::string variants = "all";
+    std::uint64_t insts = 400000;
+    bool refresh = false;
+    /** Per-simulated-job artificial delay — a debug/test knob so smoke
+     *  tests can catch a worker mid-batch (e.g. to kill -9 it). */
+    std::uint64_t sleepMs = 0;
+};
+
+struct Request
+{
+    enum class Op : std::uint8_t
+    {
+        Submit,
+        Status,
+        Wait,
+        Ping,
+        Stats,
+        Shutdown,
+    };
+
+    Op op = Op::Ping;
+    std::string job;      ///< status/wait target ("serve-<n>")
+    SubmitRequest submit; ///< valid when op == Submit
+};
+
+/** Parse one request line; nullopt (with *error set) on syntax errors,
+ *  unknown ops or missing fields — remote input never kills the
+ *  daemon. */
+std::optional<Request> parseRequest(const std::string &line,
+                                    std::string *error = nullptr);
+
+/** One-line rendering of `request` (no trailing newline). */
+std::string renderRequest(const Request &request);
+
+/**
+ * One job's terminal state, as streamed live from a worker and
+ * re-streamed (after dedup) to every waiting client.  `hash` is the
+ * JobSpec content hash — the stable identity events are deduplicated
+ * by when a restarted worker replays its shard.
+ */
+struct JobEvent
+{
+    std::string hash;
+    std::string app;
+    std::string variant;
+    bool ok = false;
+    bool fromCache = false;
+    std::string error; ///< last failure message when !ok
+};
+
+std::string renderJobEvent(const JobEvent &event);
+std::optional<JobEvent> parseJobEvent(const std::string &line);
+
+/** A worker's final line: every owned job has been accounted for. */
+struct ShardDone
+{
+    std::uint64_t failed = 0;
+    std::uint64_t total = 0;
+};
+
+std::string renderShardDone(const ShardDone &done);
+std::optional<ShardDone> parseShardDone(const std::string &line);
+
+} // namespace critics::serve
+
+#endif // CRITICS_SERVE_PROTOCOL_HH

@@ -1,0 +1,818 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "runner/cache_admin.hh"
+#include "runner/orchestrator.hh"
+#include "runner/shard.hh"
+#include "serve/supervisor.hh"
+#include "sim/variants.hh"
+#include "stats/registry.hh"
+#include "stats/trace_event.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace critics::serve
+{
+
+namespace
+{
+
+/** Whole-line send with partial-write handling; false on a dead peer
+ *  (the job does not care — it keeps running). */
+bool
+sendLine(int fd, const std::string &line)
+{
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n = ::send(fd, framed.data() + sent,
+                                 framed.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::string
+errorLine(const std::string &message)
+{
+    json::JsonWriter w;
+    w.beginObject()
+        .field("ok", false)
+        .field("error", message)
+        .endObject();
+    return w.str();
+}
+
+const char *
+stateName(std::uint8_t state)
+{
+    switch (state) {
+      case 0: return "queued";
+      case 1: return "running";
+      case 2: return "done";
+      case 3: return "failed";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), store_(options_.cachePath),
+      started_(std::chrono::steady_clock::now())
+{
+    if (::pipe(wakePipe_) != 0)
+        critics_fatal("serve: cannot create wake pipe: ",
+                      std::strerror(errno));
+}
+
+Server::~Server()
+{
+    requestShutdown();
+    wait();
+    for (const int fd : wakePipe_) {
+        if (fd >= 0)
+            ::close(fd);
+    }
+}
+
+bool
+Server::start(std::string *error)
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        if (error != nullptr)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    struct sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) !=
+        1) {
+        if (error != nullptr)
+            *error = "bad --host '" + options_.host + "'";
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::bind(listenFd_, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, 64) != 0) {
+        if (error != nullptr) {
+            *error = options_.host + ":" +
+                     std::to_string(options_.port) + ": " +
+                     std::strerror(errno);
+        }
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+
+    struct sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listenFd_,
+                  reinterpret_cast<struct sockaddr *>(&bound), &len);
+    boundPort_ = ntohs(bound.sin_port);
+
+    if (!options_.portFile.empty()) {
+        std::ofstream out(options_.portFile, std::ios::trunc);
+        out << boundPort_ << "\n";
+    }
+
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    schedulerThread_ = std::thread([this] { schedulerLoop(); });
+    return true;
+}
+
+void
+Server::requestShutdown()
+{
+    stop_.store(true);
+    if (wakePipe_[1] >= 0) {
+        const char byte = 'x';
+        [[maybe_unused]] const ssize_t n =
+            ::write(wakePipe_[1], &byte, 1);
+    }
+}
+
+void
+Server::wait()
+{
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (schedulerThread_.joinable())
+        schedulerThread_.join();
+    // Client handlers are detached; they notice stop_ within one poll
+    // interval and bump the count down as they close.
+    std::unique_lock<std::mutex> lock(lock_);
+    cv_.wait(lock, [this] { return activeClients_.load() == 0; });
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        struct pollfd fds[2] = {
+            {listenFd_, POLLIN, 0},
+            {wakePipe_[0], POLLIN, 0},
+        };
+        const int ready = ::poll(fds, 2, 200);
+        if (stop_.load())
+            break;
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            critics_warn("serve: accept poll failed: ",
+                         std::strerror(errno));
+            break;
+        }
+        if (ready == 0 || (fds[0].revents & POLLIN) == 0)
+            continue;
+        const int client = ::accept(listenFd_, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        activeClients_.fetch_add(1);
+        std::thread([this, client] { handleClient(client); }).detach();
+    }
+    ::close(listenFd_);
+    listenFd_ = -1;
+}
+
+void
+Server::handleClient(int fd)
+{
+    LineReader lines;
+    char buf[4096];
+    bool keep = true;
+    while (keep) {
+        struct pollfd p = {fd, POLLIN, 0};
+        const int ready = ::poll(&p, 1, 200);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (ready == 0) {
+            if (stop_.load())
+                break;
+            continue;
+        }
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        lines.feed(buf, static_cast<std::size_t>(n));
+        while (keep) {
+            const auto line = lines.nextLine();
+            if (!line)
+                break;
+            keep = handleRequest(fd, *line);
+        }
+    }
+    ::close(fd);
+    activeClients_.fetch_sub(1);
+    cv_.notify_all();
+}
+
+bool
+Server::handleRequest(int fd, const std::string &line)
+{
+    const std::uint64_t startUs = nowMicros();
+    {
+        std::lock_guard<std::mutex> lock(lock_);
+        requests_++;
+    }
+    std::string error;
+    const auto request = parseRequest(line, &error);
+    if (!request) {
+        std::lock_guard<std::mutex> lock(lock_);
+        badRequests_++;
+        return sendLine(fd, errorLine(error));
+    }
+
+    switch (request->op) {
+      case Request::Op::Ping: {
+          json::JsonWriter w;
+          w.beginObject().field("ok", true).endObject();
+          const bool alive = sendLine(fd, w.str());
+          traceSpan("ping", startUs);
+          return alive;
+      }
+      case Request::Op::Submit: {
+          const bool alive =
+              sendLine(fd, handleSubmit(request->submit));
+          traceSpan("submit", startUs);
+          return alive;
+      }
+      case Request::Op::Status: {
+          const bool alive = sendLine(fd, handleStatus(request->job));
+          traceSpan("status", startUs);
+          return alive;
+      }
+      case Request::Op::Wait: {
+          const bool alive = streamWait(fd, request->job);
+          traceSpan("wait", startUs);
+          return alive;
+      }
+      case Request::Op::Stats: {
+          json::JsonWriter w;
+          {
+              std::lock_guard<std::mutex> lock(lock_);
+              w.beginObject().field("ok", true).beginObject("serve");
+              w.field("submitted", submitted_)
+                  .field("completed", completed_)
+                  .field("queueDepth",
+                         static_cast<std::uint64_t>(queue_.size()))
+                  .field("warmHits", warmHits_)
+                  .field("simulated", simulated_)
+                  .field("failedJobs", failedJobs_)
+                  .field("workerCrashes", workerCrashes_)
+                  .field("workerRestarts", workerRestarts_)
+                  .field("inFlightShards", inFlightShards_)
+                  .field("requests", requests_)
+                  .field("badRequests", badRequests_);
+              w.endObject().endObject();
+          }
+          const bool alive = sendLine(fd, w.str());
+          traceSpan("stats", startUs);
+          return alive;
+      }
+      case Request::Op::Shutdown: {
+          json::JsonWriter w;
+          w.beginObject()
+              .field("ok", true)
+              .field("draining", true)
+              .endObject();
+          sendLine(fd, w.str());
+          traceSpan("shutdown", startUs);
+          requestShutdown();
+          return false;
+      }
+    }
+    return false;
+}
+
+std::string
+Server::handleSubmit(const SubmitRequest &submit)
+{
+    std::string error;
+    const auto apps = sim::tryParseApps(submit.apps, &error);
+    if (!apps)
+        return errorLine(error);
+    const auto variants =
+        sim::tryParseVariants(submit.variants, &error);
+    if (!variants)
+        return errorLine(error);
+
+    sim::ExperimentOptions expOptions;
+    expOptions.traceInsts = submit.insts;
+    auto grid = runner::makeGrid(*apps, *variants, expOptions);
+
+    std::lock_guard<std::mutex> lock(lock_);
+    auto batch = std::make_shared<Batch>();
+    batch->id = "serve-" + std::to_string(nextBatchId_++);
+    batch->request = submit;
+    batch->total = grid.size();
+    submitted_++;
+
+    // The warm half: anything already in the store is answered right
+    // now, with zero simulation — the whole point of a daemon sitting
+    // on a long-lived cache.
+    for (auto &spec : grid) {
+        if (!submit.refresh && store_.lookup(spec)) {
+            JobEvent event;
+            event.hash = spec.hashHex();
+            event.app = spec.profile.name;
+            event.variant = spec.variant.label;
+            event.ok = true;
+            event.fromCache = true;
+            recordEventLocked(*batch, event, /*warmOrigin=*/true);
+        } else {
+            batch->coldSpecs.push_back(std::move(spec));
+        }
+    }
+
+    if (batch->coldSpecs.empty()) {
+        batch->state = Batch::State::Done;
+        completed_++;
+    } else if (stop_.load()) {
+        batch->state = Batch::State::Failed;
+        batch->error = "server shutting down";
+    } else {
+        queue_.push_back(batch);
+    }
+    batches_[batch->id] = batch;
+    cv_.notify_all();
+
+    json::JsonWriter w;
+    w.beginObject()
+        .field("ok", true)
+        .field("job", batch->id)
+        .field("total", batch->total)
+        .field("warm", batch->warm)
+        .field("cold",
+               static_cast<std::uint64_t>(batch->coldSpecs.size()))
+        .endObject();
+    return w.str();
+}
+
+std::string
+Server::handleStatus(const std::string &jobId)
+{
+    std::lock_guard<std::mutex> lock(lock_);
+    const auto it = batches_.find(jobId);
+    if (it == batches_.end())
+        return errorLine("unknown job '" + jobId + "'");
+    return statusJson(*it->second);
+}
+
+std::string
+Server::statusJson(const Batch &batch) const
+{
+    json::JsonWriter w;
+    w.beginObject()
+        .field("ok", true)
+        .field("job", batch.id)
+        .field("state",
+               stateName(static_cast<std::uint8_t>(batch.state)))
+        .field("total", batch.total)
+        .field("warm", batch.warm)
+        .field("simulated", batch.simulated)
+        .field("failed", batch.failed)
+        .field("events",
+               static_cast<std::uint64_t>(batch.events.size()));
+    if (!batch.error.empty())
+        w.field("error", batch.error);
+    w.beginArray("pids");
+    for (const pid_t pid : batch.workerPids)
+        w.element(std::to_string(pid));
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+Server::streamWait(int fd, const std::string &jobId)
+{
+    std::shared_ptr<Batch> batch;
+    {
+        std::lock_guard<std::mutex> lock(lock_);
+        const auto it = batches_.find(jobId);
+        if (it == batches_.end())
+            return sendLine(fd, errorLine("unknown job '" + jobId +
+                                          "'"));
+        batch = it->second;
+    }
+
+    // Replay the full event log from the top, then follow it live
+    // until the batch reaches a terminal state — a client that
+    // reconnects after a disconnect sees exactly what a patient one
+    // did.
+    std::size_t next = 0;
+    for (;;) {
+        std::vector<std::string> chunk;
+        bool terminal = false;
+        std::string doneLine;
+        {
+            std::unique_lock<std::mutex> lock(lock_);
+            cv_.wait_for(lock, std::chrono::milliseconds(200), [&] {
+                return batch->events.size() > next ||
+                       batch->state == Batch::State::Done ||
+                       batch->state == Batch::State::Failed;
+            });
+            while (next < batch->events.size())
+                chunk.push_back(batch->events[next++]);
+            terminal = batch->state == Batch::State::Done ||
+                       batch->state == Batch::State::Failed;
+            if (terminal && next == batch->events.size()) {
+                json::JsonWriter w;
+                w.beginObject()
+                    .field("event", "done")
+                    .field("job", batch->id)
+                    .field("state",
+                           stateName(static_cast<std::uint8_t>(
+                               batch->state)))
+                    .field("total", batch->total)
+                    .field("warm", batch->warm)
+                    .field("simulated", batch->simulated)
+                    .field("failed", batch->failed);
+                if (!batch->error.empty())
+                    w.field("error", batch->error);
+                w.endObject();
+                doneLine = w.str();
+            }
+        }
+        for (const auto &line : chunk) {
+            if (!sendLine(fd, line))
+                return false; // job keeps running without us
+        }
+        if (!doneLine.empty())
+            return sendLine(fd, doneLine);
+    }
+}
+
+void
+Server::recordEventLocked(Batch &batch, const JobEvent &event,
+                          bool warmOrigin)
+{
+    // A respawned worker replays its whole shard, so its event stream
+    // may repeat hashes; the first event for a hash is the one that
+    // counts (and the only one clients see).
+    if (!batch.seen.emplace(event.hash, event.ok).second)
+        return;
+    batch.events.push_back(renderJobEvent(event));
+    if (!event.ok) {
+        batch.failed++;
+        failedJobs_++;
+    } else if (warmOrigin) {
+        batch.warm++;
+        warmHits_++;
+    } else {
+        batch.simulated++;
+        simulated_++;
+    }
+    cv_.notify_all();
+}
+
+void
+Server::recordEvent(const std::shared_ptr<Batch> &batch,
+                    const JobEvent &event)
+{
+    std::lock_guard<std::mutex> lock(lock_);
+    recordEventLocked(*batch, event, /*warmOrigin=*/false);
+}
+
+void
+Server::schedulerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lock(lock_);
+            cv_.wait_for(lock, std::chrono::milliseconds(200), [this] {
+                return !queue_.empty() || stop_.load();
+            });
+            if (!queue_.empty()) {
+                batch = queue_.front();
+                queue_.erase(queue_.begin());
+                batch->state = Batch::State::Running;
+            } else if (stop_.load()) {
+                break;
+            } else {
+                continue;
+            }
+        }
+        executeBatch(batch);
+    }
+
+    // Drain: the in-flight batch (if any) already finished above;
+    // everything still queued fails fast with a clear reason.
+    std::lock_guard<std::mutex> lock(lock_);
+    for (const auto &batch : queue_) {
+        batch->state = Batch::State::Failed;
+        batch->error = "server shutting down";
+    }
+    queue_.clear();
+    cv_.notify_all();
+}
+
+void
+Server::executeBatch(const std::shared_ptr<Batch> &batch)
+{
+    const std::uint64_t startUs = nowMicros();
+    if (options_.workers == 0)
+        runInProcess(batch);
+    else
+        runWithWorkers(batch);
+
+    {
+        std::lock_guard<std::mutex> lock(lock_);
+        batch->state = (batch->failed > 0 || !batch->error.empty())
+                           ? Batch::State::Failed
+                           : Batch::State::Done;
+        batch->workerPids.clear();
+        completed_++;
+        cv_.notify_all();
+    }
+    traceSpan("batch", startUs);
+}
+
+void
+Server::runInProcess(const std::shared_ptr<Batch> &batch)
+{
+    runner::RunnerOptions options;
+    options.cachePath = store_.path();
+    options.refresh = batch->request.refresh;
+    options.maxAttempts = options_.maxAttempts;
+    options.progress = false;
+    // The batch's event log is the serve-side record; a per-batch run
+    // manifest in the shared cache dir would just accumulate.
+    options.writeManifest = false;
+    const std::uint64_t sleepMs = batch->request.sleepMs;
+    options.executor = [this, batch, sleepMs](
+                           const runner::JobSpec &spec,
+                           sim::AppExperiment &experiment) {
+        auto result = experiment.run(spec.variant);
+        if (sleepMs > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(sleepMs));
+        }
+        JobEvent event;
+        event.hash = spec.hashHex();
+        event.app = spec.profile.name;
+        event.variant = spec.variant.label;
+        event.ok = true;
+        recordEvent(batch, event);
+        return result;
+    };
+
+    runner::Runner runner(options);
+    const auto result = runner.run(
+        batch->request.batch + "." + batch->id, batch->coldSpecs);
+
+    for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+        const auto &outcome = result.outcomes[i];
+        if (outcome.ok && !outcome.fromCache)
+            continue; // streamed live by the executor
+        JobEvent event;
+        event.hash = result.jobs[i].hashHex();
+        event.app = result.jobs[i].profile.name;
+        event.variant = result.jobs[i].variant.label;
+        event.ok = outcome.ok;
+        event.fromCache = outcome.fromCache;
+        event.error = outcome.error;
+        recordEvent(batch, event);
+    }
+    store_.reload();
+}
+
+void
+Server::runWithWorkers(const std::shared_ptr<Batch> &batch)
+{
+    const std::string dir =
+        std::filesystem::path(store_.path()).parent_path().string();
+    {
+        // The store file itself is created lazily on first insert, so
+        // the directory may not exist yet on a fresh cache.
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+    }
+    const unsigned workers = options_.workers;
+
+    // The same pure hash partition as `run --shard K/N`: every process
+    // computes the same split, so a respawned worker owns exactly the
+    // jobs its predecessor did.
+    std::vector<std::vector<const runner::JobSpec *>> shards(workers);
+    for (const auto &spec : batch->coldSpecs) {
+        shards[runner::shardOf(spec, workers) - 1].push_back(&spec);
+    }
+
+    std::vector<std::vector<std::string>> argvs;
+    std::vector<std::string> scratch; // shard stores + hash files
+    for (unsigned k = 0; k < workers; ++k) {
+        if (shards[k].empty())
+            continue; // N > cold jobs: nothing to fork for this slot
+        const std::string tag = batch->id + ".shard-" +
+                                std::to_string(k + 1) + "-of-" +
+                                std::to_string(workers);
+        const std::string shardStore =
+            dir + "/results." + tag + ".jsonl";
+        const std::string hashesFile = dir + "/" + tag + ".hashes";
+        std::error_code ec;
+        std::filesystem::remove(shardStore, ec);
+        {
+            std::ofstream out(hashesFile, std::ios::trunc);
+            for (const auto *spec : shards[k])
+                out << spec->hashHex() << "\n";
+        }
+        scratch.push_back(shardStore);
+        scratch.push_back(hashesFile);
+
+        std::vector<std::string> argv = {
+            options_.workerExe,
+            "serve-worker",
+            "--batch",
+            batch->request.batch + "." + tag,
+            "--apps",
+            batch->request.apps,
+            "--variants",
+            batch->request.variants,
+            "--insts",
+            std::to_string(batch->request.insts),
+            "--store",
+            shardStore,
+            "--hashes",
+            hashesFile,
+            "--attempts",
+            std::to_string(options_.maxAttempts),
+        };
+        if (batch->request.sleepMs > 0) {
+            argv.push_back("--sleep-ms");
+            argv.push_back(std::to_string(batch->request.sleepMs));
+        }
+        argvs.push_back(std::move(argv));
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(lock_);
+        inFlightShards_ = argvs.size();
+        batch->workerPids.assign(argvs.size(), -1);
+    }
+
+    SupervisorOptions supOptions;
+    supOptions.maxRestarts = options_.maxRestarts;
+    supOptions.onLine = [this, batch](std::size_t,
+                                      const std::string &line) {
+        if (const auto event = parseJobEvent(line)) {
+            recordEvent(batch, *event);
+            return;
+        }
+        if (parseShardDone(line)) {
+            std::lock_guard<std::mutex> lock(lock_);
+            if (inFlightShards_ > 0)
+                inFlightShards_--;
+            cv_.notify_all();
+        }
+    };
+    supOptions.onSpawn = [this, batch](std::size_t index, pid_t pid) {
+        std::lock_guard<std::mutex> lock(lock_);
+        if (index < batch->workerPids.size())
+            batch->workerPids[index] = pid;
+        cv_.notify_all();
+    };
+    supOptions.onCrash = [this, batch](std::size_t index, int,
+                                       bool willRestart) {
+        std::lock_guard<std::mutex> lock(lock_);
+        workerCrashes_++;
+        if (willRestart)
+            workerRestarts_++;
+        if (index < batch->workerPids.size())
+            batch->workerPids[index] = -1;
+        cv_.notify_all();
+    };
+
+    WorkerSupervisor supervisor(supOptions);
+    supervisor.run(argvs);
+
+    // Fold every shard store back into the shared one so the next
+    // submission of these specs is warm, then drop the scratch files.
+    std::vector<std::string> inputs = {store_.path()};
+    for (std::size_t i = 0; i < scratch.size(); i += 2)
+        inputs.push_back(scratch[i]);
+    if (inputs.size() > 1) {
+        if (!runner::mergeStores(store_.path(), inputs)) {
+            critics_warn("serve: merging shard stores into ",
+                         store_.path(), " failed");
+        }
+        store_.reload();
+    }
+    for (const auto &path : scratch) {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+    }
+
+    // Anything not accounted for by an event belongs to a worker that
+    // burned through its restart budget: a failed-job record, not a
+    // hang.
+    {
+        std::lock_guard<std::mutex> lock(lock_);
+        for (const auto &spec : batch->coldSpecs) {
+            JobEvent event;
+            event.hash = spec.hashHex();
+            event.app = spec.profile.name;
+            event.variant = spec.variant.label;
+            event.ok = false;
+            event.error =
+                "worker exhausted restarts before finishing this job";
+            recordEventLocked(*batch, event, /*warmOrigin=*/false);
+        }
+        inFlightShards_ = 0;
+    }
+}
+
+std::uint64_t
+Server::nowMicros() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started_)
+            .count());
+}
+
+void
+Server::traceSpan(const char *op, std::uint64_t startUs)
+{
+    if (options_.trace == nullptr)
+        return;
+    const std::uint64_t now = nowMicros();
+    options_.trace->complete(op, "serve", startUs, now - startUs, 0,
+                             options_.trace->tidForCurrentThread());
+}
+
+void
+Server::registerStats(stats::StatRegistry &reg) const
+{
+    reg.addCounter("serve.submitted", submitted_,
+                   "batches accepted over the protocol");
+    reg.addCounter("serve.completed", completed_,
+                   "batches finished (done or failed)");
+    reg.addCounter("serve.warmHits", warmHits_,
+                   "jobs answered from the store without simulating");
+    reg.addCounter("serve.simulated", simulated_,
+                   "jobs executed by workers or in-process");
+    reg.addCounter("serve.failedJobs", failedJobs_,
+                   "jobs that exhausted their attempt/restart budget");
+    reg.addCounter("serve.workerCrashes", workerCrashes_,
+                   "worker processes that died abnormally");
+    reg.addCounter("serve.workerRestarts", workerRestarts_,
+                   "workers respawned after a crash");
+    reg.addCounter("serve.requests", requests_,
+                   "protocol requests received");
+    reg.addCounter("serve.badRequests", badRequests_,
+                   "protocol requests rejected");
+    reg.addFormula(
+        "serve.queueDepth",
+        [this] {
+            std::lock_guard<std::mutex> lock(lock_);
+            return static_cast<double>(queue_.size());
+        },
+        "batches waiting for the scheduler");
+    reg.addFormula(
+        "serve.inFlightShards",
+        [this] {
+            std::lock_guard<std::mutex> lock(lock_);
+            return static_cast<double>(inFlightShards_);
+        },
+        "worker shards currently executing");
+    reg.addFormula(
+        "serve.warmHitRatio",
+        [this] {
+            std::lock_guard<std::mutex> lock(lock_);
+            const double answered =
+                static_cast<double>(warmHits_ + simulated_);
+            return answered > 0 ? warmHits_ / answered : 0.0;
+        },
+        "warm fraction of all answered jobs");
+}
+
+} // namespace critics::serve

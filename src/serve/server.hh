@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The simulation-as-a-service daemon behind `critics_cli serve`: a TCP
+ * server speaking the JSONL line protocol of serve/protocol.hh.  A
+ * submitted batch is answered in two halves — jobs whose content hash
+ * is already in the result store are "warm" and answered immediately
+ * without simulating anything, and the cold remainder is partitioned
+ * with the same deterministic hash sharding as `run --shard` and
+ * fanned out to a pool of forked serve-worker processes whose progress
+ * events stream back to every waiting client.
+ *
+ * Lifecycle guarantees:
+ *   - a worker crash costs a bounded respawn (the restarted worker
+ *     warm-replays its shard store), and a worker that exhausts its
+ *     budget degrades its unfinished jobs to failed-job events instead
+ *     of wedging the batch;
+ *   - a client disconnect never cancels a job — the batch keeps
+ *     running and a later status/wait replays its full event log;
+ *   - SIGTERM (requestShutdown) drains the in-flight batch, fails the
+ *     queued ones with a clear error, merges/flushes everything and
+ *     returns from wait().
+ *
+ * Threading: one accept loop, one scheduler (batches execute one at a
+ * time — simulator jobs already saturate the machine through the
+ * worker pool), one detached thread per client connection.  All shared
+ * state sits behind one mutex + condvar; the signal path only touches
+ * an atomic and a self-pipe.
+ */
+
+#ifndef CRITICS_SERVE_SERVER_HH
+#define CRITICS_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "runner/result_store.hh"
+#include "serve/protocol.hh"
+
+namespace critics::stats
+{
+class StatRegistry;
+class TraceEventWriter;
+}
+
+namespace critics::serve
+{
+
+struct ServerOptions
+{
+    std::string host = "127.0.0.1";
+    /** TCP port; 0 binds an ephemeral port (see port()). */
+    unsigned short port = 0;
+    /** When non-empty, the bound port is written here after listen()
+     *  succeeds — how scripts using --port 0 find the daemon. */
+    std::string portFile;
+    /** Worker processes per batch; 0 runs jobs in-process (tests). */
+    unsigned workers = 2;
+    /** Respawns allowed per crashed worker. */
+    unsigned maxRestarts = 2;
+    /** Per-job attempt budget inside each worker. */
+    unsigned maxAttempts = 2;
+    /** Result store; "" = cacheDir()/results.jsonl. */
+    std::string cachePath;
+    /** The critics_cli binary workers are exec'd from; required when
+     *  workers > 0 (the CLI passes /proc/self/exe). */
+    std::string workerExe;
+    /** Per-request spans (ts/dur in real µs); nullptr = off. */
+    stats::TraceEventWriter *trace = nullptr;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions options = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind + listen and start the accept/scheduler threads; false
+     *  (with *error set) when the socket cannot be bound. */
+    bool start(std::string *error = nullptr);
+
+    /** The bound port (resolves --port 0 after start()). */
+    unsigned short port() const { return boundPort_; }
+
+    /**
+     * Begin a graceful drain: stop accepting, finish the in-flight
+     * batch, fail queued batches, wake every waiter.  Async-signal-
+     * safe (an atomic store + a self-pipe write), so the CLI calls it
+     * straight from its SIGTERM/SIGINT handler.
+     */
+    void requestShutdown();
+
+    /** Block until the drain completes and every thread is joined. */
+    void wait();
+
+    /** Register the serve.* counters/formulas; the server must
+     *  outlive the registry. */
+    void registerStats(stats::StatRegistry &reg) const;
+
+    // Lifetime counters (exposed for tests; see registerStats).
+    std::uint64_t warmHits() const { return warmHits_; }
+    std::uint64_t simulated() const { return simulated_; }
+    std::uint64_t failedJobs() const { return failedJobs_; }
+    std::uint64_t workerRestarts() const { return workerRestarts_; }
+
+  private:
+    /** One submitted batch and its full event log. */
+    struct Batch
+    {
+        enum class State : std::uint8_t
+        {
+            Queued,
+            Running,
+            Done,
+            Failed,
+        };
+
+        std::string id; ///< "serve-<n>"
+        SubmitRequest request;
+        std::vector<runner::JobSpec> coldSpecs;
+        State state = State::Queued;
+        std::string error; ///< batch-level failure (shutdown, spawn)
+
+        std::uint64_t total = 0;     ///< grid size
+        std::uint64_t warm = 0;      ///< answered from the store
+        std::uint64_t simulated = 0; ///< executed by this batch
+        std::uint64_t failed = 0;
+
+        /** Rendered event lines in arrival order — the replay log a
+         *  late status/wait streams from index 0. */
+        std::vector<std::string> events;
+        /** Hashes already accounted for: a restarted worker replays
+         *  its shard, so duplicate events must count once. */
+        std::unordered_map<std::string, bool> seen;
+        /** Live worker pids (status exposes them; the smoke test
+         *  kills one mid-batch). */
+        std::vector<pid_t> workerPids;
+    };
+
+    void acceptLoop();
+    void schedulerLoop();
+    void handleClient(int fd);
+    /** One request on an established connection; false = close it. */
+    bool handleRequest(int fd, const std::string &line);
+
+    std::string handleSubmit(const SubmitRequest &submit);
+    std::string handleStatus(const std::string &jobId);
+    bool streamWait(int fd, const std::string &jobId);
+
+    void executeBatch(const std::shared_ptr<Batch> &batch);
+    void runInProcess(const std::shared_ptr<Batch> &batch);
+    void runWithWorkers(const std::shared_ptr<Batch> &batch);
+    /** Record one (possibly duplicate) job event, taking lock_. */
+    void recordEvent(const std::shared_ptr<Batch> &batch,
+                     const JobEvent &event);
+    /** Same, with lock_ already held; `warmOrigin` marks a submit-time
+     *  store answer (counts as a warm hit, not a simulation). */
+    void recordEventLocked(Batch &batch, const JobEvent &event,
+                           bool warmOrigin);
+
+    std::string statusJson(const Batch &batch) const; ///< caller locks
+    std::uint64_t nowMicros() const;
+    void traceSpan(const char *op, std::uint64_t startUs);
+
+    ServerOptions options_;
+    runner::ResultStore store_;
+    std::chrono::steady_clock::time_point started_;
+
+    mutable std::mutex lock_;
+    std::condition_variable cv_;
+    std::map<std::string, std::shared_ptr<Batch>> batches_;
+    std::vector<std::shared_ptr<Batch>> queue_;
+    std::uint64_t nextBatchId_ = 1;
+
+    std::atomic<bool> stop_{false};
+    int listenFd_ = -1;
+    int wakePipe_[2] = {-1, -1}; ///< self-pipe: signal → accept loop
+    unsigned short boundPort_ = 0;
+    std::thread acceptThread_;
+    std::thread schedulerThread_;
+    std::atomic<std::uint64_t> activeClients_{0};
+
+    // serve.* stats (all guarded by lock_ except the atomics above).
+    std::uint64_t submitted_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t warmHits_ = 0;
+    std::uint64_t simulated_ = 0;
+    std::uint64_t failedJobs_ = 0;
+    std::uint64_t workerCrashes_ = 0;
+    std::uint64_t workerRestarts_ = 0;
+    std::uint64_t inFlightShards_ = 0;
+    std::uint64_t requests_ = 0;
+    std::uint64_t badRequests_ = 0;
+};
+
+} // namespace critics::serve
+
+#endif // CRITICS_SERVE_SERVER_HH

@@ -1,0 +1,178 @@
+#include "serve/supervisor.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "serve/protocol.hh"
+#include "support/logging.hh"
+
+namespace critics::serve
+{
+
+namespace
+{
+
+/** One worker slot: the argv it (re)runs and its live child state. */
+struct Slot
+{
+    std::vector<std::string> argv;
+    pid_t pid = -1;
+    int fd = -1; ///< read end of the child's stdout pipe
+    LineReader lines;
+    unsigned spawns = 0;
+    bool done = false;
+    bool ok = false;
+};
+
+/** fork+exec `slot.argv` with stdout piped back to the parent; false
+ *  when the pipe or fork itself fails (exec failures surface as a
+ *  child exiting 127, i.e. a crash). */
+bool
+spawn(Slot &slot)
+{
+    int fds[2];
+    if (::pipe(fds) != 0)
+        return false;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return false;
+    }
+    if (pid == 0) {
+        ::close(fds[0]);
+        ::dup2(fds[1], STDOUT_FILENO);
+        ::close(fds[1]);
+        std::vector<char *> argv;
+        argv.reserve(slot.argv.size() + 1);
+        for (auto &arg : slot.argv)
+            argv.push_back(arg.data());
+        argv.push_back(nullptr);
+        ::execvp(argv[0], argv.data());
+        ::_exit(127);
+    }
+    ::close(fds[1]);
+    slot.pid = pid;
+    slot.fd = fds[0];
+    slot.spawns++;
+    return true;
+}
+
+} // namespace
+
+WorkerSupervisor::WorkerSupervisor(SupervisorOptions options)
+    : options_(std::move(options))
+{
+}
+
+SupervisorResult
+WorkerSupervisor::run(const std::vector<std::vector<std::string>> &argvs)
+{
+    std::vector<Slot> slots(argvs.size());
+    SupervisorResult result;
+    result.workerOk.assign(argvs.size(), false);
+
+    for (std::size_t i = 0; i < argvs.size(); ++i) {
+        slots[i].argv = argvs[i];
+        if (spawn(slots[i])) {
+            if (options_.onSpawn)
+                options_.onSpawn(i, slots[i].pid);
+        } else {
+            critics_warn("serve: could not spawn worker ", i, ": ",
+                         std::strerror(errno));
+            slots[i].done = true;
+        }
+    }
+
+    // One poll()-gated read per wakeup (never a second, possibly
+    // blocking, read); false on EOF or error means "reap this child".
+    auto drain = [&](Slot &slot, std::size_t index) {
+        char buf[4096];
+        ssize_t n;
+        do {
+            n = ::read(slot.fd, buf, sizeof(buf));
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0)
+            return false;
+        slot.lines.feed(buf, static_cast<std::size_t>(n));
+        while (const auto line = slot.lines.nextLine()) {
+            if (options_.onLine)
+                options_.onLine(index, *line);
+        }
+        return true;
+    };
+
+    auto reap = [&](Slot &slot, std::size_t index) {
+        ::close(slot.fd);
+        slot.fd = -1;
+        int status = 0;
+        while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        slot.pid = -1;
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+            slot.done = true;
+            slot.ok = true;
+            return;
+        }
+        // Crash (signal) or nonzero exit: respawn if budget remains.
+        const bool willRestart = slot.spawns <= options_.maxRestarts;
+        if (options_.onCrash)
+            options_.onCrash(index, status, willRestart);
+        if (!willRestart) {
+            slot.done = true;
+            return;
+        }
+        slot.lines = LineReader(); // drop any truncated tail line
+        if (spawn(slot)) {
+            result.restarts++;
+            if (options_.onSpawn)
+                options_.onSpawn(index, slot.pid);
+        } else {
+            critics_warn("serve: could not respawn worker ", index,
+                         ": ", std::strerror(errno));
+            slot.done = true;
+        }
+    };
+
+    for (;;) {
+        std::vector<struct pollfd> fds;
+        std::vector<std::size_t> owner;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            if (slots[i].done || slots[i].fd < 0)
+                continue;
+            fds.push_back({slots[i].fd, POLLIN, 0});
+            owner.push_back(i);
+        }
+        if (fds.empty())
+            break;
+
+        const int ready = ::poll(fds.data(),
+                                 static_cast<nfds_t>(fds.size()), -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            critics_warn("serve: poll failed: ", std::strerror(errno));
+            break;
+        }
+        for (std::size_t f = 0; f < fds.size(); ++f) {
+            if (fds[f].revents == 0)
+                continue;
+            Slot &slot = slots[owner[f]];
+            if (!drain(slot, owner[f]))
+                reap(slot, owner[f]); // EOF: child closed stdout
+        }
+    }
+
+    result.allOk = true;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        result.workerOk[i] = slots[i].ok;
+        result.allOk = result.allOk && slots[i].ok;
+    }
+    return result;
+}
+
+} // namespace critics::serve

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Local worker-pool supervisor: fork+exec one child per argv, capture
+ * each child's stdout through a pipe, feed complete lines to the
+ * caller as they arrive, and restart crashed children (killed by a
+ * signal, or nonzero exit) up to a bounded number of times.  A child
+ * that exits 0 is done; a child that exhausts its restart budget is
+ * recorded as failed and the pool keeps draining the others — one bad
+ * worker degrades the batch (its jobs surface as failed records), it
+ * does not abort it.
+ *
+ * The supervisor is deliberately generic over argv: the serve server
+ * passes `critics_cli serve-worker ...` command lines, and the unit
+ * tests pass `/bin/sh -c` scripts that print marker lines and crash on
+ * cue — the restart state machine is exercised without a simulator in
+ * the loop.  Restart correctness leans on worker idempotence: a
+ * respawned serve-worker replays its shard against its per-shard
+ * store, answering already-finished jobs from cache (and re-emitting
+ * their events; the consumer deduplicates by job hash).
+ */
+
+#ifndef CRITICS_SERVE_SUPERVISOR_HH
+#define CRITICS_SERVE_SUPERVISOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace critics::serve
+{
+
+struct SupervisorOptions
+{
+    /** Respawns allowed per worker slot (on top of the first spawn). */
+    unsigned maxRestarts = 2;
+    /** One complete stdout line from worker `index`. */
+    std::function<void(std::size_t index, const std::string &line)>
+        onLine;
+    /** A worker (re)started as `pid`. */
+    std::function<void(std::size_t index, pid_t pid)> onSpawn;
+    /** Worker `index` died abnormally with waitpid `status`;
+     *  `willRestart` tells whether a respawn follows. */
+    std::function<void(std::size_t index, int status, bool willRestart)>
+        onCrash;
+};
+
+struct SupervisorResult
+{
+    bool allOk = false;          ///< every slot eventually exited 0
+    std::uint64_t restarts = 0;  ///< respawns across all slots
+    std::vector<bool> workerOk;  ///< per-slot final verdict
+};
+
+class WorkerSupervisor
+{
+  public:
+    explicit WorkerSupervisor(SupervisorOptions options = {});
+
+    /**
+     * Spawn one worker per argv vector and block until every worker
+     * has exited 0 or exhausted its restarts.  Each argv is
+     * `{executable, arg1, ...}` resolved via execvp.
+     */
+    SupervisorResult
+    run(const std::vector<std::vector<std::string>> &argvs);
+
+  private:
+    SupervisorOptions options_;
+};
+
+} // namespace critics::serve
+
+#endif // CRITICS_SERVE_SUPERVISOR_HH

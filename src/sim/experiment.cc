@@ -3,7 +3,6 @@
 #include <cstring>
 #include <sstream>
 
-#include "support/env.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 
@@ -245,38 +244,11 @@ AppExperiment::run(const Variant &variant, const RunHooks &hooks)
     RunResult result;
 
     const bool transformed = variant.transform != Transform::None;
-    const bool packedPath = packedTraceEnabled();
 
     // ---- Software transform + trace against the transformed binary ----
-    program::Trace legacyTrace; // legacy escape hatch only
     std::shared_ptr<const TransformSlot> memo; // keeps trace alive
     const program::Trace *tracePtr = &trace_;
-    if (!packedPath) {
-        // Pre-overhaul path (CRITICS_PACKED_TRACE=off): deep-copy the
-        // program, re-apply the transform and re-emit the trace for
-        // every run, then rescan the stream for the dynamic thumb
-        // fraction.  Kept one release for bit-exactness regression.
-        program::Program prog = program_; // transformed copy
-        result.pass =
-            applyTransform(prog, variant, &result.selectionCoverage);
-        result.staticThumbFraction = prog.thumbFraction();
-        if (transformed) {
-            legacyTrace = program::emitTrace(prog, path_);
-            tracePtr = &legacyTrace;
-        }
-        std::uint64_t thumbDyn = 0, dynTotal = 0;
-        for (const auto &d : tracePtr->insts) {
-            if (d.op == isa::OpClass::Cdp)
-                continue;
-            ++dynTotal;
-            if (d.sizeBytes == 2)
-                ++thumbDyn;
-        }
-        result.dynThumbFraction = dynTotal
-            ? static_cast<double>(thumbDyn) /
-                  static_cast<double>(dynTotal)
-            : 0.0;
-    } else if (transformed) {
+    if (transformed) {
         memo = transformedTrace(variant);
         result.pass = memo->pass;
         result.selectionCoverage = memo->selectionCoverage;

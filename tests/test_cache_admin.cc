@@ -20,6 +20,7 @@
 
 #include "runner/cache_admin.hh"
 #include "runner/json.hh"
+#include "runner/manifest.hh"
 #include "runner/orchestrator.hh"
 #include "runner/result_store.hh"
 #include "runner/shard.hh"
@@ -221,6 +222,97 @@ TEST(ResultStoreMultiProcess, ForkedWritersNeverTearLines)
     }
 
     // No torn lines, and every record of every writer recovered.
+    EXPECT_EQ(wellFormedLineCount(file.str()),
+              static_cast<std::size_t>(kWriters * kRecords));
+    EXPECT_EQ(readResultRecords(file.str()).size(),
+              static_cast<std::size_t>(kWriters * kRecords));
+}
+
+// ---------------------------------------------------------------------------
+// Rewriter vs. appender: the gc temp+rename race
+
+TEST(ResultStore, AppendSurvivesConcurrentRewrite)
+{
+    // The deterministic half of the gc-race fix: an open store whose
+    // backing file gets replaced under it (gc's temp+rename) must
+    // notice the swap on its next insert and append to the new file,
+    // not the orphaned old inode.
+    TempPath file("critics-store-rewrite");
+    ResultStore store(file.str());
+    store.insert(tinySpec(1), sampleResult(1.0)); // fd now cached
+
+    const auto stats = gcStore(file.str(), GcOptions{});
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->recordsKept, 1u);
+
+    store.insert(tinySpec(2), sampleResult(2.0));
+    const auto records = readResultRecords(file.str());
+    EXPECT_EQ(records.size(), 2u); // nothing vanished with the inode
+}
+
+TEST(CacheGcRace, ForkedWritersNeverLoseRecordsAcrossGc)
+{
+    // The probabilistic half: writer processes appending while the
+    // parent gc's the store in a loop.  gc holds the writer flock
+    // across its fold + temp + rename, and a writer waking up on the
+    // replaced inode reopens, so every append must survive.
+    TempPath file("critics-store-gc-race");
+    constexpr int kWriters = 3;
+    constexpr int kRecords = 24;
+
+    int barrier[2];
+    ASSERT_EQ(::pipe(barrier), 0);
+
+    std::vector<pid_t> children;
+    for (int w = 0; w < kWriters; ++w) {
+        const pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            ::close(barrier[1]);
+            char go;
+            while (::read(barrier[0], &go, 1) == 0) {
+            }
+            ::close(barrier[0]);
+            {
+                ResultStore store(file.str());
+                for (int m = 0; m < kRecords; ++m) {
+                    store.insert(
+                        tinySpec(static_cast<std::uint64_t>(
+                            w * 1000 + m)),
+                        sampleResult(static_cast<double>(m)));
+                    ::usleep(500); // stretch the window gc races into
+                }
+            }
+            ::_exit(0);
+        }
+        children.push_back(pid);
+    }
+    ::close(barrier[0]);
+    ASSERT_EQ(::write(barrier[1], "ggg", kWriters), kWriters);
+    ::close(barrier[1]);
+
+    // Rewrite the store as fast as possible while the writers append.
+    bool anyChildAlive = true;
+    while (anyChildAlive) {
+        const auto stats = gcStore(file.str(), GcOptions{});
+        ASSERT_TRUE(stats.has_value());
+        anyChildAlive = false;
+        for (pid_t &pid : children) {
+            if (pid == 0)
+                continue;
+            int status = 0;
+            const pid_t done = ::waitpid(pid, &status, WNOHANG);
+            if (done == pid) {
+                EXPECT_TRUE(WIFEXITED(status) &&
+                            WEXITSTATUS(status) == 0);
+                pid = 0;
+            } else {
+                anyChildAlive = true;
+            }
+        }
+    }
+
+    // Every record of every writer survived every rewrite.
     EXPECT_EQ(wellFormedLineCount(file.str()),
               static_cast<std::size_t>(kWriters * kRecords));
     EXPECT_EQ(readResultRecords(file.str()).size(),
@@ -476,6 +568,87 @@ TEST(ShardedRunner, MergedShardsReproduceUnshardedBitExactly)
         ASSERT_NE(it, gotByHash.end()) << record.hash;
         EXPECT_EQ(it->second, resultToJson(record.result));
     }
+}
+
+TEST(Shard, SingleShardPartitionIsIdentity)
+{
+    // `--shard 1/1` is sharding in name only: the one shard owns every
+    // job, in batch order, exactly as an unsharded run would.
+    std::vector<JobSpec> jobs;
+    for (std::uint64_t s = 0; s < 5; ++s)
+        jobs.push_back(tinySpec(s));
+    const auto indices = shardIndices(jobs, ShardSpec{1, 1});
+    ASSERT_EQ(indices.size(), jobs.size());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        EXPECT_EQ(indices[i], i);
+    EXPECT_EQ(filterShard(jobs, ShardSpec{1, 1}).size(), jobs.size());
+}
+
+TEST(Shard, RetrySubsetKeepsItsShardAssignment)
+{
+    // Re-partitioning a subset (say, the failed jobs of an earlier
+    // run, resubmitted alone) must send every job back to the shard
+    // that owned it in the full batch — otherwise retry shard stores
+    // would overlap the original partition's disjoint ownership.
+    std::vector<JobSpec> jobs;
+    for (std::uint64_t s = 0; s < 16; ++s) {
+        jobs.push_back(tinySpec(s));
+        jobs.push_back(tinySpec(s, sim::Transform::CritIc));
+    }
+    std::vector<JobSpec> retry;
+    for (std::size_t i = 0; i < jobs.size(); i += 3)
+        retry.push_back(jobs[i]);
+
+    const unsigned N = 4;
+    for (unsigned k = 1; k <= N; ++k) {
+        std::set<std::string> fullOwned;
+        for (const auto &spec : filterShard(jobs, ShardSpec{k, N}))
+            fullOwned.insert(spec.hashHex());
+        for (const auto &spec : filterShard(retry, ShardSpec{k, N})) {
+            EXPECT_EQ(fullOwned.count(spec.hashHex()), 1u)
+                << "retried job moved to shard " << k;
+        }
+    }
+}
+
+TEST(ShardedRunner, MoreShardsThanJobsWritesTruthfulEmptyManifests)
+{
+    // Over-sharding (N workers, fewer jobs) leaves some shards with
+    // nothing to do.  An empty shard is not an error: it completes,
+    // writes a parseable manifest carrying its slice identity and the
+    // pre-filter batch size, and the owned counts still sum to the
+    // whole batch so merge tooling can prove coverage.
+    setQuiet(true);
+    TempPath dir("critics-empty-shard");
+    std::filesystem::create_directories(dir.str());
+    const std::vector<JobSpec> jobs = {tinySpec(0), tinySpec(1)};
+    const unsigned N = 5;
+    std::size_t ownedTotal = 0;
+    unsigned emptyShards = 0;
+    for (unsigned k = 1; k <= N; ++k) {
+        RunnerOptions options;
+        options.cachePath =
+            dir.str() + "/shard-" + std::to_string(k) + ".jsonl";
+        options.progress = false;
+        options.manifestDir = dir.str() + "/manifests";
+        options.shard = ShardSpec{k, N};
+        Runner runner(options);
+        const auto batch = runner.run("tiny", jobs);
+        ASSERT_TRUE(batch.allOk());
+        ownedTotal += batch.jobs.size();
+        emptyShards += batch.jobs.empty() ? 1 : 0;
+
+        ASSERT_FALSE(batch.manifestPath.empty());
+        RunManifest manifest;
+        ASSERT_TRUE(RunManifest::read(batch.manifestPath, manifest));
+        EXPECT_EQ(manifest.shardIndex, k);
+        EXPECT_EQ(manifest.shardCount, N);
+        EXPECT_EQ(manifest.shardTotalJobs, jobs.size());
+        EXPECT_EQ(manifest.jobs.size(), batch.jobs.size());
+        EXPECT_FALSE(manifest.interrupted);
+    }
+    EXPECT_EQ(ownedTotal, jobs.size());
+    EXPECT_GE(emptyShards, N - static_cast<unsigned>(jobs.size()));
 }
 
 // ---------------------------------------------------------------------------
