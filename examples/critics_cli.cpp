@@ -48,12 +48,15 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
 
 #include "analysis/criticality.hh"
 #include "analysis/miner.hh"
+#include "obs/obs.hh"
+#include "obs/profiler.hh"
 #include "program/emit.hh"
 #include "runner/manifest.hh"
 
@@ -115,8 +118,12 @@ usage()
         "                      to force fresh runs)\n"
         "  --stats-out <file>  interval JSONL path\n"
         "                      (default stats_cli.jsonl)\n"
-        "  --trace-out <file>  Chrome trace of runner phases and\n"
-        "                      per-job spans (load in Perfetto)\n"
+        "  --trace-out <file>  Chrome trace of runner phases, per-job\n"
+        "                      spans and pipeline-stage spans (load in\n"
+        "                      Perfetto)\n"
+        "  --profile <file>    sample this process with SIGPROF and\n"
+        "                      write a per-stage/per-symbol profile\n"
+        "                      (inspect with `prof report`)\n"
         "critics_cli bench [options]   tracked simulator microbench:\n"
         "                      N repetitions of a fixed app/variant\n"
         "                      matrix, median sim-insts/s per stage\n"
@@ -128,8 +135,9 @@ usage()
         "  --apps/--variants   override the fixed matrix\n"
         "  --label <text>      measurement label (default full/quick)\n"
         "  --out <file>        trajectory file (default BENCH_sim.json)\n"
-        "  --baseline <file>   print simulate-stage delta vs the last\n"
+        "  --baseline <file>   print per-stage deltas vs the last\n"
         "                      measurement in <file> (non-gating)\n"
+        "  --profile <file>    sampling profile of the bench process\n"
         "critics_cli report [file ...] summarize run manifests\n"
         "                      (default: all manifests in the cache\n"
         "                      dir); exit 1 on any failed job\n"
@@ -182,7 +190,12 @@ usage()
         "  --max-restarts <n>  respawns per crashed worker (default 2)\n"
         "  --attempts <n>      per-job attempt budget (default 2)\n"
         "  --cache-file <f>    result store (default: shared cache)\n"
-        "  --trace-out <f>     Chrome trace, one span per request\n"
+        "  --trace-out <f>     merged Chrome trace: server request\n"
+        "                      spans plus every worker's job/stage\n"
+        "                      spans, stitched per-pid under one\n"
+        "                      trace id per batch\n"
+        "  --profile-dir <d>   each worker writes a sampling profile\n"
+        "                      to <d>/<batch>.worker-<k>.json\n"
         "  --stats-out <f>     serve.* stats JSON on shutdown\n"
         "critics_cli submit [options]  submit a sweep to a daemon and\n"
         "                      stream its progress events\n"
@@ -191,7 +204,15 @@ usage()
         "  --no-wait           print the job id and return\n"
         "critics_cli status <job> [--host ...] one-line job state\n"
         "critics_cli wait <job> [--host ...]   stream events until\n"
-        "                      done; exit 1 if any job failed\n\n"
+        "                      done; exit 1 if any job failed\n"
+        "critics_cli top [options]     live daemon monitor: queue\n"
+        "                      depth, warm-hit ratio, job-latency\n"
+        "                      percentiles, worker states\n"
+        "  --host/--port/--port-file   daemon address\n"
+        "  --interval <sec>    refresh period (default 2)\n"
+        "  --once              print one snapshot and exit\n"
+        "critics_cli prof report <file> [--top <n>]\n"
+        "                      pretty-print a --profile report\n\n"
         "critics_cli --app <name> --variant <name> [--insts n]\n"
         "                      [--json] [--stats-interval n]\n"
         "                      [--stats-out f] [--trace-out f]\n"
@@ -496,10 +517,11 @@ secondsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
-/** Median simulate-stage insts/s of the last measurement in a
+/** Median insts/s of one stage of the last measurement in a
  *  BENCH_sim.json document; 0 when absent/unreadable. */
 double
-lastSimulateRate(const json::JsonValue &doc, std::string *label)
+lastStageRate(const json::JsonValue &doc, const char *stage,
+              std::string *label)
 {
     const json::JsonValue *ms = doc.find("measurements");
     if (ms == nullptr || !ms->isArray() || ms->elements.empty())
@@ -512,10 +534,10 @@ lastSimulateRate(const json::JsonValue &doc, std::string *label)
     const json::JsonValue *stages = last.find("stages");
     if (stages == nullptr)
         return 0.0;
-    const json::JsonValue *sim = stages->find("simulate");
-    if (sim == nullptr)
+    const json::JsonValue *s = stages->find(stage);
+    if (s == nullptr)
         return 0.0;
-    if (const auto *rate = sim->find("medianInstsPerSec"))
+    if (const auto *rate = s->find("medianInstsPerSec"))
         return rate->asDouble().value_or(0.0);
     return 0.0;
 }
@@ -525,6 +547,7 @@ cmdBench(int argc, char **argv)
 {
     bool quick = false;
     std::string appsArg, variantsArg, label, baselinePath;
+    std::string profilePath;
     std::string outPath = "BENCH_sim.json";
     std::uint64_t insts = 0;
     unsigned reps = 0;
@@ -552,6 +575,8 @@ cmdBench(int argc, char **argv)
             outPath = next();
         } else if (arg == "--baseline") {
             baselinePath = next();
+        } else if (arg == "--profile") {
+            profilePath = next();
         } else {
             return usage();
         }
@@ -590,14 +615,25 @@ cmdBench(int argc, char **argv)
         matrixInsts += exps.back()->baseTrace().size();
     }
 
+    // --profile: sample the timed stages (construction above is the
+    // one-time untimed cost).  The explicit StageScopes below mirror
+    // the bench's own stage split, because stage 2 calls the analysis
+    // passes directly rather than through AppExperiment's accessors.
+    obs::SamplingProfiler profiler;
+    if (!profilePath.empty() && !profiler.start())
+        profilePath.clear();
+
     StageSamples emitStage, analyzeStage, simulateStage;
     for (unsigned rep = 0; rep < reps; ++rep) {
         // Stage 1: trace emission (the per-variant re-emission cost).
         auto t0 = std::chrono::steady_clock::now();
-        for (const auto &exp : exps) {
-            const program::Trace trace =
-                program::emitTrace(exp->baseProgram(), exp->path());
-            critics_assert(trace.size() > 0, "empty bench trace");
+        {
+            obs::StageScope stage(obs::Stage::Emit);
+            for (const auto &exp : exps) {
+                const program::Trace trace = program::emitTrace(
+                    exp->baseProgram(), exp->path());
+                critics_assert(trace.size() > 0, "empty bench trace");
+            }
         }
         emitStage.instsPerSec.push_back(
             static_cast<double>(matrixInsts) / secondsSince(t0));
@@ -605,15 +641,20 @@ cmdBench(int argc, char **argv)
         // Stage 2: offline criticality analysis (fanout, chains,
         // mining), always from scratch so caching cannot hide cost.
         t0 = std::chrono::steady_clock::now();
-        for (const auto &exp : exps) {
-            const auto fanout = analysis::computeFanout(
-                exp->baseTrace(), expOptions.crit);
-            const auto chains = analysis::extractChains(
-                exp->baseTrace(), fanout, expOptions.crit);
-            const auto mined = analysis::mineCritIcs(
-                exp->baseTrace(), exp->baseProgram(), chains, fanout,
-                expOptions.crit, expOptions.profileFraction);
-            critics_assert(!mined.chains.empty() || true, "unused");
+        {
+            obs::StageScope stage(obs::Stage::Analyze);
+            for (const auto &exp : exps) {
+                const auto fanout = analysis::computeFanout(
+                    exp->baseTrace(), expOptions.crit);
+                const auto chains = analysis::extractChains(
+                    exp->baseTrace(), fanout, expOptions.crit);
+                const auto mined = analysis::mineCritIcs(
+                    exp->baseTrace(), exp->baseProgram(), chains,
+                    fanout, expOptions.crit,
+                    expOptions.profileFraction);
+                critics_assert(!mined.chains.empty() || true,
+                               "unused");
+            }
         }
         analyzeStage.instsPerSec.push_back(
             static_cast<double>(matrixInsts) / secondsSince(t0));
@@ -631,6 +672,14 @@ cmdBench(int argc, char **argv)
         }
         simulateStage.instsPerSec.push_back(
             static_cast<double>(simInsts) / secondsSince(t0));
+    }
+
+    if (!profilePath.empty()) {
+        profiler.stop();
+        const std::string report = profiler.reportJson();
+        if (profiler.writeReport(profilePath))
+            std::printf("profile: %s\n", profilePath.c_str());
+        obs::printProfileReport(report);
     }
 
     // ---- Report ------------------------------------------------------
@@ -708,6 +757,16 @@ cmdBench(int argc, char **argv)
             break;
         }
     };
+    // Snapshot the baseline before appending, so --out and --baseline
+    // may name the same file (the new measurement never compares
+    // against itself).
+    std::string baselineText;
+    if (!baselinePath.empty()) {
+        std::ifstream in(baselinePath);
+        if (in)
+            baselineText.assign((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+    }
     {
         std::ifstream in(outPath);
         if (in) {
@@ -715,7 +774,7 @@ cmdBench(int argc, char **argv)
                 (std::istreambuf_iterator<char>(in)),
                 std::istreambuf_iterator<char>());
             if (const auto doc = json::parseJson(text)) {
-                prevRate = lastSimulateRate(*doc, &prevLabel);
+                prevRate = lastStageRate(*doc, "simulate", &prevLabel);
                 if (const auto *ms = doc->find("measurements");
                     ms != nullptr && ms->isArray()) {
                     for (const auto &m : ms->elements)
@@ -770,21 +829,32 @@ cmdBench(int argc, char **argv)
                     prevLabel.c_str(), nowRate / prevRate);
     }
     if (!baselinePath.empty()) {
-        std::ifstream in(baselinePath);
-        if (in) {
-            const std::string text(
-                (std::istreambuf_iterator<char>(in)),
-                std::istreambuf_iterator<char>());
+        if (!baselineText.empty()) {
+            const std::string &text = baselineText;
             std::string baseLabel;
-            double baseRate = 0.0;
-            if (const auto doc = json::parseJson(text))
-                baseRate = lastSimulateRate(*doc, &baseLabel);
-            if (baseRate > 0.0) {
-                std::printf("simulate vs baseline %s (%s): %.2fx\n",
-                            baselinePath.c_str(), baseLabel.c_str(),
-                            nowRate / baseRate);
-            } else {
-                std::printf("baseline %s: no simulate rate found\n",
+            bool any = false;
+            if (const auto doc = json::parseJson(text)) {
+                const struct
+                {
+                    const char *name;
+                    const StageSamples *samples;
+                } deltas[] = {{"emit", &emitStage},
+                              {"analyze", &analyzeStage},
+                              {"simulate", &simulateStage}};
+                for (const auto &d : deltas) {
+                    const double baseRate =
+                        lastStageRate(*doc, d.name, &baseLabel);
+                    if (baseRate <= 0.0)
+                        continue;
+                    any = true;
+                    std::printf(
+                        "%-8s vs baseline %s (%s): %.2fx\n", d.name,
+                        baselinePath.c_str(), baseLabel.c_str(),
+                        d.samples->median() / baseRate);
+                }
+            }
+            if (!any) {
+                std::printf("baseline %s: no stage rates found\n",
                             baselinePath.c_str());
             }
         } else {
@@ -804,7 +874,7 @@ cmdRun(int argc, char **argv)
     std::uint64_t insts = 400000;
     std::uint64_t statsInterval = 0;
     std::string statsOut = "stats_cli.jsonl";
-    std::string traceOut;
+    std::string traceOut, profilePath;
     bool json = false;
     runner::RunnerOptions options;
 
@@ -845,6 +915,8 @@ cmdRun(int argc, char **argv)
             statsOut = next();
         } else if (arg == "--trace-out") {
             traceOut = next();
+        } else if (arg == "--profile") {
+            profilePath = next();
         } else {
             return usage();
         }
@@ -868,8 +940,20 @@ cmdRun(int argc, char **argv)
     expOptions.traceInsts = insts;
 
     stats::TraceEventWriter trace;
-    if (!traceOut.empty())
+    if (!traceOut.empty()) {
         options.trace = &trace;
+        // Route the pipeline's StageScope spans into the same writer.
+        // Both clocks are CLOCK_MONOTONIC; re-basing on an epoch taken
+        // here puts the stage spans on the runner's 0-based timeline,
+        // nested under the job spans of the same pool thread.
+        const std::uint64_t epochUs = obs::monotonicMicros();
+        obs::setSpanSink([&trace, epochUs](const obs::SpanRecord &s) {
+            trace.complete(s.name, s.category,
+                           s.startUs > epochUs ? s.startUs - epochUs
+                                               : 0,
+                           s.durUs, 0, trace.tidForCurrentThread());
+        });
+    }
 
     // Interval sampling rides the executor: each simulated job runs
     // with its own series (cache hits never execute, so they produce
@@ -892,9 +976,22 @@ cmdRun(int argc, char **argv)
         };
     }
 
+    obs::SamplingProfiler profiler;
+    if (!profilePath.empty() && !profiler.start())
+        profilePath.clear();
+
     runner::Runner runner(options);
     const auto batch = runner.run(
         batchName, runner::makeGrid(apps, variants, expOptions));
+
+    obs::setSpanSink(nullptr);
+    if (!profilePath.empty()) {
+        profiler.stop();
+        const std::string report = profiler.reportJson();
+        if (profiler.writeReport(profilePath))
+            std::printf("profile: %s\n", profilePath.c_str());
+        obs::printProfileReport(report);
+    }
 
     if (json) {
         for (std::size_t i = 0; i < batch.jobs.size(); ++i) {
@@ -1304,6 +1401,8 @@ cmdServe(int argc, char **argv)
             options.cachePath = next();
         } else if (arg == "--trace-out") {
             traceOut = next();
+        } else if (arg == "--profile-dir") {
+            options.profileDir = next();
         } else if (arg == "--stats-out") {
             statsOut = next();
         } else {
@@ -1505,6 +1604,183 @@ cmdWait(int argc, char **argv)
     return streamJob(client, jobId);
 }
 
+// ---------------------------------------------------------------------------
+// top: the live daemon monitor.
+
+/** Numeric field of the stats reply's "serve" object (optionally one
+ *  level deeper); 0 when absent. */
+double
+serveStat(const json::JsonValue &doc, const char *outer,
+          const char *inner = nullptr)
+{
+    const json::JsonValue *node = doc.find("serve");
+    if (node != nullptr)
+        node = node->find(outer);
+    if (node != nullptr && inner != nullptr)
+        node = node->find(inner);
+    return node != nullptr ? node->asDouble().value_or(0.0) : 0.0;
+}
+
+/** Microseconds → "980us" / "1.2ms" / "3.40s". */
+std::string
+fmtUs(double us)
+{
+    char buf[32];
+    if (us >= 1e6)
+        std::snprintf(buf, sizeof buf, "%.2fs", us / 1e6);
+    else if (us >= 1e3)
+        std::snprintf(buf, sizeof buf, "%.1fms", us / 1e3);
+    else
+        std::snprintf(buf, sizeof buf, "%.0fus", us);
+    return buf;
+}
+
+int
+cmdTop(int argc, char **argv)
+{
+    std::string host = "127.0.0.1", portArg, portFile;
+    double interval = 2.0;
+    bool once = false;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                critics_fatal(arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--host") {
+            host = next();
+        } else if (arg == "--port") {
+            portArg = next();
+        } else if (arg == "--port-file") {
+            portFile = next();
+        } else if (arg == "--interval") {
+            interval = std::stod(next());
+        } else if (arg == "--once") {
+            once = true;
+        } else {
+            return usage();
+        }
+    }
+    if (interval <= 0.0)
+        interval = 2.0;
+
+    serve::ServeClient client;
+    if (!connectDaemon(client, host, portArg, portFile))
+        return 1;
+
+    serve::Request request;
+    request.op = serve::Request::Op::Stats;
+    const std::string statsLine = serve::renderRequest(request);
+    const bool tty = ::isatty(::fileno(stdout)) != 0;
+
+    for (;;) {
+        if (!client.sendLine(statsLine))
+            return 1;
+        const auto reply = client.readLine(-1);
+        if (!reply) {
+            std::fprintf(stderr, "daemon closed the connection\n");
+            return 1;
+        }
+        const auto doc = json::parseJson(*reply);
+        if (!doc || doc->find("serve") == nullptr) {
+            std::fprintf(stderr, "malformed stats reply: %s\n",
+                         reply->c_str());
+            return 1;
+        }
+        // Home + clear keeps the panel in place between refreshes;
+        // piped output just gets one panel per poll.
+        if (!once && tty)
+            std::printf("\x1b[H\x1b[2J");
+
+        std::string runningBatch = "-";
+        if (const auto *serve = doc->find("serve")) {
+            if (const auto *batch = serve->find("runningBatch")) {
+                const auto name = batch->asString().value_or("");
+                if (!name.empty())
+                    runningBatch = name;
+            }
+        }
+        std::printf("critics serve @ %s — up %s\n", host.c_str(),
+                    fmtUs(serveStat(*doc, "uptimeUs")).c_str());
+        std::printf("%-16s %8.0f   %-16s %s\n", "queue depth",
+                    serveStat(*doc, "queueDepth"), "running batch",
+                    runningBatch.c_str());
+        std::printf("%-16s %8.0f   %-16s %.0f\n", "active workers",
+                    serveStat(*doc, "activeWorkers"),
+                    "in-flight shards",
+                    serveStat(*doc, "inFlightShards"));
+        std::printf("%-16s %8.0f   %-16s %.1f%%\n", "warm hits",
+                    serveStat(*doc, "warmHits"), "warm-hit ratio",
+                    serveStat(*doc, "warmHitRatio") * 100.0);
+        std::printf("%-16s %8.0f   %-16s %.0f\n", "simulated",
+                    serveStat(*doc, "simulated"), "failed jobs",
+                    serveStat(*doc, "failedJobs"));
+        std::printf("%-16s %8.0f   %-16s %.0f\n", "worker crashes",
+                    serveStat(*doc, "workerCrashes"), "restarts",
+                    serveStat(*doc, "workerRestarts"));
+        std::printf("job latency  n=%-6.0f p50 %-8s p90 %-8s p99 %-8s"
+                    " mean %s\n",
+                    serveStat(*doc, "jobLatency", "count"),
+                    fmtUs(serveStat(*doc, "jobLatency", "p50Us"))
+                        .c_str(),
+                    fmtUs(serveStat(*doc, "jobLatency", "p90Us"))
+                        .c_str(),
+                    fmtUs(serveStat(*doc, "jobLatency", "p99Us"))
+                        .c_str(),
+                    fmtUs(serveStat(*doc, "jobLatency", "meanUs"))
+                        .c_str());
+        std::printf("queue wait   n=%-6.0f p50 %-8s p99 %s\n",
+                    serveStat(*doc, "queueWait", "count"),
+                    fmtUs(serveStat(*doc, "queueWait", "p50Us"))
+                        .c_str(),
+                    fmtUs(serveStat(*doc, "queueWait", "p99Us"))
+                        .c_str());
+        std::fflush(stdout);
+        if (once)
+            return 0;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(interval));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prof: profile report pretty-printer.
+
+int
+cmdProf(int argc, char **argv)
+{
+    if (argc < 1 || std::string(argv[0]) != "report")
+        return usage();
+    std::string path;
+    std::size_t topN = 20;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--top") {
+            if (i + 1 >= argc)
+                critics_fatal("--top needs a value");
+            topN = std::stoul(argv[++i]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr,
+                     "prof report wants a --profile JSON file\n");
+        return 2;
+    }
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 1;
+    }
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    return obs::printProfileReport(text, topN) ? 0 : 1;
+}
+
 int
 legacySingleRun(int argc, char **argv)
 {
@@ -1633,6 +1909,10 @@ run(int argc, char **argv)
             return cmdStatus(argc - 2, argv + 2);
         if (command == "wait")
             return cmdWait(argc - 2, argv + 2);
+        if (command == "top")
+            return cmdTop(argc - 2, argv + 2);
+        if (command == "prof")
+            return cmdProf(argc - 2, argv + 2);
         if (command == "--help" || command == "-h" ||
             command == "help") {
             usage();

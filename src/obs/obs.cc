@@ -1,0 +1,126 @@
+#include "obs/obs.hh"
+
+#include <atomic>
+#include <ctime>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace critics::obs
+{
+
+namespace detail
+{
+thread_local std::uint8_t tlsStage = 0;
+} // namespace detail
+
+const char *
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::None: return "none";
+      case Stage::Synth: return "synth";
+      case Stage::Emit: return "emit";
+      case Stage::Analyze: return "analyze";
+      case Stage::Transform: return "transform";
+      case Stage::Simulate: return "simulate";
+    }
+    return "none";
+}
+
+std::uint64_t
+monotonicMicros()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec) / 1000ull;
+}
+
+Stage
+currentStage()
+{
+    return static_cast<Stage>(detail::tlsStage);
+}
+
+std::uint32_t
+obsThreadId()
+{
+    static std::atomic<std::uint32_t> next{1};
+    thread_local std::uint32_t id = next.fetch_add(1);
+    return id;
+}
+
+namespace
+{
+
+// The sink proper lives behind a shared_ptr swapped under a mutex;
+// emitters take a reference under the same mutex.  `active` is the
+// lock-free fast-path gate so dormant instrumentation costs one
+// relaxed load and no clock read.
+std::mutex sinkMutex;
+std::shared_ptr<const SpanSink> sinkPtr;
+std::atomic<bool> sinkActive{false};
+
+void
+emitSpan(const SpanRecord &span)
+{
+    std::shared_ptr<const SpanSink> sink;
+    {
+        std::lock_guard<std::mutex> hold(sinkMutex);
+        sink = sinkPtr;
+    }
+    if (sink && *sink)
+        (*sink)(span);
+}
+
+} // namespace
+
+void
+setSpanSink(SpanSink sink)
+{
+    std::lock_guard<std::mutex> hold(sinkMutex);
+    if (sink) {
+        sinkPtr = std::make_shared<const SpanSink>(std::move(sink));
+        sinkActive.store(true, std::memory_order_release);
+    } else {
+        sinkActive.store(false, std::memory_order_release);
+        sinkPtr.reset();
+    }
+}
+
+bool
+spanSinkActive()
+{
+    return sinkActive.load(std::memory_order_acquire);
+}
+
+StageScope::StageScope(Stage stage, std::string name, std::string category)
+    : previous_(static_cast<Stage>(detail::tlsStage)),
+      marked_(stage != Stage::None),
+      emit_(spanSinkActive()),
+      name_(std::move(name)),
+      category_(std::move(category))
+{
+    if (marked_)
+        detail::tlsStage = static_cast<std::uint8_t>(stage);
+    if (emit_)
+        startUs_ = monotonicMicros();
+}
+
+StageScope::~StageScope()
+{
+    if (marked_)
+        detail::tlsStage = static_cast<std::uint8_t>(previous_);
+    if (!emit_)
+        return;
+    SpanRecord span;
+    span.name = std::move(name_);
+    span.category = std::move(category_);
+    span.startUs = startUs_;
+    span.durUs = monotonicMicros() - startUs_;
+    span.tid = obsThreadId();
+    emitSpan(span);
+}
+
+} // namespace critics::obs

@@ -1,0 +1,344 @@
+#include "obs/profiler.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+
+#include "obs/obs.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace critics::obs
+{
+
+namespace
+{
+
+/** Frames kept per sample.  The first few are the handler + the
+ *  kernel's signal trampoline; symbolization skips them. */
+constexpr int kMaxFrames = 48;
+constexpr int kSkipFrames = 2;
+
+struct Sample
+{
+    void *frames[kMaxFrames];
+    std::int32_t depth;
+    std::uint8_t stage;
+};
+
+} // namespace
+
+struct SamplingProfiler::Impl
+{
+    std::vector<Sample> samples;      ///< preallocated at start()
+    std::atomic<std::uint32_t> next{0};  ///< first free slot (may run past capacity)
+    std::atomic<std::uint64_t> dropped{0};
+    std::uint32_t capacity = 0;
+    struct sigaction previous = {};
+    bool handlerInstalled = false;
+};
+
+namespace
+{
+
+/** The handler's one route to the sample buffer.  Written only while
+ *  no timer is armed (start/stop), read inside the handler. */
+std::atomic<SamplingProfiler::Impl *> activeImpl{nullptr};
+
+extern "C" void
+critics_sigprof_handler(int)
+{
+    SamplingProfiler::Impl *impl =
+        activeImpl.load(std::memory_order_acquire);
+    if (impl == nullptr)
+        return;
+    const std::uint32_t slot =
+        impl->next.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= impl->capacity) {
+        impl->dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    Sample &sample = impl->samples[slot];
+    sample.stage = detail::tlsStage;
+    sample.depth = backtrace(sample.frames, kMaxFrames);
+}
+
+std::string
+demangled(const char *name)
+{
+    int status = 0;
+    char *pretty = abi::__cxa_demangle(name, nullptr, nullptr, &status);
+    if (status != 0 || pretty == nullptr) {
+        std::free(pretty);
+        return name;
+    }
+    std::string result(pretty);
+    std::free(pretty);
+    return result;
+}
+
+/** Innermost application frame of one sample, or "??" when nothing
+ *  past the trampoline resolves (static functions without export). */
+std::string
+topSymbol(const Sample &sample)
+{
+    const int begin = std::min<std::int32_t>(kSkipFrames, sample.depth);
+    for (int i = begin; i < sample.depth; ++i) {
+        Dl_info info{};
+        if (dladdr(sample.frames[i], &info) != 0 &&
+            info.dli_sname != nullptr) {
+            return demangled(info.dli_sname);
+        }
+    }
+    return "??";
+}
+
+} // namespace
+
+SamplingProfiler::SamplingProfiler(ProfilerOptions options)
+    : options_(options), impl_(new Impl)
+{
+    if (options_.intervalUsec == 0)
+        options_.intervalUsec = 1;
+}
+
+SamplingProfiler::~SamplingProfiler()
+{
+    stop();
+    delete impl_;
+}
+
+bool
+SamplingProfiler::start()
+{
+    if (running_)
+        return true;
+    impl_->samples.resize(options_.maxSamples);
+    impl_->capacity = options_.maxSamples;
+    impl_->next.store(0, std::memory_order_relaxed);
+    impl_->dropped.store(0, std::memory_order_relaxed);
+
+    // Warm backtrace(): its first call may lazily load libgcc, which
+    // allocates — do that now, on the normal path, not in the handler.
+    void *warm[4];
+    backtrace(warm, 4);
+
+    SamplingProfiler::Impl *expected = nullptr;
+    if (!activeImpl.compare_exchange_strong(expected, impl_)) {
+        critics_warn("profiler: another profiler is already active; "
+                     "--profile ignored");
+        return false;
+    }
+
+    struct sigaction action = {};
+    action.sa_handler = critics_sigprof_handler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    if (sigaction(SIGPROF, &action, &impl_->previous) != 0) {
+        activeImpl.store(nullptr, std::memory_order_release);
+        critics_warn("profiler: sigaction(SIGPROF) failed");
+        return false;
+    }
+    impl_->handlerInstalled = true;
+
+    itimerval timer = {};
+    timer.it_interval.tv_sec =
+        static_cast<time_t>(options_.intervalUsec / 1000000);
+    timer.it_interval.tv_usec =
+        static_cast<suseconds_t>(options_.intervalUsec % 1000000);
+    timer.it_value = timer.it_interval;
+    if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+        sigaction(SIGPROF, &impl_->previous, nullptr);
+        impl_->handlerInstalled = false;
+        activeImpl.store(nullptr, std::memory_order_release);
+        critics_warn("profiler: setitimer(ITIMER_PROF) failed");
+        return false;
+    }
+    running_ = true;
+    return true;
+}
+
+void
+SamplingProfiler::stop()
+{
+    if (!running_)
+        return;
+    itimerval off = {};
+    setitimer(ITIMER_PROF, &off, nullptr);
+    if (impl_->handlerInstalled) {
+        sigaction(SIGPROF, &impl_->previous, nullptr);
+        impl_->handlerInstalled = false;
+    }
+    activeImpl.store(nullptr, std::memory_order_release);
+    running_ = false;
+}
+
+std::uint32_t
+SamplingProfiler::sampleCount() const
+{
+    return std::min(impl_->next.load(std::memory_order_relaxed),
+                    impl_->capacity);
+}
+
+std::uint64_t
+SamplingProfiler::droppedCount() const
+{
+    return impl_->dropped.load(std::memory_order_relaxed);
+}
+
+std::string
+SamplingProfiler::reportJson() const
+{
+    const std::uint32_t count = sampleCount();
+
+    std::uint64_t stageCounts[kStageCount] = {};
+    std::map<std::string, std::uint64_t> flat;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const Sample &sample = impl_->samples[i];
+        const std::uint8_t stage =
+            sample.stage < kStageCount ? sample.stage : 0;
+        ++stageCounts[stage];
+        ++flat[topSymbol(sample)];
+    }
+    const std::uint64_t attributed =
+        count - stageCounts[static_cast<std::size_t>(Stage::None)];
+
+    std::vector<std::pair<std::string, std::uint64_t>> rows(flat.begin(),
+                                                            flat.end());
+    std::sort(rows.begin(), rows.end(), [](const auto &a, const auto &b) {
+        if (a.second != b.second)
+            return a.second > b.second;
+        return a.first < b.first;
+    });
+
+    json::JsonWriter w;
+    w.beginObject()
+        .field("schema", "critics-profile-v1")
+        .field("intervalUsec", options_.intervalUsec)
+        .field("samples", static_cast<std::uint64_t>(count))
+        .field("dropped", droppedCount())
+        .fieldReadable("attributedFraction",
+                       count > 0 ? static_cast<double>(attributed) /
+                                       static_cast<double>(count)
+                                 : 0.0);
+    w.beginObject("stages");
+    for (std::size_t s = 0; s < kStageCount; ++s)
+        w.field(stageName(static_cast<Stage>(s)), stageCounts[s]);
+    w.endObject();
+    w.beginArray("flat");
+    for (const auto &[symbol, samples] : rows) {
+        w.elementObject()
+            .field("symbol", symbol)
+            .field("samples", samples)
+            .fieldReadable("fraction",
+                           count > 0 ? static_cast<double>(samples) /
+                                           static_cast<double>(count)
+                                     : 0.0)
+            .endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+SamplingProfiler::writeReport(const std::string &path) const
+{
+    FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        critics_warn("profiler: cannot write ", path);
+        return false;
+    }
+    const std::string json = reportJson();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), out) ==
+                        json.size() &&
+                    std::fputc('\n', out) != EOF;
+    std::fclose(out);
+    return ok;
+}
+
+bool
+printProfileReport(const std::string &json, std::size_t topN)
+{
+    const auto doc = json::parseJson(json);
+    if (!doc || !doc->isObject()) {
+        critics_warn("prof: report is not a JSON object");
+        return false;
+    }
+    const auto *schema = doc->find("schema");
+    const auto schemaText = schema ? schema->asString() : std::nullopt;
+    if (!schemaText || *schemaText != "critics-profile-v1") {
+        critics_warn("prof: not a critics-profile-v1 report");
+        return false;
+    }
+    const std::uint64_t samples =
+        doc->find("samples") ? doc->find("samples")->asUint().value_or(0)
+                             : 0;
+    const std::uint64_t dropped =
+        doc->find("dropped") ? doc->find("dropped")->asUint().value_or(0)
+                             : 0;
+    const double attributed =
+        doc->find("attributedFraction")
+            ? doc->find("attributedFraction")->asDouble().value_or(0.0)
+            : 0.0;
+    std::printf("profile: %llu samples (%llu dropped), %.1f%% attributed "
+                "to pipeline stages\n",
+                static_cast<unsigned long long>(samples),
+                static_cast<unsigned long long>(dropped),
+                attributed * 100.0);
+
+    const auto *stages = doc->find("stages");
+    if (stages != nullptr && stages->isObject()) {
+        std::vector<std::pair<std::string, std::uint64_t>> rows;
+        for (const auto &[name, value] : stages->members)
+            rows.emplace_back(name, value.asUint().value_or(0));
+        std::sort(rows.begin(), rows.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second > b.second;
+                  });
+        std::printf("\n%-12s %10s %7s\n", "stage", "samples", "share");
+        for (const auto &[name, value] : rows) {
+            if (value == 0)
+                continue;
+            std::printf("%-12s %10llu %6.1f%%\n", name.c_str(),
+                        static_cast<unsigned long long>(value),
+                        samples > 0 ? 100.0 * static_cast<double>(value) /
+                                          static_cast<double>(samples)
+                                    : 0.0);
+        }
+    }
+
+    const auto *flat = doc->find("flat");
+    if (flat != nullptr && flat->isArray()) {
+        std::printf("\n%-56s %10s %7s\n", "symbol", "samples", "share");
+        std::size_t shown = 0;
+        for (const auto &row : flat->elements) {
+            if (shown++ >= topN)
+                break;
+            const auto *symbol = row.find("symbol");
+            const auto *n = row.find("samples");
+            std::string name =
+                symbol ? symbol->asString().value_or("??") : "??";
+            if (name.size() > 56)
+                name = name.substr(0, 53) + "...";
+            const std::uint64_t value = n ? n->asUint().value_or(0) : 0;
+            std::printf("%-56s %10llu %6.1f%%\n", name.c_str(),
+                        static_cast<unsigned long long>(value),
+                        samples > 0 ? 100.0 * static_cast<double>(value) /
+                                          static_cast<double>(samples)
+                                    : 0.0);
+        }
+    }
+    return true;
+}
+
+} // namespace critics::obs

@@ -1,0 +1,70 @@
+#include "obs/span.hh"
+
+#include "support/json.hh"
+
+namespace critics::obs
+{
+
+std::string
+renderSpanEvent(const SpanEvent &event)
+{
+    json::JsonWriter w;
+    w.beginObject()
+        .field("event", "span")
+        .field("trace", event.traceId)
+        .field("name", event.name)
+        .field("cat", event.category)
+        .field("ts", event.startUs)
+        .field("dur", event.durUs)
+        .field("tid", static_cast<std::uint64_t>(event.tid))
+        .endObject();
+    return w.str();
+}
+
+std::optional<SpanEvent>
+parseSpanEvent(const std::string &line)
+{
+    const auto doc = json::parseJson(line);
+    if (!doc || !doc->isObject())
+        return std::nullopt;
+    const auto *kind = doc->find("event");
+    const auto kindText = kind ? kind->asString() : std::nullopt;
+    if (!kindText || *kindText != "span")
+        return std::nullopt;
+
+    SpanEvent event;
+    const auto *name = doc->find("name");
+    const auto nameText = name ? name->asString() : std::nullopt;
+    if (!nameText || nameText->empty())
+        return std::nullopt;
+    event.name = *nameText;
+    const auto *ts = doc->find("ts");
+    const auto tsVal = ts ? ts->asUint() : std::nullopt;
+    if (!tsVal)
+        return std::nullopt;
+    event.startUs = *tsVal;
+    if (const auto *f = doc->find("trace"))
+        event.traceId = f->asString().value_or("");
+    if (const auto *f = doc->find("cat"))
+        event.category = f->asString().value_or("");
+    if (const auto *f = doc->find("dur"))
+        event.durUs = f->asUint().value_or(0);
+    if (const auto *f = doc->find("tid"))
+        event.tid = static_cast<std::uint32_t>(f->asUint().value_or(0));
+    return event;
+}
+
+SpanEvent
+toSpanEvent(const SpanRecord &span, const std::string &traceId)
+{
+    SpanEvent event;
+    event.traceId = traceId;
+    event.name = span.name;
+    event.category = span.category;
+    event.startUs = span.startUs;
+    event.durUs = span.durUs;
+    event.tid = span.tid;
+    return event;
+}
+
+} // namespace critics::obs

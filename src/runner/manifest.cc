@@ -66,6 +66,8 @@ RunManifest::toJson() const
         .field("startedUnix", startedUnix)
         .fieldReadable("wallSeconds", wallSeconds)
         .field("interrupted", interrupted);
+    if (!traceId.empty())
+        w.field("traceId", traceId);
     if (shardCount > 0) {
         w.beginObject("shard")
             .field("index", static_cast<std::uint64_t>(shardIndex))
@@ -154,6 +156,8 @@ RunManifest::read(const std::string &path, RunManifest &out)
         out.wallSeconds = v->asDouble().value_or(0.0);
     if (const JsonValue *v = doc->find("interrupted"))
         out.interrupted = v->asBool().value_or(false);
+    if (const JsonValue *v = doc->find("traceId"))
+        out.traceId = v->asString().value_or("");
     // Optional (absent in manifests written before the counters).
     if (const JsonValue *rs = doc->find("runnerStats");
         rs && rs->isObject()) {

@@ -68,6 +68,10 @@ struct RunManifest
     unsigned shardIndex = 0;
     unsigned shardCount = 0;
     std::uint64_t shardTotalJobs = 0;
+    /** Distributed-trace id for batches that ran through serve
+     *  ("" for direct runs): the key tying this manifest to the spans
+     *  in the daemon's merged Chrome trace. */
+    std::string traceId;
     RunnerCounters runnerStats;
     std::vector<JobRecord> jobs;
 

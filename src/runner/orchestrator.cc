@@ -143,6 +143,8 @@ Runner::registerStats(stats::StatRegistry &reg) const
 {
     store_.registerStats(reg, "runner.cache");
     ThreadPool::shared().registerStats(reg, "runner.pool");
+    reg.addLatency("runner.jobWall", jobWall_,
+                   "wall time of executed jobs (us)");
 }
 
 std::shared_ptr<sim::AppExperiment>
@@ -361,6 +363,7 @@ Runner::run(const std::string &batchName,
                 outcome.attempts = options_.maxAttempts;
         }
         outcome.wallSeconds = secondsSince(jobStart);
+        jobWall_.add(outcome.wallSeconds * 1e6);
         if (tsink) {
             tsink->complete(
                 spec.profile.name + "/" + spec.variant.label, "job",

@@ -34,6 +34,7 @@
 #include "runner/manifest.hh"
 #include "runner/result_store.hh"
 #include "runner/shard.hh"
+#include "support/histogram.hh"
 
 namespace critics::stats
 {
@@ -135,13 +136,16 @@ class Runner
     const RunnerOptions &options() const { return options_; }
 
     /** Register the runner's infrastructure counters: the result
-     *  cache under "runner.cache", the pool under "runner.pool".
+     *  cache under "runner.cache", the pool under "runner.pool", and
+     *  the per-job wall-time latency histogram as "runner.jobWall".
      *  The Runner must outlive the registry. */
     void registerStats(stats::StatRegistry &reg) const;
 
   private:
     RunnerOptions options_;
     ResultStore store_;
+    /** Wall time of every executed (non-cached) job, in µs. */
+    LatencyHistogram jobWall_;
 
     std::mutex expLock_;
     struct ExpSlot;

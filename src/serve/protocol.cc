@@ -190,6 +190,8 @@ renderJobEvent(const JobEvent &event)
         .field("variant", event.variant)
         .field("ok", event.ok)
         .field("from-cache", event.fromCache);
+    if (event.wallSeconds > 0.0)
+        w.fieldReadable("wall-s", event.wallSeconds);
     if (!event.error.empty())
         w.field("error", event.error);
     w.endObject();
@@ -221,6 +223,8 @@ parseJobEvent(const std::string &line)
         event.ok = f->asBool().value_or(false);
     if (const auto *f = doc->find("from-cache"))
         event.fromCache = f->asBool().value_or(false);
+    if (const auto *f = doc->find("wall-s"))
+        event.wallSeconds = f->asDouble().value_or(0.0);
     if (const auto *f = doc->find("error"))
         event.error = f->asString().value_or("");
     return event;

@@ -16,9 +16,13 @@
  *
  * Job events (worker stdout AND server wait/status streams):
  *            {"event":"job","hash":H,"app":A,"variant":V,
- *             "ok":true,"from-cache":false,"error":""}
+ *             "ok":true,"from-cache":false,"wall-s":1.5,"error":""}
  * Worker end-of-shard marker:
  *            {"event":"shard-done","failed":F,"total":T}
+ *
+ * Workers started with --trace-id additionally emit span events
+ * ({"event":"span",...}, see obs/span.hh) on the same stdout channel;
+ * the server stitches them into its merged Chrome trace.
  */
 
 #ifndef CRITICS_SERVE_PROTOCOL_HH
@@ -106,6 +110,9 @@ struct JobEvent
     std::string variant;
     bool ok = false;
     bool fromCache = false;
+    /** Wall-clock seconds the job took where it ran (0 for warm
+     *  hits) — feeds the server's serve.jobLatency histogram. */
+    double wallSeconds = 0.0;
     std::string error; ///< last failure message when !ok
 };
 

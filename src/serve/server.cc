@@ -1,7 +1,9 @@
 #include "serve/server.hh"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 
@@ -11,6 +13,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/obs.hh"
+#include "obs/span.hh"
 #include "runner/cache_admin.hh"
 #include "runner/orchestrator.hh"
 #include "runner/shard.hh"
@@ -75,7 +79,8 @@ stateName(std::uint8_t state)
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)), store_(options_.cachePath),
-      started_(std::chrono::steady_clock::now())
+      started_(std::chrono::steady_clock::now()),
+      epochUs_(obs::monotonicMicros())
 {
     if (::pipe(wakePipe_) != 0)
         critics_fatal("serve: cannot create wake pipe: ",
@@ -278,6 +283,15 @@ Server::handleRequest(int fd, const std::string &line)
           json::JsonWriter w;
           {
               std::lock_guard<std::mutex> lock(lock_);
+              std::string runningBatch;
+              std::uint64_t activeWorkers = 0;
+              for (const auto &[id, batch] : batches_) {
+                  if (batch->state != Batch::State::Running)
+                      continue;
+                  runningBatch = id;
+                  for (const pid_t pid : batch->workerPids)
+                      activeWorkers += pid > 0 ? 1 : 0;
+              }
               w.beginObject().field("ok", true).beginObject("serve");
               w.field("submitted", submitted_)
                   .field("completed", completed_)
@@ -291,6 +305,28 @@ Server::handleRequest(int fd, const std::string &line)
                   .field("inFlightShards", inFlightShards_)
                   .field("requests", requests_)
                   .field("badRequests", badRequests_);
+              const double answered =
+                  static_cast<double>(warmHits_ + simulated_);
+              w.fieldReadable("warmHitRatio",
+                              answered > 0
+                                  ? static_cast<double>(warmHits_) /
+                                        answered
+                                  : 0.0)
+                  .field("activeWorkers", activeWorkers)
+                  .field("runningBatch", runningBatch)
+                  .field("uptimeUs", nowMicros());
+              w.beginObject("jobLatency")
+                  .field("count", jobLatency_.count())
+                  .fieldReadable("meanUs", jobLatency_.mean())
+                  .fieldReadable("p50Us", jobLatency_.percentile(0.50))
+                  .fieldReadable("p90Us", jobLatency_.percentile(0.90))
+                  .fieldReadable("p99Us", jobLatency_.percentile(0.99))
+                  .endObject();
+              w.beginObject("queueWait")
+                  .field("count", queueWait_.count())
+                  .fieldReadable("p50Us", queueWait_.percentile(0.50))
+                  .fieldReadable("p99Us", queueWait_.percentile(0.99))
+                  .endObject();
               w.endObject().endObject();
           }
           const bool alive = sendLine(fd, w.str());
@@ -328,9 +364,21 @@ Server::handleSubmit(const SubmitRequest &submit)
     expOptions.traceInsts = submit.insts;
     auto grid = runner::makeGrid(*apps, *variants, expOptions);
 
-    std::lock_guard<std::mutex> lock(lock_);
+    std::unique_lock<std::mutex> lock(lock_);
     auto batch = std::make_shared<Batch>();
     batch->id = "serve-" + std::to_string(nextBatchId_++);
+    batch->submitUs = nowMicros();
+    batch->startedUnix =
+        static_cast<std::uint64_t>(::time(nullptr));
+    {
+        // Trace context, minted here and carried through worker argv:
+        // unique per daemon lifetime (epoch µs) and per batch (id).
+        char traceId[64];
+        std::snprintf(traceId, sizeof(traceId), "%llx-%s",
+                      static_cast<unsigned long long>(epochUs_),
+                      batch->id.c_str());
+        batch->traceId = traceId;
+    }
     batch->request = submit;
     batch->total = grid.size();
     submitted_++;
@@ -352,9 +400,11 @@ Server::handleSubmit(const SubmitRequest &submit)
         }
     }
 
+    bool allWarm = false;
     if (batch->coldSpecs.empty()) {
         batch->state = Batch::State::Done;
         completed_++;
+        allWarm = true;
     } else if (stop_.load()) {
         batch->state = Batch::State::Failed;
         batch->error = "server shutting down";
@@ -368,12 +418,23 @@ Server::handleSubmit(const SubmitRequest &submit)
     w.beginObject()
         .field("ok", true)
         .field("job", batch->id)
+        .field("trace", batch->traceId)
         .field("total", batch->total)
         .field("warm", batch->warm)
         .field("cold",
                static_cast<std::uint64_t>(batch->coldSpecs.size()))
         .endObject();
-    return w.str();
+    const std::string reply = w.str();
+    lock.unlock();
+    // A fully-warm batch never reaches the scheduler, so its summary
+    // manifest is written here; cold batches get theirs at the end of
+    // executeBatch.
+    if (allWarm) {
+        writeBatchManifest(
+            batch,
+            static_cast<double>(nowMicros() - batch->submitUs) / 1e6);
+    }
+    return reply;
 }
 
 std::string
@@ -395,6 +456,7 @@ Server::statusJson(const Batch &batch) const
         .field("job", batch.id)
         .field("state",
                stateName(static_cast<std::uint8_t>(batch.state)))
+        .field("trace", batch.traceId)
         .field("total", batch.total)
         .field("warm", batch.warm)
         .field("simulated", batch.simulated)
@@ -490,7 +552,20 @@ Server::recordEventLocked(Batch &batch, const JobEvent &event,
     } else {
         batch.simulated++;
         simulated_++;
+        if (event.wallSeconds > 0.0)
+            jobLatency_.add(event.wallSeconds * 1e6);
     }
+    runner::JobRecord record;
+    record.app = event.app;
+    record.variant = event.variant;
+    record.hash = event.hash;
+    record.ok = event.ok;
+    record.fromCache = event.fromCache || warmOrigin;
+    record.wallSeconds = event.wallSeconds;
+    record.simInsts = (event.ok && !record.fromCache)
+        ? batch.request.insts : 0;
+    record.error = event.error;
+    batch.records.push_back(std::move(record));
     cv_.notify_all();
 }
 
@@ -516,6 +591,15 @@ Server::schedulerLoop()
                 batch = queue_.front();
                 queue_.erase(queue_.begin());
                 batch->state = Batch::State::Running;
+                const std::uint64_t waited =
+                    nowMicros() - batch->submitUs;
+                queueWait_.add(static_cast<double>(waited));
+                if (options_.trace != nullptr) {
+                    options_.trace->complete(
+                        "queue-wait " + batch->id, "serve",
+                        batch->submitUs, waited, 0, 0, "trace",
+                        batch->traceId);
+                }
             } else if (stop_.load()) {
                 break;
             } else {
@@ -554,7 +638,65 @@ Server::executeBatch(const std::shared_ptr<Batch> &batch)
         completed_++;
         cv_.notify_all();
     }
-    traceSpan("batch", startUs);
+    const std::uint64_t endUs = nowMicros();
+    writeBatchManifest(batch,
+                       static_cast<double>(endUs - startUs) / 1e6);
+    if (options_.trace != nullptr) {
+        options_.trace->complete("batch " + batch->id, "serve",
+                                 startUs, endUs - startUs, 0, 0,
+                                 "trace", batch->traceId);
+    }
+}
+
+void
+Server::stitchSpan(const std::shared_ptr<Batch> &batch,
+                   std::size_t slot, const std::string &line)
+{
+    if (options_.trace == nullptr)
+        return;
+    const auto span = obs::parseSpanEvent(line);
+    if (!span || span->traceId != batch->traceId)
+        return;
+    pid_t pid = 0;
+    {
+        std::lock_guard<std::mutex> lock(lock_);
+        if (slot < batch->workerPids.size() &&
+            batch->workerPids[slot] > 0) {
+            pid = batch->workerPids[slot];
+        }
+    }
+    // Worker timestamps are absolute CLOCK_MONOTONIC µs; shift them
+    // onto the daemon's 0-based trace timeline.
+    const std::uint64_t ts =
+        span->startUs > epochUs_ ? span->startUs - epochUs_ : 0;
+    options_.trace->complete(span->name, span->category, ts,
+                             span->durUs,
+                             static_cast<std::uint32_t>(pid),
+                             span->tid, "trace", span->traceId);
+}
+
+void
+Server::writeBatchManifest(const std::shared_ptr<Batch> &batch,
+                           double wallSeconds)
+{
+    runner::RunManifest manifest;
+    manifest.schema = runner::kResultSchemaVersion;
+    manifest.gitDescribe = runner::gitDescribe();
+    manifest.wallSeconds = wallSeconds;
+    {
+        std::lock_guard<std::mutex> lock(lock_);
+        manifest.batch = batch->request.batch + "." + batch->id;
+        manifest.traceId = batch->traceId;
+        manifest.startedUnix = batch->startedUnix;
+        manifest.jobs = batch->records;
+    }
+    const std::string dir =
+        std::filesystem::path(store_.path()).parent_path().string() +
+        "/manifests";
+    if (manifest.write(dir).empty()) {
+        critics_warn("serve: cannot write batch manifest for '",
+                     manifest.batch, "'");
+    }
 }
 
 void
@@ -572,16 +714,27 @@ Server::runInProcess(const std::shared_ptr<Batch> &batch)
     options.executor = [this, batch, sleepMs](
                            const runner::JobSpec &spec,
                            sim::AppExperiment &experiment) {
+        const std::uint64_t jobStartUs = nowMicros();
         auto result = experiment.run(spec.variant);
         if (sleepMs > 0) {
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(sleepMs));
         }
+        const std::uint64_t jobEndUs = nowMicros();
         JobEvent event;
         event.hash = spec.hashHex();
         event.app = spec.profile.name;
         event.variant = spec.variant.label;
         event.ok = true;
+        event.wallSeconds =
+            static_cast<double>(jobEndUs - jobStartUs) / 1e6;
+        if (options_.trace != nullptr) {
+            options_.trace->complete(
+                spec.profile.name + "/" + spec.variant.label, "job",
+                jobStartUs, jobEndUs - jobStartUs, 0,
+                options_.trace->tidForCurrentThread(), "trace",
+                batch->traceId);
+        }
         recordEvent(batch, event);
         return result;
     };
@@ -670,6 +823,19 @@ Server::runWithWorkers(const std::shared_ptr<Batch> &batch)
             argv.push_back("--sleep-ms");
             argv.push_back(std::to_string(batch->request.sleepMs));
         }
+        if (options_.trace != nullptr) {
+            argv.push_back("--trace-id");
+            argv.push_back(batch->traceId);
+        }
+        if (!options_.profileDir.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(options_.profileDir,
+                                                ec);
+            argv.push_back("--profile");
+            argv.push_back(options_.profileDir + "/" + batch->id +
+                           ".worker-" + std::to_string(k + 1) +
+                           ".json");
+        }
         argvs.push_back(std::move(argv));
     }
 
@@ -677,11 +843,12 @@ Server::runWithWorkers(const std::shared_ptr<Batch> &batch)
         std::lock_guard<std::mutex> lock(lock_);
         inFlightShards_ = argvs.size();
         batch->workerPids.assign(argvs.size(), -1);
+        batch->crashedAtUs.assign(argvs.size(), 0);
     }
 
     SupervisorOptions supOptions;
     supOptions.maxRestarts = options_.maxRestarts;
-    supOptions.onLine = [this, batch](std::size_t,
+    supOptions.onLine = [this, batch](std::size_t index,
                                       const std::string &line) {
         if (const auto event = parseJobEvent(line)) {
             recordEvent(batch, *event);
@@ -692,13 +859,29 @@ Server::runWithWorkers(const std::shared_ptr<Batch> &batch)
             if (inFlightShards_ > 0)
                 inFlightShards_--;
             cv_.notify_all();
+            return;
         }
+        stitchSpan(batch, index, line);
     };
     supOptions.onSpawn = [this, batch](std::size_t index, pid_t pid) {
-        std::lock_guard<std::mutex> lock(lock_);
-        if (index < batch->workerPids.size())
-            batch->workerPids[index] = pid;
-        cv_.notify_all();
+        {
+            std::lock_guard<std::mutex> lock(lock_);
+            if (index < batch->workerPids.size())
+                batch->workerPids[index] = pid;
+            if (index < batch->crashedAtUs.size() &&
+                batch->crashedAtUs[index] != 0) {
+                restartDelay_.add(static_cast<double>(
+                    nowMicros() - batch->crashedAtUs[index]));
+                batch->crashedAtUs[index] = 0;
+            }
+            cv_.notify_all();
+        }
+        if (options_.trace != nullptr) {
+            options_.trace->setProcessName(
+                static_cast<std::uint32_t>(pid),
+                "serve-worker " + std::to_string(index + 1) + " (" +
+                    batch->id + ")");
+        }
     };
     supOptions.onCrash = [this, batch](std::size_t index, int,
                                        bool willRestart) {
@@ -708,6 +891,8 @@ Server::runWithWorkers(const std::shared_ptr<Batch> &batch)
             workerRestarts_++;
         if (index < batch->workerPids.size())
             batch->workerPids[index] = -1;
+        if (willRestart && index < batch->crashedAtUs.size())
+            batch->crashedAtUs[index] = nowMicros();
         cv_.notify_all();
     };
 
@@ -813,6 +998,12 @@ Server::registerStats(stats::StatRegistry &reg) const
             return answered > 0 ? warmHits_ / answered : 0.0;
         },
         "warm fraction of all answered jobs");
+    reg.addLatency("serve.jobLatency", jobLatency_,
+                   "wall time of jobs executed for this daemon (us)");
+    reg.addLatency("serve.queueWait", queueWait_,
+                   "submit-to-dequeue wait per batch (us)");
+    reg.addLatency("serve.restartDelay", restartDelay_,
+                   "worker crash-to-respawn delay (us)");
 }
 
 } // namespace critics::serve

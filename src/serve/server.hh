@@ -44,8 +44,10 @@
 
 #include <sys/types.h>
 
+#include "runner/manifest.hh"
 #include "runner/result_store.hh"
 #include "serve/protocol.hh"
+#include "support/histogram.hh"
 
 namespace critics::stats
 {
@@ -75,8 +77,13 @@ struct ServerOptions
     /** The critics_cli binary workers are exec'd from; required when
      *  workers > 0 (the CLI passes /proc/self/exe). */
     std::string workerExe;
-    /** Per-request spans (ts/dur in real µs); nullptr = off. */
+    /** Per-request spans (ts/dur in real µs); nullptr = off.  When
+     *  set, workers are started with --trace-id and their span events
+     *  are stitched into this writer under the worker's pid/tid. */
     stats::TraceEventWriter *trace = nullptr;
+    /** When non-empty, each worker profiles itself (--profile) and
+     *  writes `<profileDir>/<batch-id>.worker-<k>.json`. */
+    std::string profileDir;
 };
 
 class Server
@@ -129,10 +136,16 @@ class Server
         };
 
         std::string id; ///< "serve-<n>"
+        /** Distributed-trace id minted at submit; every span of this
+         *  batch — server-side and worker-side — carries it. */
+        std::string traceId;
         SubmitRequest request;
         std::vector<runner::JobSpec> coldSpecs;
         State state = State::Queued;
         std::string error; ///< batch-level failure (shutdown, spawn)
+
+        std::uint64_t submitUs = 0;    ///< nowMicros() at submit
+        std::uint64_t startedUnix = 0; ///< wall clock at submit
 
         std::uint64_t total = 0;     ///< grid size
         std::uint64_t warm = 0;      ///< answered from the store
@@ -148,6 +161,13 @@ class Server
         /** Live worker pids (status exposes them; the smoke test
          *  kills one mid-batch). */
         std::vector<pid_t> workerPids;
+        /** nowMicros() of the last crash per worker slot (0 = never):
+         *  the respawn's onSpawn turns it into a restart-delay
+         *  sample. */
+        std::vector<std::uint64_t> crashedAtUs;
+        /** Structured copies of the deduplicated job events, in
+         *  arrival order — the rows of the per-batch manifest. */
+        std::vector<runner::JobRecord> records;
     };
 
     void acceptLoop();
@@ -174,10 +194,21 @@ class Server
     std::string statusJson(const Batch &batch) const; ///< caller locks
     std::uint64_t nowMicros() const;
     void traceSpan(const char *op, std::uint64_t startUs);
+    /** Stitch one worker span line into the merged trace under the
+     *  worker's OS pid (no-op without a trace writer). */
+    void stitchSpan(const std::shared_ptr<Batch> &batch,
+                    std::size_t slot, const std::string &line);
+    /** Per-batch summary manifest in `<storeDir>/manifests`. */
+    void writeBatchManifest(const std::shared_ptr<Batch> &batch,
+                            double wallSeconds);
 
     ServerOptions options_;
     runner::ResultStore store_;
     std::chrono::steady_clock::time_point started_;
+    /** obs::monotonicMicros() captured together with started_ — the
+     *  offset that maps workers' absolute CLOCK_MONOTONIC span
+     *  timestamps onto the daemon's 0-based trace timeline. */
+    std::uint64_t epochUs_ = 0;
 
     mutable std::mutex lock_;
     std::condition_variable cv_;
@@ -204,6 +235,11 @@ class Server
     std::uint64_t inFlightShards_ = 0;
     std::uint64_t requests_ = 0;
     std::uint64_t badRequests_ = 0;
+
+    // Latency distributions (internally synchronized).
+    LatencyHistogram jobLatency_;   ///< per executed job wall time, µs
+    LatencyHistogram queueWait_;    ///< submit → scheduler dequeue, µs
+    LatencyHistogram restartDelay_; ///< worker crash → respawn, µs
 };
 
 } // namespace critics::serve

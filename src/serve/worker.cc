@@ -9,6 +9,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/obs.hh"
+#include "obs/profiler.hh"
+#include "obs/span.hh"
 #include "runner/orchestrator.hh"
 #include "serve/protocol.hh"
 #include "sim/variants.hh"
@@ -54,6 +57,7 @@ serveWorkerMain(int argc, char **argv)
     unsigned maxAttempts = 2;
     bool refresh = false;
     std::uint64_t sleepMs = 0;
+    std::string traceId, profilePath;
 
     auto bad = [](const std::string &what) {
         std::fprintf(stderr, "serve-worker: %s\n", what.c_str());
@@ -85,6 +89,10 @@ serveWorkerMain(int argc, char **argv)
             maxAttempts = static_cast<unsigned>(std::stoul(value));
         } else if (arg == "--sleep-ms") {
             sleepMs = std::stoull(value);
+        } else if (arg == "--trace-id") {
+            traceId = value;
+        } else if (arg == "--profile") {
+            profilePath = value;
         } else {
             return bad("unknown argument '" + arg + "'");
         }
@@ -123,6 +131,19 @@ serveWorkerMain(int argc, char **argv)
             jobs.push_back(std::move(spec));
     }
 
+    // --trace-id: every StageScope in the pipeline now streams a span
+    // event up the existing stdout channel, tagged with the batch's
+    // trace context; the server stitches them under this worker's pid.
+    if (!traceId.empty()) {
+        obs::setSpanSink([traceId](const obs::SpanRecord &span) {
+            emitLine(
+                obs::renderSpanEvent(obs::toSpanEvent(span, traceId)));
+        });
+    }
+    obs::SamplingProfiler profiler;
+    if (!profilePath.empty())
+        profiler.start();
+
     runner::RunnerOptions options;
     options.cachePath = storePath;
     options.refresh = refresh;
@@ -133,19 +154,38 @@ serveWorkerMain(int argc, char **argv)
     options.writeManifest = false;
     options.executor = [sleepMs](const runner::JobSpec &spec,
                                  sim::AppExperiment &experiment) {
-        auto result = experiment.run(spec.variant);
+        const std::uint64_t startUs = obs::monotonicMicros();
+        sim::RunResult result;
+        {
+            // A "job" span wrapping the whole execution, labelled
+            // app/variant; the stage spans nest inside it.
+            obs::StageScope jobSpan(obs::Stage::None,
+                                    spec.profile.name + "/" +
+                                        spec.variant.label,
+                                    "job");
+            result = experiment.run(spec.variant);
+        }
         if (sleepMs > 0) {
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(sleepMs));
         }
         JobEvent event = eventOf(spec);
         event.ok = true;
+        event.wallSeconds = static_cast<double>(
+                                obs::monotonicMicros() - startUs) /
+                            1e6;
         emitLine(renderJobEvent(event));
         return result;
     };
 
     runner::Runner runner(options);
     const auto result = runner.run(batch, jobs);
+
+    if (profiler.running()) {
+        profiler.stop();
+        profiler.writeReport(profilePath);
+    }
+    obs::setSpanSink(nullptr);
 
     // Simulated successes streamed live from the executor; account for
     // everything else (cache answers, exhausted-retry failures) here.

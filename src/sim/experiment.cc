@@ -3,11 +3,27 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/obs.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 
 namespace critics::sim
 {
+
+namespace
+{
+
+// The ctor synthesizes in its initializer list, where no scope object
+// can live — route the call through a helper so the synth stage is
+// still attributed.
+program::Program
+synthWithScope(const workload::AppProfile &profile)
+{
+    obs::StageScope scope(obs::Stage::Synth);
+    return workload::synthesize(profile);
+}
+
+} // namespace
 
 using analysis::SelectOptions;
 using analysis::Selection;
@@ -45,8 +61,9 @@ AppExperiment::AppExperiment(const workload::AppProfile &profile,
                              const ExperimentOptions &options)
     : profile_(profile),
       options_(options),
-      program_(workload::synthesize(profile))
+      program_(synthWithScope(profile))
 {
+    obs::StageScope scope(obs::Stage::Emit);
     Rng walkRng(streamSeed(profile.seed, RngStream::Walk));
     program::WalkLimits limits;
     limits.targetInsts = options_.traceInsts;
@@ -58,6 +75,7 @@ const analysis::FanoutInfo &
 AppExperiment::fanout()
 {
     std::call_once(fanoutOnce_, [&] {
+        obs::StageScope scope(obs::Stage::Analyze);
         fanout_ = analysis::computeFanout(trace_, options_.crit);
     });
     return *fanout_;
@@ -67,6 +85,7 @@ const analysis::DynChains &
 AppExperiment::chains()
 {
     std::call_once(chainsOnce_, [&] {
+        obs::StageScope scope(obs::Stage::Analyze);
         chains_ =
             analysis::extractChains(trace_, fanout(), options_.crit);
     });
@@ -77,6 +96,7 @@ const analysis::ChainStats &
 AppExperiment::chainStats()
 {
     std::call_once(chainStatsOnce_, [&] {
+        obs::StageScope scope(obs::Stage::Analyze);
         chainStats_ = analysis::chainStatistics(trace_, chains(),
                                                 fanout(), options_.crit);
     });
@@ -107,6 +127,7 @@ AppExperiment::minedAt(double fraction)
         slot = entry;
     }
     std::call_once(slot->once, [&] {
+        obs::StageScope scope(obs::Stage::Analyze);
         slot->result =
             analysis::mineCritIcs(trace_, program_, chains(), fanout(),
                                   options_.crit, fraction);
@@ -118,6 +139,7 @@ const std::unordered_set<program::InstUid> &
 AppExperiment::criticalSet()
 {
     std::call_once(criticalSetOnce_, [&] {
+        obs::StageScope scope(obs::Stage::Analyze);
         criticalSet_ = analysis::buildCriticalSet(trace_, fanout());
     });
     return *criticalSet_;
@@ -153,6 +175,7 @@ AppExperiment::transformedTrace(const Variant &variant)
         slot = entry;
     }
     std::call_once(slot->once, [&] {
+        obs::StageScope scope(obs::Stage::Transform);
         program::Program prog = program_; // transformed copy
         slot->pass =
             applyTransform(prog, variant, &slot->selectionCoverage);
@@ -174,6 +197,9 @@ AppExperiment::applyTransform(program::Program &prog,
                               double *selectionCoverage,
                               verify::PassAudit *audit)
 {
+    // Covers the lint path too, which calls this directly; minedAt()
+    // inside selectChains re-marks its own work as Analyze.
+    obs::StageScope scope(obs::Stage::Transform);
     compiler::PassStats pass;
     const double fraction =
         variant.profileFraction.value_or(options_.profileFraction);
@@ -293,6 +319,7 @@ AppExperiment::run(const Variant &variant, const RunHooks &hooks)
     const std::vector<std::uint8_t> *mask =
         transformed ? nullptr : &fanout().critMask;
 
+    obs::StageScope scope(obs::Stage::Simulate);
     result.cpu = cpu::runTrace(*tracePtr, cpuCfg, memCfg, *predictor,
                                mask,
                                needsCritSet ? &criticalSet() : nullptr);

@@ -39,6 +39,8 @@ StatDef::eval() const
       }
       case StatKind::Distribution:
         return dist ? dist->total() : 0.0;
+      case StatKind::Latency:
+        return latency ? static_cast<double>(latency->count()) : 0.0;
     }
     return 0.0;
 }
@@ -133,6 +135,18 @@ StatRegistry::addDistribution(const std::string &name, const Histogram &h,
 }
 
 void
+StatRegistry::addLatency(const std::string &name,
+                         const LatencyHistogram &h, std::string desc)
+{
+    StatDef def;
+    def.name = name;
+    def.desc = std::move(desc);
+    def.kind = StatKind::Latency;
+    def.latency = &h;
+    add(std::move(def));
+}
+
+void
 StatRegistry::sortIfNeeded() const
 {
     if (sorted_)
@@ -185,6 +199,17 @@ StatRegistry::snapshot() const
             out.emplace_back(def.name + ".max",
                              static_cast<double>(def.dist->maxBucket()));
             break;
+          case StatKind::Latency:
+            out.emplace_back(def.name + ".count",
+                             static_cast<double>(def.latency->count()));
+            out.emplace_back(def.name + ".mean", def.latency->mean());
+            out.emplace_back(def.name + ".p50",
+                             def.latency->percentile(0.50));
+            out.emplace_back(def.name + ".p90",
+                             def.latency->percentile(0.90));
+            out.emplace_back(def.name + ".p99",
+                             def.latency->percentile(0.99));
+            break;
           default:
             out.emplace_back(def.name, def.eval());
         }
@@ -227,6 +252,17 @@ writeLeaf(json::JsonWriter &w, const char *key, const StatDef &def)
             w.fieldReadable(std::to_string(bucket).c_str(), weight);
         }
         w.endObject();
+        w.endObject();
+        break;
+      }
+      case StatKind::Latency: {
+        w.beginObject(key);
+        w.field("count", def.latency->count());
+        w.fieldReadable("mean", def.latency->mean());
+        w.fieldReadable("max", def.latency->max());
+        w.fieldReadable("p50", def.latency->percentile(0.50));
+        w.fieldReadable("p90", def.latency->percentile(0.90));
+        w.fieldReadable("p99", def.latency->percentile(0.99));
         w.endObject();
         break;
       }

@@ -20,6 +20,8 @@
  *   - Vector:       a named tuple of counter/value elements under one
  *                   name (e.g. a stage-residency breakdown)
  *   - Distribution: a support/Histogram (count/mean/min/max + buckets)
+ *   - Latency:      a support/LatencyHistogram (log-bucketed µs
+ *                   distribution exporting count/mean/p50/p90/p99)
  */
 
 #ifndef CRITICS_STATS_REGISTRY_HH
@@ -48,6 +50,7 @@ enum class StatKind : std::uint8_t
     Formula,
     Vector,
     Distribution,
+    Latency,
 };
 
 /** One element of a Vector stat. */
@@ -72,10 +75,12 @@ struct StatDef
     std::function<double()> formula;         ///< Formula
     std::vector<VectorElem> elems;           ///< Vector
     const Histogram *dist = nullptr;         ///< Distribution
+    const LatencyHistogram *latency = nullptr; ///< Latency
 
     /** Scalar reading: Counter/Value/Formula values, the sum of a
-     *  Vector's elements, a Distribution's total weight.  Non-finite
-     *  formula results clamp to 0 so exports stay valid JSON. */
+     *  Vector's elements, a Distribution's total weight, a Latency
+     *  histogram's sample count.  Non-finite formula results clamp to
+     *  0 so exports stay valid JSON. */
     double eval() const;
 };
 
@@ -97,6 +102,8 @@ class StatRegistry
                    std::string desc = "");
     void addDistribution(const std::string &name, const Histogram &h,
                          std::string desc = "");
+    void addLatency(const std::string &name, const LatencyHistogram &h,
+                    std::string desc = "");
 
     // ---- Lookup / traversal ----------------------------------------------
     std::size_t size() const { return defs_.size(); }
@@ -111,8 +118,10 @@ class StatRegistry
     /**
      * Flat numeric snapshot in name order: Counter/Value/Formula as
      * (name, value); Vector elements as name.elem; Distributions as
-     * name.count / name.mean / name.min / name.max.  This is the
-     * surface the interval sampler and the diff harness consume.
+     * name.count / name.mean / name.min / name.max; Latency histograms
+     * as name.count / name.mean / name.p50 / name.p90 / name.p99.
+     * This is the surface the interval sampler and the diff harness
+     * consume.
      */
     std::vector<std::pair<std::string, double>> snapshot() const;
 

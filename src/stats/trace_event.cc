@@ -60,6 +60,25 @@ TraceEventWriter::complete(const std::string &name,
 }
 
 void
+TraceEventWriter::complete(const std::string &name,
+                           const std::string &category, std::uint64_t ts,
+                           std::uint64_t dur, std::uint32_t pid,
+                           std::uint32_t tid, const std::string &argName,
+                           const std::string &argValue)
+{
+    Event e;
+    e.phase = 'X';
+    e.name = name;
+    e.category = category;
+    e.ts = ts;
+    e.dur = dur;
+    e.pid = pid;
+    e.tid = tid;
+    e.strArgs.emplace_back(argName, argValue);
+    push(std::move(e));
+}
+
+void
 TraceEventWriter::instant(const std::string &name,
                           const std::string &category, std::uint64_t ts,
                           std::uint32_t pid, std::uint32_t tid)

@@ -49,6 +49,14 @@ class TraceEventWriter
                   std::uint32_t pid, std::uint32_t tid,
                   const std::string &argName, double argValue);
 
+    /** Complete span with one string argument shown on hover (e.g.
+     *  the traceId stitched spans belong to). */
+    void complete(const std::string &name, const std::string &category,
+                  std::uint64_t ts, std::uint64_t dur,
+                  std::uint32_t pid, std::uint32_t tid,
+                  const std::string &argName,
+                  const std::string &argValue);
+
     /** Instant ("i") marker at `ts`. */
     void instant(const std::string &name, const std::string &category,
                  std::uint64_t ts, std::uint32_t pid = 0,

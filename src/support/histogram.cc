@@ -156,6 +156,136 @@ Histogram::format(std::int64_t clampAt) const
     return os.str();
 }
 
+std::size_t
+LatencyHistogram::bucketOf(double micros)
+{
+    if (!(micros >= 1.0)) // < 1µs, 0, negative, NaN
+        return 0;
+    int exp = 0;
+    const double frac = std::frexp(micros, &exp); // micros = frac·2^exp
+    const std::size_t octave = static_cast<std::size_t>(exp - 1);
+    if (octave >= kOctaves)
+        return kBuckets - 1;
+    // frac in [0.5, 1): frac·2 - 1 in [0, 1) scales to the sub-bucket.
+    auto sub = static_cast<std::size_t>(
+        (frac * 2.0 - 1.0) * static_cast<double>(kSubBuckets));
+    sub = std::min(sub, kSubBuckets - 1);
+    return 1 + octave * kSubBuckets + sub;
+}
+
+double
+LatencyHistogram::bucketLowerBound(std::size_t bucket)
+{
+    if (bucket == 0)
+        return 0.0;
+    const std::size_t octave = (bucket - 1) / kSubBuckets;
+    const std::size_t sub = (bucket - 1) % kSubBuckets;
+    return std::ldexp(1.0 + static_cast<double>(sub) /
+                                static_cast<double>(kSubBuckets),
+                      static_cast<int>(octave));
+}
+
+double
+LatencyHistogram::bucketUpperBound(std::size_t bucket)
+{
+    if (bucket + 1 >= kBuckets)
+        return std::ldexp(1.0, static_cast<int>(kOctaves));
+    return bucketLowerBound(bucket + 1);
+}
+
+void
+LatencyHistogram::add(double micros)
+{
+    if (!(micros >= 0.0))
+        micros = 0.0;
+    std::lock_guard<std::mutex> hold(mutex_);
+    ++counts_[bucketOf(micros)];
+    if (count_ == 0) {
+        min_ = max_ = micros;
+    } else {
+        min_ = std::min(min_, micros);
+        max_ = std::max(max_, micros);
+    }
+    ++count_;
+    sum_ += micros;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    // Copy under the source lock, fold in under ours (never both).
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t count = 0;
+    double sum = 0.0, lo = 0.0, hi = 0.0;
+    {
+        std::lock_guard<std::mutex> hold(other.mutex_);
+        counts = other.counts_;
+        count = other.count_;
+        sum = other.sum_;
+        lo = other.min_;
+        hi = other.max_;
+    }
+    if (count == 0)
+        return;
+    std::lock_guard<std::mutex> hold(mutex_);
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        counts_[i] += counts[i];
+    if (count_ == 0) {
+        min_ = lo;
+        max_ = hi;
+    } else {
+        min_ = std::min(min_, lo);
+        max_ = std::max(max_, hi);
+    }
+    count_ += count;
+    sum_ += sum;
+}
+
+std::uint64_t
+LatencyHistogram::count() const
+{
+    std::lock_guard<std::mutex> hold(mutex_);
+    return count_;
+}
+
+double
+LatencyHistogram::mean() const
+{
+    std::lock_guard<std::mutex> hold(mutex_);
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+LatencyHistogram::min() const
+{
+    std::lock_guard<std::mutex> hold(mutex_);
+    return min_;
+}
+
+double
+LatencyHistogram::max() const
+{
+    std::lock_guard<std::mutex> hold(mutex_);
+    return max_;
+}
+
+double
+LatencyHistogram::percentile(double q) const
+{
+    std::lock_guard<std::mutex> hold(mutex_);
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count_);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        acc += counts_[i];
+        if (counts_[i] > 0 && static_cast<double>(acc) >= target)
+            return bucketUpperBound(i);
+    }
+    return bucketUpperBound(kBuckets - 1);
+}
+
 std::vector<CdfPoint>
 buildCdf(std::vector<std::pair<double, double>> values,
          std::size_t maxPoints)
