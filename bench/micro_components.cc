@@ -140,7 +140,7 @@ BM_ChainExtraction(benchmark::State &state)
     const auto info = analysis::computeFanout(f.trace, cfg);
     for (auto _ : state) {
         auto chains = analysis::extractChains(f.trace, info, cfg);
-        benchmark::DoNotOptimize(chains.chains.size());
+        benchmark::DoNotOptimize(chains.size());
     }
     state.SetItemsProcessed(state.iterations() * f.trace.size());
 }

@@ -55,6 +55,7 @@
 
 #include "analysis/criticality.hh"
 #include "analysis/miner.hh"
+#include "analysis/mode.hh"
 #include "obs/obs.hh"
 #include "obs/profiler.hh"
 #include "program/emit.hh"
@@ -639,7 +640,12 @@ cmdBench(int argc, char **argv)
             static_cast<double>(matrixInsts) / secondsSince(t0));
 
         // Stage 2: offline criticality analysis (fanout, chains,
-        // mining), always from scratch so caching cannot hide cost.
+        // mining), always from scratch so result caching cannot hide
+        // cost.  The per-app location table IS shared across reps —
+        // it indexes the static program, not the dynamic stream, and
+        // AppExperiment likewise builds one and shares it across all
+        // minedAt() calls, so rebuilding it per rep would bill the
+        // pipeline for work production never repeats.
         t0 = std::chrono::steady_clock::now();
         {
             obs::StageScope stage(obs::Stage::Analyze);
@@ -648,10 +654,13 @@ cmdBench(int argc, char **argv)
                     exp->baseTrace(), expOptions.crit);
                 const auto chains = analysis::extractChains(
                     exp->baseTrace(), fanout, expOptions.crit);
+                const analysis::LocTable *locs =
+                    analysis::flatAnalyzeEnabled()
+                        ? &exp->locTable() : nullptr;
                 const auto mined = analysis::mineCritIcs(
                     exp->baseTrace(), exp->baseProgram(), chains,
                     fanout, expOptions.crit,
-                    expOptions.profileFraction);
+                    expOptions.profileFraction, locs);
                 critics_assert(!mined.chains.empty() || true,
                                "unused");
             }
@@ -788,6 +797,8 @@ cmdBench(int argc, char **argv)
     w.field("label", label);
     w.field("git", runner::gitDescribe());
     w.field("quick", quick);
+    w.field("analyzePath",
+            analysis::flatAnalyzeEnabled() ? "flat" : "legacy");
     w.field("apps", appsArg);
     w.field("variants", variantsArg);
     w.field("insts", insts);
@@ -923,8 +934,15 @@ cmdRun(int argc, char **argv)
     }
 
     const auto apps = parseApps(appsArg);
+    // `all` expands to every variant, as in lint — the analyze-drift
+    // CI sweep runs the complete matrix.
+    std::vector<std::string> variantNames;
+    if (variantsArg == "all")
+        variantNames = sim::allVariantNames();
+    else
+        variantNames = splitList(variantsArg);
     std::vector<sim::Variant> variants;
-    for (const auto &name : splitList(variantsArg))
+    for (const auto &name : variantNames)
         variants.push_back(parseVariant(name));
     if (variants.empty())
         critics_fatal("--variants needs at least one variant");

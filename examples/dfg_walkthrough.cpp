@@ -76,7 +76,7 @@ main()
                 fanout.fanout[20], fanout.fanout[22]);
 
     const auto chains = analysis::extractChains(trace, fanout, cfg);
-    for (const auto &chain : chains.chains) {
+    for (const analysis::DynChains::ChainRef chain : chains) {
         if (chain.front() != 0)
             continue;
         std::printf("Extracted IC starting at I0: ");

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Render a per-stage bench delta as a Markdown table.
+
+Usage: bench_summary.py <new-bench.json> <baseline-bench.json>
+
+Compares the newest measurement in the first `critics_cli bench --out`
+file against the newest one in the second (normally the committed
+BENCH_sim.json) and prints a GitHub-flavoured Markdown table of
+median insts/s per stage with the speedup factor.  CI appends the
+output to $GITHUB_STEP_SUMMARY so the analyze-stage delta — the
+number the analyze overhaul is tracked by — is visible per run
+without downloading artifacts.  Stdlib only, exit 0 unless a file is
+unreadable (shared runners are too noisy to gate on throughput).
+"""
+
+import json
+import sys
+
+
+def last_measurement(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    measurements = doc.get("measurements") or []
+    if not measurements:
+        raise ValueError(f"{path}: no measurements")
+    return measurements[-1]
+
+
+def rate(entry, stage):
+    value = ((entry.get("stages") or {}).get(stage) or {}).get(
+        "medianInstsPerSec")
+    return value if isinstance(value, (int, float)) and value > 0 else None
+
+
+def human(value):
+    return f"{value / 1e6:.2f}M" if value else "-"
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip().splitlines()[2])
+        return 2
+    try:
+        new = last_measurement(sys.argv[1])
+        base = last_measurement(sys.argv[2])
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"bench_summary: {e}")
+        return 1
+
+    print(f"### Bench stages: `{new.get('label', '?')}` vs "
+          f"`{base.get('label', '?')}` (git {base.get('git', '?')})")
+    print()
+    print("| stage | median insts/s | baseline | factor |")
+    print("|---|---|---|---|")
+    stages = list((new.get("stages") or {}).keys())
+    for stage in stages:
+        n, b = rate(new, stage), rate(base, stage)
+        factor = f"{n / b:.2f}x" if n and b else "-"
+        mark = " ⚠" if stage == "analyze" and n and b and n < b else ""
+        print(f"| {stage} | {human(n)} | {human(b)} | {factor}{mark} |")
+    print()
+    print("_Informational: shared runners are too noisy to gate on "
+          "throughput; the committed baseline was measured on a quiet "
+          "box._")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

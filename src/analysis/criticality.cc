@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "analysis/mode.hh"
 #include "support/logging.hh"
 
 namespace critics::analysis
@@ -23,19 +24,18 @@ computeFanout(const Trace &trace, const CriticalityConfig &config)
     const auto window = static_cast<DynIdx>(config.window);
     for (std::size_t i = 0; i < n; ++i) {
         const auto &d = trace.insts[i];
-        for (const DynIdx dep : {d.dep0, d.dep1}) {
-            if (dep == NoDep)
-                continue;
-            if (static_cast<DynIdx>(i) - dep <= window &&
-                info.fanout[dep] < 0xFFFF) {
-                ++info.fanout[dep];
-            }
+        const auto idx = static_cast<DynIdx>(i);
+        // dep0 == dep1 counts once (emit never duplicates, but guard);
+        // counting the duplicate directly keeps the 0xFFFF saturation
+        // exact — the old increment-both-then-decrement scheme left
+        // 0xFFFE behind once the counter hit the cap.
+        if (d.dep0 != NoDep && idx - d.dep0 <= window &&
+            info.fanout[d.dep0] < 0xFFFF) {
+            ++info.fanout[d.dep0];
         }
-        // dep0 == dep1 counts once: emit never duplicates, but guard.
-        if (d.dep0 != NoDep && d.dep0 == d.dep1 &&
-            static_cast<DynIdx>(i) - d.dep0 <= window &&
-            info.fanout[d.dep0] > 0) {
-            --info.fanout[d.dep0];
+        if (d.dep1 != NoDep && d.dep1 != d.dep0 &&
+            idx - d.dep1 <= window && info.fanout[d.dep1] < 0xFFFF) {
+            ++info.fanout[d.dep1];
         }
     }
     for (std::size_t i = 0; i < n; ++i) {
@@ -50,15 +50,37 @@ computeFanout(const Trace &trace, const CriticalityConfig &config)
 namespace
 {
 
-/** Adjacency of direct in-window consumers, flattened. */
+/** Adjacency of direct in-window consumers, flattened (legacy path). */
 struct Consumers
 {
     std::vector<std::uint32_t> offsets; ///< n+1
     std::vector<DynIdx> edges;
 };
 
+/** The flat path's consumer index: only extraction-eligible consumers
+ *  (exactly one in-window producer) are stored, and since each has one
+ *  producer the edges form a forest — a head/next intrusive list per
+ *  producer instead of a counted CSR.  One trace sweep builds it: no
+ *  counting pass, no prefix sum, and no saturation special case
+ *  (fanout's 0xFFFF cap never matters because nothing is counted).
+ *  The sweep runs backwards with prepend insertion, so each list comes
+ *  out in ascending consumer-index order — the legacy bucket order,
+ *  keeping tie-breaks unchanged — without needing a tail array. */
+struct EligibleForest
+{
+    std::vector<DynIdx> head; ///< first eligible consumer, or NoDep
+    std::vector<DynIdx> next; ///< per consumer: next sibling, or NoDep
+};
+
+/**
+ * Build the consumer CSR and (optionally, flat path) the per-inst
+ * in-window producer count (0, 1 or 2) in the same sweep, so the
+ * self-containment test in chain extraction is one byte load instead
+ * of re-deriving both deps' window checks per query.
+ */
 Consumers
-buildConsumers(const Trace &trace, unsigned window)
+buildConsumers(const Trace &trace, unsigned window,
+               std::vector<std::uint8_t> *producerCounts)
 {
     const std::size_t n = trace.size();
     Consumers c;
@@ -69,13 +91,22 @@ buildConsumers(const Trace &trace, unsigned window)
         return producer != NoDep && consumer - producer <= win;
     };
 
+    if (producerCounts != nullptr)
+        producerCounts->assign(n, 0);
     for (std::size_t i = 0; i < n; ++i) {
         const auto &d = trace.insts[i];
         const auto idx = static_cast<DynIdx>(i);
-        if (inWindow(idx, d.dep0))
+        std::uint8_t producers = 0;
+        if (inWindow(idx, d.dep0)) {
             ++counts[d.dep0];
-        if (inWindow(idx, d.dep1) && d.dep1 != d.dep0)
+            ++producers;
+        }
+        if (inWindow(idx, d.dep1) && d.dep1 != d.dep0) {
             ++counts[d.dep1];
+            ++producers;
+        }
+        if (producerCounts != nullptr)
+            (*producerCounts)[i] = producers;
     }
     c.offsets.resize(n + 1, 0);
     for (std::size_t i = 0; i < n; ++i)
@@ -94,6 +125,29 @@ buildConsumers(const Trace &trace, unsigned window)
     return c;
 }
 
+EligibleForest
+buildEligibleForest(const Trace &trace, unsigned window)
+{
+    const std::size_t n = trace.size();
+    const auto win = static_cast<DynIdx>(window);
+    EligibleForest f;
+    f.head.assign(n, NoDep);
+    f.next.resize(n);
+    for (std::size_t i = n; i-- > 0;) {
+        const auto &d = trace.insts[i];
+        const auto idx = static_cast<DynIdx>(i);
+        const bool has0 = d.dep0 != NoDep && idx - d.dep0 <= win;
+        const bool has1 = d.dep1 != NoDep && d.dep1 != d.dep0 &&
+            idx - d.dep1 <= win;
+        if (has0 != has1) { // exactly one in-window producer: eligible
+            const DynIdx p = has0 ? d.dep0 : d.dep1;
+            f.next[idx] = f.head[p];
+            f.head[p] = idx;
+        }
+    }
+    return f;
+}
+
 /** Number of in-window producers of instruction i (0, 1 or 2). */
 unsigned
 producerCount(const Trace &trace, DynIdx i, unsigned window)
@@ -108,23 +162,28 @@ producerCount(const Trace &trace, DynIdx i, unsigned window)
     return count;
 }
 
-} // namespace
-
+/** The pre-overhaul extraction: re-walks every candidate's consumer
+ *  list per greedy step (the lookahead makes that quadratic in the
+ *  fanout of hot producers).  Kept one release behind
+ *  CRITICS_FLAT_ANALYZE=off. */
 DynChains
-extractChains(const Trace &trace, const FanoutInfo &fanout,
-              const CriticalityConfig &config)
+extractChainsLegacy(const Trace &trace, const FanoutInfo &fanout,
+                    const CriticalityConfig &config)
 {
     const std::size_t n = trace.size();
-    const Consumers consumers = buildConsumers(trace, config.window);
+    const Consumers consumers =
+        buildConsumers(trace, config.window, nullptr);
     std::vector<std::uint8_t> taken(n, 0);
 
     DynChains result;
+    result.members.reserve(n);
+    result.offsets.reserve(n + 1);
+    result.offsets.push_back(0);
     for (std::size_t start = 0; start < n; ++start) {
         if (taken[start])
             continue;
-        std::vector<DynIdx> chain;
         DynIdx cur = static_cast<DynIdx>(start);
-        chain.push_back(cur);
+        result.members.push_back(cur);
         taken[start] = 1;
 
         while (true) {
@@ -166,13 +225,138 @@ extractChains(const Trace &trace, const FanoutInfo &fanout,
             }
             if (best == NoDep)
                 break;
-            chain.push_back(best);
+            result.members.push_back(best);
             taken[best] = 1;
             cur = best;
         }
-        result.chains.push_back(std::move(chain));
+        result.offsets.push_back(
+            static_cast<std::uint32_t>(result.members.size()));
     }
     return result;
+}
+
+/**
+ * The flat extraction (DESIGN.md §10): identical greedy decisions, but
+ * the self-containment test is baked into the eligible-only forest
+ * storage and the lookahead is memoized per candidate with a witness.
+ * The cached value is the max over a shrinking set (taking instructions
+ * only removes lookahead contributors), so as long as the witness —
+ * the consumer that achieved the cached max — is still untaken, the
+ * cached value is exact; only a taken witness forces a re-walk.
+ */
+DynChains
+extractChainsFlat(const Trace &trace, const FanoutInfo &fanout,
+                  const CriticalityConfig &config)
+{
+    const std::size_t n = trace.size();
+    const EligibleForest forest =
+        buildEligibleForest(trace, config.window);
+    std::vector<std::uint8_t> taken(n, 0);
+
+    /** Memoized lookahead: value + the witness that achieved it.
+     *  wit == kNoMemo marks a never-computed entry; wit == NoDep a
+     *  computed entry whose candidate set was empty.  The cached value
+     *  is a max over a shrinking set (instructions only get taken), so
+     *  it stays exact while the witness is untaken. */
+    struct Look
+    {
+        std::uint32_t val;
+        DynIdx wit;
+    };
+    constexpr DynIdx kNoMemo = -2;
+    std::vector<Look> look(n, Look{0, kNoMemo});
+
+    auto lookahead = [&](DynIdx cand) {
+        Look &memo = look[cand];
+        if (memo.wit != kNoMemo &&
+            (memo.wit == NoDep || !taken[memo.wit])) {
+            return memo.val;
+        }
+        std::uint32_t best = 0;
+        DynIdx witness = NoDep;
+        for (DynIdx nxt = forest.head[cand]; nxt != NoDep;
+             nxt = forest.next[nxt]) {
+            if (taken[nxt])
+                continue;
+            const std::uint32_t value = 1u + fanout.fanout[nxt];
+            if (value > best) {
+                best = value;
+                witness = nxt;
+            }
+        }
+        memo = {best, witness};
+        return best;
+    };
+
+    DynChains result;
+    result.members.reserve(n);
+    result.offsets.reserve(n + 1);
+    result.offsets.push_back(0);
+    for (std::size_t start = 0; start < n; ++start) {
+        if (taken[start])
+            continue;
+        DynIdx cur = static_cast<DynIdx>(start);
+        result.members.push_back(cur);
+        taken[start] = 1;
+
+        while (true) {
+            // With exactly one eligible consumer the greedy choice is
+            // score-independent (the first eligible candidate always
+            // seeds `best`), so the lookahead only runs on contested
+            // steps.  Scores are 2x the legacy double score — every
+            // term is an exactly-representable integer, so the
+            // comparisons order identically.
+            DynIdx only = NoDep;
+            bool contested = false;
+            for (DynIdx cand = forest.head[cur]; cand != NoDep;
+                 cand = forest.next[cand]) {
+                if (taken[cand])
+                    continue;
+                if (only == NoDep) {
+                    only = cand;
+                } else {
+                    contested = true;
+                    break;
+                }
+            }
+            if (only == NoDep)
+                break;
+            DynIdx best = only;
+            if (contested) {
+                best = NoDep;
+                std::uint32_t bestScore = 0;
+                for (DynIdx cand = forest.head[cur]; cand != NoDep;
+                     cand = forest.next[cand]) {
+                    if (taken[cand])
+                        continue;
+                    const std::uint32_t score =
+                        2u * (1u + fanout.fanout[cand]) +
+                        lookahead(cand);
+                    if (best == NoDep || score > bestScore) {
+                        best = cand;
+                        bestScore = score;
+                    }
+                }
+            }
+            result.members.push_back(best);
+            taken[best] = 1;
+            cur = best;
+        }
+        result.offsets.push_back(
+            static_cast<std::uint32_t>(result.members.size()));
+    }
+    return result;
+}
+
+} // namespace
+
+DynChains
+extractChains(const Trace &trace, const FanoutInfo &fanout,
+              const CriticalityConfig &config)
+{
+    return flatAnalyzeEnabled()
+        ? extractChainsFlat(trace, fanout, config)
+        : extractChainsLegacy(trace, fanout, config);
 }
 
 ChainStats
@@ -184,7 +368,7 @@ chainStatistics(const Trace &trace, const DynChains &chains,
     std::uint64_t critTotal = 0;
     std::uint64_t critWithoutSuccessor = 0;
 
-    for (const auto &chain : chains.chains) {
+    for (const DynChains::ChainRef chain : chains) {
         if (chain.size() >= 2) {
             ++stats.multiMemberChains;
             stats.icLength.add(static_cast<std::int64_t>(chain.size()));

@@ -54,11 +54,58 @@ struct FanoutInfo
 FanoutInfo computeFanout(const program::Trace &trace,
                          const CriticalityConfig &config);
 
-/** Dynamic instruction chains (ICs). */
+/**
+ * Dynamic instruction chains (ICs), stored flat: all member indices
+ * concatenated in `members` with `offsets` fenceposts (size()+1), so a
+ * 400k-instruction trace costs two allocations instead of one heap
+ * vector per chain (most chains are singletons).  Each chain is a
+ * strictly increasing dyn-index list.
+ */
 struct DynChains
 {
-    /** Chain membership, each a strictly increasing dyn-index list. */
-    std::vector<std::vector<program::DynIdx>> chains;
+    std::vector<program::DynIdx> members;
+    std::vector<std::uint32_t> offsets; ///< size()+1 fenceposts
+
+    /** Non-owning view of one chain. */
+    struct ChainRef
+    {
+        const program::DynIdx *data = nullptr;
+        std::uint32_t len = 0;
+
+        const program::DynIdx *begin() const { return data; }
+        const program::DynIdx *end() const { return data + len; }
+        std::size_t size() const { return len; }
+        bool empty() const { return len == 0; }
+        program::DynIdx operator[](std::size_t k) const { return data[k]; }
+        program::DynIdx front() const { return data[0]; }
+        program::DynIdx back() const { return data[len - 1]; }
+    };
+
+    std::size_t
+    size() const
+    {
+        return offsets.empty() ? 0 : offsets.size() - 1;
+    }
+
+    ChainRef
+    operator[](std::size_t i) const
+    {
+        return {members.data() + offsets[i], offsets[i + 1] - offsets[i]};
+    }
+
+    /** Iterate chains by value (ChainRef is two words). */
+    struct Iterator
+    {
+        const DynChains *owner;
+        std::size_t i;
+
+        ChainRef operator*() const { return (*owner)[i]; }
+        Iterator &operator++() { ++i; return *this; }
+        bool operator!=(const Iterator &o) const { return i != o.i; }
+    };
+
+    Iterator begin() const { return {this, 0}; }
+    Iterator end() const { return {this, size()}; }
 };
 
 /**

@@ -1,9 +1,11 @@
 #include "analysis/miner.hh"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/mode.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 
@@ -17,12 +19,14 @@ using program::Trace;
 namespace
 {
 
+constexpr std::uint64_t kUidSeqSeed = 0x9E3779B97F4A7C15ULL;
+
 struct UidSeqHash
 {
     std::size_t
     operator()(const std::vector<InstUid> &seq) const
     {
-        std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+        std::uint64_t h = kUidSeqSeed;
         for (const InstUid uid : seq)
             h = hashCombine(h, uid);
         return static_cast<std::size_t>(h);
@@ -42,12 +46,120 @@ directlyConvertible(const isa::OperandInfo &info)
     return isa::thumbDirectlyConvertible(info);
 }
 
-} // namespace
+/**
+ * The interned uid-sequence table of the flat miner (DESIGN.md §10).
+ * Every unique segment lives once in a shared arena; the open-addressed
+ * slot array maps a precomputed hash to an entry holding the arena
+ * span and its aggregates, and `memberFanoutSums` parallels the arena
+ * so per-member sums need no per-entry vector.  Aggregating a segment
+ * allocates nothing once the table is warm — the legacy path built a
+ * `std::vector<InstUid>` key per qualifying segment just to probe an
+ * unordered_map.
+ */
+class SegmentTable
+{
+  public:
+    struct Entry
+    {
+        std::uint64_t hash = 0;
+        std::uint32_t off = 0; ///< arena offset of the uid sequence
+        std::uint32_t len = 0;
+        std::uint64_t dynCount = 0;
+        std::uint64_t fanoutSum = 0;
+    };
 
+    SegmentTable() { slots_.assign(kInitialSlots, -1); }
+
+    /** Find-or-insert the uid sequence; returns the entry index. */
+    std::size_t
+    intern(const InstUid *uids, std::uint32_t len, std::uint64_t hash)
+    {
+        std::size_t mask = slots_.size() - 1;
+        std::size_t j = static_cast<std::size_t>(hash) & mask;
+        while (slots_[j] >= 0) {
+            const Entry &e = entries_[static_cast<std::size_t>(slots_[j])];
+            if (e.hash == hash && e.len == len &&
+                std::equal(uids, uids + len, arena_.begin() + e.off)) {
+                return static_cast<std::size_t>(slots_[j]);
+            }
+            j = (j + 1) & mask;
+        }
+        Entry e;
+        e.hash = hash;
+        e.off = static_cast<std::uint32_t>(arena_.size());
+        e.len = len;
+        arena_.insert(arena_.end(), uids, uids + len);
+        memberFanoutSums_.resize(arena_.size(), 0);
+        entries_.push_back(e);
+        slots_[j] = static_cast<std::int32_t>(entries_.size() - 1);
+        if (entries_.size() * 10 >= slots_.size() * 7)
+            grow();
+        return entries_.size() - 1;
+    }
+
+    Entry &entry(std::size_t i) { return entries_[i]; }
+    const std::vector<Entry> &entries() const { return entries_; }
+    const InstUid *uids(const Entry &e) const { return arena_.data() + e.off; }
+
+    void
+    addMemberFanout(const Entry &e, std::uint32_t member,
+                    std::uint64_t fanout)
+    {
+        memberFanoutSums_[e.off + member] += fanout;
+    }
+
+    std::uint64_t
+    memberFanoutSum(const Entry &e, std::uint32_t member) const
+    {
+        return memberFanoutSums_[e.off + member];
+    }
+
+  private:
+    static constexpr std::size_t kInitialSlots = 1024; ///< power of two
+
+    void
+    grow()
+    {
+        std::vector<std::int32_t> next(slots_.size() * 2, -1);
+        const std::size_t mask = next.size() - 1;
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            std::size_t j =
+                static_cast<std::size_t>(entries_[i].hash) & mask;
+            while (next[j] >= 0)
+                j = (j + 1) & mask;
+            next[j] = static_cast<std::int32_t>(i);
+        }
+        slots_ = std::move(next);
+    }
+
+    std::vector<InstUid> arena_;
+    std::vector<std::uint64_t> memberFanoutSums_; ///< parallels arena_
+    std::vector<Entry> entries_;
+    std::vector<std::int32_t> slots_; ///< -1 = empty
+};
+
+/** Descending coverage, uid-lexicographic tie-break: a total order on
+ *  unique chains, so both analyze paths emit the same sequence no
+ *  matter what their aggregation table iterated like. */
+void
+sortChains(std::vector<MinedChain> &chains)
+{
+    std::sort(chains.begin(), chains.end(),
+              [](const MinedChain &a, const MinedChain &b) {
+                  if (a.coverage() != b.coverage())
+                      return a.coverage() > b.coverage();
+                  return a.uids < b.uids;
+              });
+}
+
+/** The pre-overhaul miner, kept one release behind
+ *  CRITICS_FLAT_ANALYZE=off: per-segment key vectors into an
+ *  unordered_map, per-step avg() recomputation in the trim loop, and a
+ *  Program::locate hash probe per dynamic instruction. */
 MineResult
-mineCritIcs(const Trace &trace, const program::Program &prog,
-            const DynChains &chains, const FanoutInfo &fanout,
-            const CriticalityConfig &config, double profileFraction)
+mineCritIcsLegacy(const Trace &trace, const program::Program &prog,
+                  const DynChains &chains, const FanoutInfo &fanout,
+                  const CriticalityConfig &config, double profileFraction)
 {
     MineResult result;
     result.dynInsts = trace.size();
@@ -59,7 +171,7 @@ mineCritIcs(const Trace &trace, const program::Program &prog,
 
     std::vector<InstUid> segment;
     std::vector<DynIdx> segmentDyn;
-    for (const auto &chain : chains.chains) {
+    for (const DynChains::ChainRef chain : chains) {
         if (chain.empty() || chain.front() >= cutoff)
             continue;
 
@@ -143,19 +255,212 @@ mineCritIcs(const Trace &trace, const program::Program &prog,
                 static_cast<double>(sum) /
                 static_cast<double>(agg.dynCount));
         }
-        chain.directlyConvertible = std::all_of(
-            uids.begin(), uids.end(), [&](InstUid uid) {
-                return directlyConvertible(prog.instByUid(uid).arch);
-            });
+        chain.memberConvertible.reserve(uids.size());
+        bool allConvertible = true;
+        for (const InstUid uid : uids) {
+            const bool conv =
+                directlyConvertible(prog.instByUid(uid).arch);
+            chain.memberConvertible.push_back(conv ? 1 : 0);
+            allConvertible = allConvertible && conv;
+        }
+        chain.directlyConvertible = allConvertible;
         result.chains.push_back(std::move(chain));
     }
-    std::sort(result.chains.begin(), result.chains.end(),
-              [](const MinedChain &a, const MinedChain &b) {
-                  if (a.coverage() != b.coverage())
-                      return a.coverage() > b.coverage();
-                  return a.uids < b.uids; // deterministic tie-break
-              });
+    sortChains(result.chains);
     return result;
+}
+
+/**
+ * The flat miner (DESIGN.md §10): identical statistics via
+ *
+ *  - a dense LocTable lookup per dynamic instruction instead of a
+ *    Program::locate hash probe,
+ *  - prefix sums over the segment's fanout so the trim loop costs
+ *    O(len) total instead of recomputing avg() per step, and
+ *  - the interned SegmentTable instead of vector-keyed hashing.
+ */
+MineResult
+mineCritIcsFlat(const Trace &trace, const program::Program &prog,
+                const DynChains &chains, const FanoutInfo &fanout,
+                const CriticalityConfig &config, double profileFraction,
+                const LocTable *locs)
+{
+    std::optional<LocTable> ownLocs;
+    if (locs == nullptr) {
+        ownLocs.emplace(prog);
+        locs = &*ownLocs;
+    }
+
+    MineResult result;
+    result.dynInsts = trace.size();
+    const auto cutoff = static_cast<DynIdx>(
+        static_cast<double>(trace.size()) *
+        std::clamp(profileFraction, 0.0, 1.0));
+
+    SegmentTable table;
+    std::vector<InstUid> segment;
+    std::vector<DynIdx> segmentDyn;
+    std::vector<std::uint64_t> prefix; ///< fanout prefix sums, len+1
+
+    for (const DynChains::ChainRef chain : chains) {
+        // A single member can never form a >= 2-length segment, and
+        // most chains are singletons: skip them before any location
+        // lookups.  (The legacy path walks them into an empty flush.)
+        if (chain.size() < 2 || chain.front() >= cutoff)
+            continue;
+
+        segment.clear();
+        segmentDyn.clear();
+        std::uint64_t curKey = ~0ull; // matches no packed location
+        std::uint64_t lastIndex = 0;
+
+        auto flush = [&]() {
+            std::size_t lo = 0, hi = segment.size();
+            if (hi > 2) {
+                prefix.resize(hi + 1);
+                prefix[0] = 0;
+                for (std::size_t k = 0; k < hi; ++k)
+                    prefix[k + 1] =
+                        prefix[k] + fanout.fanout[segmentDyn[k]];
+                // Same decisions as the legacy avg() loop: the prefix
+                // difference is the identical uint64 sum, so the double
+                // division compares bit-identically.
+                while (hi - lo > 2) {
+                    const double avg =
+                        static_cast<double>(prefix[hi] - prefix[lo]) /
+                        static_cast<double>(hi - lo);
+                    if (!(avg < config.chainCritThreshold))
+                        break;
+                    if (fanout.fanout[segmentDyn[lo]] <=
+                        fanout.fanout[segmentDyn[hi - 1]]) {
+                        ++lo;
+                    } else {
+                        --hi;
+                    }
+                }
+            }
+            if (hi - lo >= 2) {
+                ++result.segmentsSeen;
+                const auto len = static_cast<std::uint32_t>(hi - lo);
+                std::uint64_t hash = kUidSeqSeed;
+                for (std::size_t k = lo; k < hi; ++k)
+                    hash = hashCombine(hash, segment[k]);
+                const std::size_t idx =
+                    table.intern(segment.data() + lo, len, hash);
+                SegmentTable::Entry &e = table.entry(idx);
+                ++e.dynCount;
+                for (std::size_t k = lo; k < hi; ++k) {
+                    const std::uint64_t f = fanout.fanout[segmentDyn[k]];
+                    e.fanoutSum += f;
+                    table.addMemberFanout(
+                        e, static_cast<std::uint32_t>(k - lo), f);
+                }
+            }
+            segment.clear();
+            segmentDyn.clear();
+        };
+
+        for (const DynIdx dyn : chain) {
+            const InstUid uid = trace.insts[dyn].staticUid;
+            const std::uint64_t packed = locs->packed(uid);
+            const bool sameBlock =
+                (packed >> LocTable::kIndexBits) ==
+                    (curKey >> LocTable::kIndexBits) &&
+                (packed & LocTable::kIndexMask) > lastIndex;
+            if (!sameBlock)
+                flush();
+            segment.push_back(uid);
+            segmentDyn.push_back(dyn);
+            curKey = packed;
+            lastIndex = packed & LocTable::kIndexMask;
+        }
+        flush();
+    }
+
+    for (const SegmentTable::Entry &e : table.entries()) {
+        const double avgFanout =
+            static_cast<double>(e.fanoutSum) /
+            static_cast<double>(e.dynCount * e.len);
+        if (avgFanout < config.chainCritThreshold)
+            continue;
+        const InstUid *uids = table.uids(e);
+        MinedChain chain;
+        chain.uids.assign(uids, uids + e.len);
+        chain.dynCount = e.dynCount;
+        chain.avgFanout = avgFanout;
+        chain.memberFanout.reserve(e.len);
+        for (std::uint32_t k = 0; k < e.len; ++k) {
+            chain.memberFanout.push_back(
+                static_cast<double>(table.memberFanoutSum(e, k)) /
+                static_cast<double>(e.dynCount));
+        }
+        chain.memberConvertible.reserve(e.len);
+        bool allConvertible = true;
+        for (std::uint32_t k = 0; k < e.len; ++k) {
+            const bool conv = locs->convertible(uids[k]);
+            chain.memberConvertible.push_back(conv ? 1 : 0);
+            allConvertible = allConvertible && conv;
+        }
+        chain.directlyConvertible = allConvertible;
+        result.chains.push_back(std::move(chain));
+    }
+    sortChains(result.chains);
+    return result;
+}
+
+} // namespace
+
+LocTable::LocTable(const program::Program &prog)
+{
+    InstUid maxUid = 0;
+    bool any = false;
+    for (const auto &fn : prog.funcs) {
+        for (const auto &bb : fn.blocks) {
+            for (const auto &si : bb.insts) {
+                maxUid = std::max(maxUid, si.uid);
+                any = true;
+            }
+        }
+    }
+    locs_.assign(any ? maxUid + 1 : 0, program::InstLoc{});
+    packed_.assign(locs_.size(), 0);
+    convertible_.assign(locs_.size(), 0);
+    critics_assert(prog.funcs.size() < (1u << 24),
+                   "LocTable: function count overflows packed location");
+    for (std::uint32_t fi = 0; fi < prog.funcs.size(); ++fi) {
+        const auto &fn = prog.funcs[fi];
+        critics_assert(fn.blocks.size() < (1u << kBlockBits),
+                       "LocTable: block count overflows packed location");
+        for (std::uint32_t bi = 0; bi < fn.blocks.size(); ++bi) {
+            const auto &bb = fn.blocks[bi];
+            critics_assert(bb.insts.size() < (1u << kIndexBits),
+                           "LocTable: block length overflows packed "
+                           "location");
+            for (std::uint32_t ii = 0; ii < bb.insts.size(); ++ii) {
+                const auto &si = bb.insts[ii];
+                locs_[si.uid] = {fi, bi, ii};
+                packed_[si.uid] =
+                    (static_cast<std::uint64_t>(fi)
+                     << (kBlockBits + kIndexBits)) |
+                    (static_cast<std::uint64_t>(bi) << kIndexBits) | ii;
+                convertible_[si.uid] =
+                    directlyConvertible(si.arch) ? 1 : 0;
+            }
+        }
+    }
+}
+
+MineResult
+mineCritIcs(const Trace &trace, const program::Program &prog,
+            const DynChains &chains, const FanoutInfo &fanout,
+            const CriticalityConfig &config, double profileFraction,
+            const LocTable *locs)
+{
+    return flatAnalyzeEnabled()
+        ? mineCritIcsFlat(trace, prog, chains, fanout, config,
+                          profileFraction, locs)
+        : mineCritIcsLegacy(trace, prog, chains, fanout, config,
+                            profileFraction);
 }
 
 Selection
@@ -164,6 +469,22 @@ selectCritIcs(const MineResult &mined, const SelectOptions &options)
     Selection selection;
     std::unordered_set<InstUid> used;
     std::uint64_t covered = 0;
+
+    // The convertibility constraint applies to what gets selected: when
+    // a maxLen window is cut out of a longer chain, test the window's
+    // members, not the whole chain (whose ends the window excludes).
+    // Hand-built MineResults without per-member bits keep the
+    // whole-chain answer.
+    auto windowConvertible = [](const MinedChain &chain, std::size_t lo,
+                                std::size_t len) {
+        if (chain.memberConvertible.size() != chain.uids.size())
+            return chain.directlyConvertible;
+        for (std::size_t k = 0; k < len; ++k) {
+            if (!chain.memberConvertible[lo + k])
+                return false;
+        }
+        return true;
+    };
 
     for (const MinedChain &chain : mined.chains) {
         if (selection.chains.size() >= options.maxChains)
@@ -191,7 +512,7 @@ selectCritIcs(const MineResult &mined, const SelectOptions &options)
                 len = options.maxLen;
             }
             if (options.requireConvertible &&
-                !chain.directlyConvertible) {
+                !windowConvertible(chain, lo, len)) {
                 continue;
             }
         }
@@ -244,7 +565,10 @@ coverageCdf(const MineResult &mined)
         static_cast<double>(convChains) /
         static_cast<double>(mined.chains.size());
 
-    // Decimate to keep the series printable.
+    // Decimate to keep the series printable.  The first and last
+    // points are pinned exactly: 63.0 * stride can truncate to
+    // size - 2 under floating-point rounding, which used to end the
+    // reported Fig. 5b curve below its true terminal coverage.
     auto decimate = [](std::vector<CdfPoint> &points) {
         if (points.size() <= 64)
             return;
@@ -252,8 +576,11 @@ coverageCdf(const MineResult &mined)
         const double stride =
             static_cast<double>(points.size() - 1) / 63.0;
         for (unsigned i = 0; i < 64; ++i) {
-            keep.push_back(points[static_cast<std::size_t>(
-                static_cast<double>(i) * stride)]);
+            std::size_t idx = static_cast<std::size_t>(
+                static_cast<double>(i) * stride);
+            if (i == 63 || idx >= points.size())
+                idx = points.size() - 1;
+            keep.push_back(points[idx]);
         }
         points = std::move(keep);
     };

@@ -31,6 +31,10 @@ struct MinedChain
     double avgFanout = 0.0;             ///< per instruction, dynamic avg
     /** Dynamic-average fanout of each member (for sub-path selection). */
     std::vector<double> memberFanout;
+    /** Per-member 16-bit representability (for sub-path selection: a
+     *  maxLen window is convertible iff its own members are, even when
+     *  the full chain is not). */
+    std::vector<std::uint8_t> memberConvertible;
     bool directlyConvertible = false;   ///< all members 16-bit as-is
 
     std::uint64_t
@@ -49,17 +53,68 @@ struct MineResult
 };
 
 /**
+ * Dense uid-indexed cache of Program::locate() plus per-uid Thumb
+ * convertibility, built in one program walk.  The mining loop queries
+ * a location per dynamic instruction; resolving that through the
+ * program's uid hash map costs more than the rest of the segment cut
+ * combined, and the answers are identical for every profile fraction
+ * mined from the same program — so AppExperiment builds one of these
+ * and shares it across minedAt() calls.
+ */
+class LocTable
+{
+  public:
+    /** Packed location: func(24) | block(20) | index(20).  The segment
+     *  cutter's same-block test (`same func+block, strictly increasing
+     *  index`) becomes one 8-byte load: equal high 44 bits plus an
+     *  index comparison on the low 20. */
+    static constexpr unsigned kIndexBits = 20;
+    static constexpr unsigned kBlockBits = 20;
+    static constexpr std::uint64_t kIndexMask =
+        (1ull << kIndexBits) - 1;
+
+    explicit LocTable(const program::Program &prog);
+
+    const program::InstLoc &
+    loc(program::InstUid uid) const
+    {
+        return locs_[uid];
+    }
+
+    std::uint64_t
+    packed(program::InstUid uid) const
+    {
+        return packed_[uid];
+    }
+
+    bool
+    convertible(program::InstUid uid) const
+    {
+        return convertible_[uid] != 0;
+    }
+
+  private:
+    std::vector<program::InstLoc> locs_;
+    std::vector<std::uint64_t> packed_;
+    std::vector<std::uint8_t> convertible_;
+};
+
+/**
  * Mine unique CritICs from the extracted dynamic chains.
  *
  * @param profileFraction profile only the first fraction of the trace
  *        (Fig. 12b sensitivity); chains whose head lies beyond the
  *        cutoff are ignored.
+ * @param locs optional shared location cache for `prog` (the flat
+ *        path builds a private one when absent; the legacy path
+ *        resolves through Program::locate as before).
  */
 MineResult mineCritIcs(const program::Trace &trace,
                        const program::Program &prog,
                        const DynChains &chains, const FanoutInfo &fanout,
                        const CriticalityConfig &config,
-                       double profileFraction = 1.0);
+                       double profileFraction = 1.0,
+                       const LocTable *locs = nullptr);
 
 /** Selection constraints. */
 struct SelectOptions

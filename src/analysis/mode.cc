@@ -1,0 +1,53 @@
+#include "analysis/mode.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace critics::analysis
+{
+
+namespace
+{
+
+/** -1 = unresolved, 0 = legacy, 1 = flat. */
+std::atomic<int> gFlatAnalyze{-1};
+
+int
+fromEnv()
+{
+    const char *value = std::getenv("CRITICS_FLAT_ANALYZE");
+    if (value != nullptr &&
+        (std::strcmp(value, "off") == 0 || std::strcmp(value, "0") == 0)) {
+        return 0;
+    }
+    return 1;
+}
+
+} // namespace
+
+bool
+flatAnalyzeEnabled()
+{
+    int state = gFlatAnalyze.load(std::memory_order_relaxed);
+    if (state < 0) {
+        state = fromEnv();
+        int expected = -1;
+        // Another thread may have resolved (or overridden) first; its
+        // value wins so setFlatAnalyze can never be undone by a racing
+        // env read.
+        if (!gFlatAnalyze.compare_exchange_strong(
+                expected, state, std::memory_order_relaxed)) {
+            state = expected;
+        }
+    }
+    return state == 1;
+}
+
+void
+setFlatAnalyze(bool enabled)
+{
+    gFlatAnalyze.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+} // namespace critics::analysis

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Analyze-path selection.  The flat analyze overhaul (DESIGN.md §10)
+ * replaced the quadratic chain extraction and the allocation-heavy
+ * mining table; `CRITICS_FLAT_ANALYZE=off` selects the pre-overhaul
+ * legacy paths, kept for one release as the escape hatch and as the
+ * reference side of the CI `analyze-drift` zero-drift gate.
+ */
+
+#ifndef CRITICS_ANALYSIS_MODE_HH
+#define CRITICS_ANALYSIS_MODE_HH
+
+namespace critics::analysis
+{
+
+/** True unless CRITICS_FLAT_ANALYZE=off|0 (or setFlatAnalyze(false)).
+ *  Read once and cached; the override below wins over the
+ *  environment. */
+bool flatAnalyzeEnabled();
+
+/** Force a path (tests and the drift harness toggle both sides inside
+ *  one process). */
+void setFlatAnalyze(bool enabled);
+
+} // namespace critics::analysis
+
+#endif // CRITICS_ANALYSIS_MODE_HH

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "analysis/mode.hh"
 #include "obs/obs.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
@@ -128,11 +129,26 @@ AppExperiment::minedAt(double fraction)
     }
     std::call_once(slot->once, [&] {
         obs::StageScope scope(obs::Stage::Analyze);
+        // The legacy analyze path ignores the location cache (it
+        // resolves through Program::locate as it always did), so only
+        // the flat path pays for building it.
+        const analysis::LocTable *locs =
+            analysis::flatAnalyzeEnabled() ? &locTable() : nullptr;
         slot->result =
             analysis::mineCritIcs(trace_, program_, chains(), fanout(),
-                                  options_.crit, fraction);
+                                  options_.crit, fraction, locs);
     });
     return slot->result;
+}
+
+const analysis::LocTable &
+AppExperiment::locTable()
+{
+    std::call_once(locTableOnce_, [&] {
+        obs::StageScope scope(obs::Stage::Analyze);
+        locTable_.emplace(program_);
+    });
+    return *locTable_;
 }
 
 const std::unordered_set<program::InstUid> &

@@ -150,6 +150,11 @@ class AppExperiment
     const analysis::MineResult &mined();
     const analysis::MineResult &minedAt(double fraction);
     const std::unordered_set<program::InstUid> &criticalSet();
+    /** Dense uid -> location/convertibility cache of the baseline
+     *  program, shared by every minedAt() fraction (the mining loop
+     *  would otherwise hash-probe Program::locate per dynamic
+     *  instruction). */
+    const analysis::LocTable &locTable();
 
     // ---- Design-point runs -----------------------------------------------
     const RunResult &baseline();
@@ -200,6 +205,7 @@ class AppExperiment
     std::once_flag fanoutOnce_;
     std::once_flag chainsOnce_;
     std::once_flag chainStatsOnce_;
+    std::once_flag locTableOnce_;
     std::once_flag criticalSetOnce_;
     std::once_flag baselineOnce_;
     std::once_flag staticThumbOnce_;
@@ -208,6 +214,7 @@ class AppExperiment
     std::optional<analysis::FanoutInfo> fanout_;
     std::optional<analysis::DynChains> chains_;
     std::optional<analysis::ChainStats> chainStats_;
+    std::optional<analysis::LocTable> locTable_;
     std::optional<std::unordered_set<program::InstUid>> criticalSet_;
     std::optional<RunResult> baseline_;
 

@@ -2,12 +2,16 @@
  * @file
  * Tests for CritIC mining and selection: signature aggregation,
  * end-trimming, thresholding, length handling, convertibility and
- * non-overlap constraints, and the coverage CDF.
+ * non-overlap constraints, and the coverage CDF.  The miner runs under
+ * both analyze paths (flat and the CRITICS_FLAT_ANALYZE=off legacy
+ * escape hatch); golden hand-built traces pin the aggregation numbers.
  */
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include "analysis/miner.hh"
+#include "analysis/mode.hh"
 #include "helpers.hh"
 #include "program/emit.hh"
 #include "program/walker.hh"
@@ -15,6 +19,8 @@
 using namespace critics;
 using namespace critics::test;
 using analysis::CriticalityConfig;
+using analysis::DynChains;
+using analysis::MinedChain;
 using analysis::MineResult;
 using analysis::SelectOptions;
 
@@ -72,7 +78,89 @@ mineChainLoop(double profileFraction = 1.0)
     return m;
 }
 
+/** Run a callable under a forced analyze path, restoring after. */
+template <typename Fn>
+auto
+withAnalyzePath(bool flat, Fn &&fn)
+{
+    const bool prev = analysis::flatAnalyzeEnabled();
+    analysis::setFlatAnalyze(flat);
+    auto result = fn();
+    analysis::setFlatAnalyze(prev);
+    return result;
+}
+
+/**
+ * A hand-built mining input with fully known trim behavior:
+ *
+ *  - two executions of a 5-member dyn chain over uids 0..4 whose fanout
+ *    pattern [0, 9, 9, 9, 0] forces the trim loop to shave both ends
+ *    (avg 5.4 < 8, then 6.75 < 8, then 9 >= 8) down to uids [1,2,3];
+ *  - one 2-member chain (uids 0 and 4, fanouts 3 and 3) that survives
+ *    the >= 2 length floor, is aggregated, and is then dropped by the
+ *    avg-fanout threshold.
+ */
+struct GoldenInput
+{
+    Program prog;
+    program::Trace trace;
+    analysis::FanoutInfo fanout;
+    DynChains chains;
+    CriticalityConfig cfg;
+};
+
+GoldenInput
+goldenInput()
+{
+    GoldenInput g;
+    BasicBlock bb;
+    for (std::uint32_t k = 0; k < 5; ++k)
+        bb.insts.push_back(
+            inst(k, OpClass::IntAlu, static_cast<std::uint8_t>(k)));
+    g.prog = makeProgram({bb});
+
+    const std::uint16_t fanouts[] = {0, 9, 9, 9, 0};
+    for (int rep = 0; rep < 2; ++rep) {
+        for (std::uint32_t k = 0; k < 5; ++k) {
+            g.trace.insts.push_back(
+                dyn(k, 0x10000 + 4 * k, OpClass::IntAlu));
+            g.fanout.fanout.push_back(fanouts[k]);
+        }
+    }
+    g.trace.insts.push_back(dyn(0, 0x10000, OpClass::IntAlu));
+    g.fanout.fanout.push_back(3);
+    g.trace.insts.push_back(dyn(4, 0x10010, OpClass::IntAlu));
+    g.fanout.fanout.push_back(3);
+    g.fanout.critMask.assign(g.trace.size(), 0);
+
+    g.chains.members = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+    g.chains.offsets = {0, 5, 10, 12};
+    return g;
+}
+
 } // namespace
+
+/** Both analyze paths; GetParam() == true selects flat. */
+class MinerPath : public ::testing::TestWithParam<bool>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        prev_ = analysis::flatAnalyzeEnabled();
+        analysis::setFlatAnalyze(GetParam());
+    }
+
+    void TearDown() override { analysis::setFlatAnalyze(prev_); }
+
+  private:
+    bool prev_ = true;
+};
+
+INSTANTIATE_TEST_SUITE_P(Paths, MinerPath, ::testing::Bool(),
+                         [](const auto &info) {
+                             return info.param ? "flat" : "legacy";
+                         });
 
 TEST(Miner, FindsTheDesignedChain)
 {
@@ -88,6 +176,73 @@ TEST(Miner, FindsTheDesignedChain)
     EXPECT_GT(top.dynCount, 100u);
     EXPECT_TRUE(top.directlyConvertible);
     EXPECT_EQ(top.memberFanout.size(), top.uids.size());
+    EXPECT_EQ(top.memberConvertible.size(), top.uids.size());
+}
+
+TEST_P(MinerPath, GoldenTrimAndAggregation)
+{
+    const auto g = goldenInput();
+    const auto result = analysis::mineCritIcs(
+        g.trace, g.prog, g.chains, g.fanout, g.cfg, 1.0);
+
+    EXPECT_EQ(result.dynInsts, 12u);
+    // Three segments survive the length floor: two trimmed copies of
+    // uids [1,2,3] and the low-fanout pair [0,4].
+    EXPECT_EQ(result.segmentsSeen, 3u);
+    // The pair's avg fanout 3 < 8 drops it; one unique chain remains.
+    ASSERT_EQ(result.chains.size(), 1u);
+    const MinedChain &chain = result.chains.front();
+    const std::vector<program::InstUid> uids = {1, 2, 3};
+    EXPECT_EQ(chain.uids, uids);
+    EXPECT_EQ(chain.dynCount, 2u);
+    EXPECT_DOUBLE_EQ(chain.avgFanout, 9.0);
+    const std::vector<double> member = {9.0, 9.0, 9.0};
+    EXPECT_EQ(chain.memberFanout, member);
+    const std::vector<std::uint8_t> conv = {1, 1, 1};
+    EXPECT_EQ(chain.memberConvertible, conv);
+    EXPECT_TRUE(chain.directlyConvertible);
+    EXPECT_EQ(chain.coverage(), 6u);
+}
+
+TEST(Miner, FlatMatchesLegacy)
+{
+    const auto flat =
+        withAnalyzePath(true, [] { return mineChainLoop(); });
+    const auto legacy =
+        withAnalyzePath(false, [] { return mineChainLoop(); });
+    EXPECT_EQ(flat.result.dynInsts, legacy.result.dynInsts);
+    EXPECT_EQ(flat.result.segmentsSeen, legacy.result.segmentsSeen);
+    ASSERT_EQ(flat.result.chains.size(), legacy.result.chains.size());
+    for (std::size_t i = 0; i < flat.result.chains.size(); ++i) {
+        const MinedChain &a = flat.result.chains[i];
+        const MinedChain &b = legacy.result.chains[i];
+        EXPECT_EQ(a.uids, b.uids) << "chain " << i;
+        EXPECT_EQ(a.dynCount, b.dynCount) << "chain " << i;
+        EXPECT_DOUBLE_EQ(a.avgFanout, b.avgFanout) << "chain " << i;
+        EXPECT_EQ(a.memberFanout, b.memberFanout) << "chain " << i;
+        EXPECT_EQ(a.memberConvertible, b.memberConvertible)
+            << "chain " << i;
+        EXPECT_EQ(a.directlyConvertible, b.directlyConvertible)
+            << "chain " << i;
+    }
+}
+
+TEST_P(MinerPath, SharedLocTableMatchesPrivate)
+{
+    // Passing the AppExperiment-shared LocTable must not change
+    // anything vs the miner building its own (or, on the legacy path,
+    // ignoring it entirely).
+    auto m = mineChainLoop();
+    CriticalityConfig cfg;
+    const analysis::LocTable locs(m.prog);
+    const auto shared = analysis::mineCritIcs(
+        m.trace, m.prog, m.chains, m.fanout, cfg, 1.0, &locs);
+    ASSERT_EQ(shared.chains.size(), m.result.chains.size());
+    for (std::size_t i = 0; i < shared.chains.size(); ++i) {
+        EXPECT_EQ(shared.chains[i].uids, m.result.chains[i].uids);
+        EXPECT_EQ(shared.chains[i].dynCount,
+                  m.result.chains[i].dynCount);
+    }
 }
 
 TEST(Miner, ChainsSortedByCoverage)
@@ -147,15 +302,51 @@ TEST(Selection, ExactLenFiltersStrictly)
 TEST(Selection, ConvertibilityFilter)
 {
     auto m = mineChainLoop();
-    // Poison every mined chain's convertibility.
-    for (auto &chain : m.result.chains)
+    // Poison every mined chain's convertibility — the whole-chain bit
+    // and the per-member bits the windowed test consults.
+    for (auto &chain : m.result.chains) {
         chain.directlyConvertible = false;
+        std::fill(chain.memberConvertible.begin(),
+                  chain.memberConvertible.end(),
+                  static_cast<std::uint8_t>(0));
+    }
     SelectOptions strict;
     strict.requireConvertible = true;
     EXPECT_TRUE(analysis::selectCritIcs(m.result, strict).chains.empty());
     SelectOptions ideal;
     ideal.ideal = true;
     EXPECT_FALSE(analysis::selectCritIcs(m.result, ideal).chains.empty());
+}
+
+TEST(Selection, ConvertibilityTestsTheSelectedWindow)
+{
+    // A chain whose ends are not Thumb-convertible but whose best
+    // maxLen=2 window is: the window must pass the filter (the old code
+    // tested the whole chain and skipped it).
+    MineResult mined;
+    mined.dynInsts = 100;
+    MinedChain chain;
+    chain.uids = {1, 2, 3, 4};
+    chain.dynCount = 10;
+    chain.avgFanout = 5.0;
+    chain.memberFanout = {1.0, 9.0, 9.0, 1.0};
+    chain.memberConvertible = {0, 1, 1, 0};
+    chain.directlyConvertible = false;
+    mined.chains.push_back(chain);
+
+    SelectOptions two;
+    two.maxLen = 2;
+    const auto sel = analysis::selectCritIcs(mined, two);
+    ASSERT_EQ(sel.chains.size(), 1u);
+    const std::vector<program::InstUid> window = {2, 3};
+    EXPECT_EQ(sel.chains.front(), window);
+    EXPECT_DOUBLE_EQ(sel.expectedCoverage, 0.2);
+
+    // maxLen=3 ties 1+9+9 vs 9+9+1; the first window wins and includes
+    // the non-convertible uid 1, so the chain is (correctly) skipped.
+    SelectOptions three;
+    three.maxLen = 3;
+    EXPECT_TRUE(analysis::selectCritIcs(mined, three).chains.empty());
 }
 
 TEST(Selection, MaxChainsCap)
@@ -178,4 +369,30 @@ TEST(CoverageCdf, MonotoneNormalized)
     EXPECT_LE(cdf.all.back().fraction, 1.0 + 1e-9);
     EXPECT_GE(cdf.convertibleChainFraction, 0.0);
     EXPECT_LE(cdf.convertibleChainFraction, 1.0);
+}
+
+TEST(CoverageCdf, DecimationKeepsTheTerminalPoint)
+{
+    // For every series length the decimated curve must end at the true
+    // terminal point (rank = #chains, fraction = total coverage): the
+    // old 63 * stride index could truncate to size - 2.
+    for (std::size_t n = 65; n <= 400; ++n) {
+        MineResult mined;
+        mined.dynInsts = 2 * n;
+        for (std::size_t i = 0; i < n; ++i) {
+            MinedChain chain;
+            chain.uids = {static_cast<program::InstUid>(2 * i),
+                          static_cast<program::InstUid>(2 * i + 1)};
+            chain.dynCount = 1;
+            chain.avgFanout = 9.0;
+            chain.directlyConvertible = true;
+            mined.chains.push_back(std::move(chain));
+        }
+        const auto cdf = analysis::coverageCdf(mined);
+        ASSERT_EQ(cdf.all.size(), 64u) << "n=" << n;
+        EXPECT_DOUBLE_EQ(cdf.all.front().x, 1.0) << "n=" << n;
+        EXPECT_DOUBLE_EQ(cdf.all.back().x, static_cast<double>(n))
+            << "n=" << n;
+        EXPECT_NEAR(cdf.all.back().fraction, 1.0, 1e-12) << "n=" << n;
+    }
 }
