@@ -37,6 +37,7 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -77,6 +78,7 @@
 #include "support/json.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
+#include "verify/trace_check.hh"
 #include "verify/verify.hh"
 
 using namespace critics;
@@ -164,6 +166,10 @@ usage()
         "  --insts <n>         synthesis budget per app\n"
         "  --min-run <n>       unconverted-run lint threshold\n"
         "                      (default 3)\n"
+        "  --trace             also replay each variant's re-emitted\n"
+        "                      trace against its transformed program\n"
+        "                      (verify.trace.* conformance checks,\n"
+        "                      incl. the taken-bias bound)\n"
         "  --out <file>        JSON report path\n"
         "                      (default lint_report.json)\n"
         "                      exit 1 on any error-severity finding\n"
@@ -384,6 +390,7 @@ cmdLint(int argc, char **argv)
     std::string variantsArg = "all";
     std::uint64_t insts = 400000;
     unsigned minRun = 3;
+    bool withTrace = false;
     std::string outPath = "lint_report.json";
 
     for (int i = 0; i < argc; ++i) {
@@ -401,6 +408,8 @@ cmdLint(int argc, char **argv)
             insts = std::stoull(next());
         } else if (arg == "--min-run") {
             minRun = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--trace") {
+            withTrace = true;
         } else if (arg == "--out") {
             outPath = next();
         } else {
@@ -422,30 +431,58 @@ cmdLint(int argc, char **argv)
 
     json::JsonWriter w;
     w.beginObject();
-    w.field("schema", 1);
+    // Schema history: 1 = original report; 2 = adds this version
+    // field's contract plus `totals.codes` (per-diagnostic-code counts)
+    // and the optional per-variant `trace` object, so CI greps match on
+    // structure and code identity instead of message text.
+    w.field("schema", 2);
     w.field("tool", "critics_cli lint");
+    w.field("trace", withTrace);
     w.beginArray("apps");
 
     std::size_t totalErrors = 0, totalWarnings = 0, totalAdvice = 0;
+    std::map<std::string, std::uint64_t> totalCodes;
     Table table({"app", "variant", "errors", "warnings", "advice"});
 
     for (const auto &profile : apps) {
         sim::AppExperiment exp(profile, expOptions);
+        verify::TraceCheckOptions traceOptions;
+        traceOptions.biasVocabulary =
+            workload::branchBiasVocabulary(profile);
         w.elementObject();
         w.field("app", profile.name);
         w.beginArray("variants");
         for (const auto &name : variantNames) {
             const sim::Variant variant = parseVariant(name);
             verify::PassAudit audit;
-            program::Program prog = exp.baseProgram();
-            exp.applyTransform(prog, variant, nullptr, &audit);
-            verify::lintAdvisories(prog, audit.report, minRun);
 
             w.elementObject();
             w.field("variant", name);
+            if (withTrace) {
+                const sim::MaterializedTransform m =
+                    exp.materializeTransform(variant, &audit);
+                verify::lintAdvisories(m.prog, audit.report, minRun);
+                const verify::TraceCheckStats ts =
+                    verify::checkTraceConformance(
+                        m.prog, m.trace, audit.report, traceOptions);
+                w.beginObject("trace");
+                w.field("blocksReplayed", ts.blocksReplayed);
+                w.field("transitionsChecked", ts.transitionsChecked);
+                w.field("branchSitesTested", ts.branchSitesTested);
+                w.field("conformant", ts.conformant);
+                w.endObject();
+            } else {
+                program::Program prog = exp.baseProgram();
+                exp.applyTransform(prog, variant, nullptr, &audit);
+                verify::lintAdvisories(prog, audit.report, minRun);
+            }
             audit.report.writeJson(w);
             w.endObject();
 
+            for (const auto &[code, count] :
+                 audit.report.codeCounts()) {
+                totalCodes[code] += count;
+            }
             totalErrors += audit.report.errors();
             totalWarnings += audit.report.warnings();
             totalAdvice += audit.report.advice();
@@ -471,6 +508,10 @@ cmdLint(int argc, char **argv)
     w.field("errors", static_cast<std::uint64_t>(totalErrors));
     w.field("warnings", static_cast<std::uint64_t>(totalWarnings));
     w.field("advice", static_cast<std::uint64_t>(totalAdvice));
+    w.beginObject("codes");
+    for (const auto &[code, count] : totalCodes)
+        w.field(code.c_str(), count);
+    w.endObject();
     w.endObject();
     w.field("clean", totalErrors == 0);
     w.endObject();
@@ -1286,15 +1327,22 @@ cmdCache(int argc, char **argv)
 // ---------------------------------------------------------------------------
 // serve / submit / status / wait: simulation as a service.
 
-serve::Server *gServeInstance = nullptr;
+/** Atomic so the install/clear in cmdServe and the read in the signal
+ *  handler never race (a plain pointer here is a data race the
+ *  concurrency checks rightly reject). */
+std::atomic<serve::Server *> gServeInstance{nullptr};
 
 /** SIGTERM/SIGINT → graceful drain.  requestShutdown() is an atomic
- *  store plus a self-pipe write, so it is safe to call from here. */
+ *  store plus a self-pipe write(), both async-signal-safe; the
+ *  signal-handler check cannot see through the member call, hence the
+ *  justification NOLINT. */
 void
 serveSignalHandler(int)
 {
-    if (gServeInstance != nullptr)
-        gServeInstance->requestShutdown();
+    serve::Server *server =
+        gServeInstance.load(std::memory_order_acquire);
+    if (server != nullptr)
+        server->requestShutdown(); // NOLINT(bugprone-signal-handler)
 }
 
 /** This binary's path, for exec'ing serve-worker children. */

@@ -69,6 +69,11 @@ critics_sigprof_handler(int)
     }
     Sample &sample = impl->samples[slot];
     sample.stage = detail::tlsStage;
+    // backtrace() is not on the POSIX async-signal-safe list, but its
+    // only unsafe behaviour is the lazy dlopen of libgcc on first use —
+    // start() warms it on the normal path before arming the timer, so
+    // every in-handler call is a pure stack walk.
+    // NOLINTNEXTLINE(bugprone-signal-handler)
     sample.depth = backtrace(sample.frames, kMaxFrames);
 }
 

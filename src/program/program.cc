@@ -1,5 +1,7 @@
 #include "program/program.hh"
 
+#include <algorithm>
+
 #include "support/logging.hh"
 
 namespace critics::program
@@ -92,6 +94,68 @@ Program::noteUid(InstUid uid)
 {
     if (uid != NoUid && uid >= nextUid_)
         nextUid_ = uid + 1;
+}
+
+const StaticInst *
+blockTerminator(const BasicBlock &block)
+{
+    if (block.insts.empty() || !block.insts.back().isControl())
+        return nullptr;
+    return &block.insts.back();
+}
+
+std::vector<std::uint32_t>
+blockSuccessors(const Function &fn, std::uint32_t b)
+{
+    const std::uint32_t n = static_cast<std::uint32_t>(fn.blocks.size());
+    std::vector<std::uint32_t> succs;
+    const StaticInst *term = blockTerminator(fn.blocks[b]);
+    const FlowKind flow = term ? term->flow : FlowKind::FallThrough;
+
+    const auto addFallthrough = [&] {
+        if (b + 1 < n)
+            succs.push_back(b + 1);
+    };
+    switch (flow) {
+      case FlowKind::FallThrough:
+      case FlowKind::CallFn:
+        addFallthrough();
+        break;
+      case FlowKind::CondBranch:
+        if (term->targetBlock < n)
+            succs.push_back(term->targetBlock);
+        addFallthrough();
+        break;
+      case FlowKind::Jump:
+        if (term->targetBlock < n)
+            succs.push_back(term->targetBlock);
+        break;
+      case FlowKind::Ret:
+        break;
+    }
+    std::sort(succs.begin(), succs.end());
+    succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
+    return succs;
+}
+
+bool
+blockExitsFunction(const Function &fn, std::uint32_t b)
+{
+    const StaticInst *term = blockTerminator(fn.blocks[b]);
+    const FlowKind flow = term ? term->flow : FlowKind::FallThrough;
+    if (flow == FlowKind::Ret)
+        return true;
+    const bool fallsOffEnd = b + 1 >= fn.blocks.size();
+    switch (flow) {
+      case FlowKind::FallThrough:
+      case FlowKind::CallFn:
+      case FlowKind::CondBranch: // the not-taken side falls through
+        return fallsOffEnd;
+      case FlowKind::Jump:
+      case FlowKind::Ret:
+        return false;
+    }
+    return false;
 }
 
 double

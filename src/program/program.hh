@@ -126,6 +126,36 @@ struct InstLoc
 };
 
 /**
+ * The terminator of a block: its last instruction when that is a
+ * control transfer, nullptr otherwise.  A branch-pair format switch at
+ * the block tail (Branch op with FallThrough flow) is returned too —
+ * callers deciding successors must honour its FallThrough flow, which
+ * is exactly what walkProgram does.
+ */
+const StaticInst *blockTerminator(const BasicBlock &block);
+
+/**
+ * Intra-function successor block indices of fn.blocks[b], mirroring
+ * walkProgram's semantics exactly:
+ *   - FallThrough (or no terminator): b+1 when it exists, else none
+ *     (the implicit return leaves the function);
+ *   - CondBranch: targetBlock plus the fallthrough successor;
+ *   - Jump: targetBlock;
+ *   - CallFn: b+1 when it exists (both the call's return and the
+ *     depth-guard skip continue there), else none (tail call);
+ *   - Ret: none.
+ * Out-of-range targets are dropped (the structural verifier reports
+ * them).  The result is sorted and deduplicated.
+ */
+std::vector<std::uint32_t> blockSuccessors(const Function &fn,
+                                           std::uint32_t b);
+
+/** True when fn.blocks[b] can leave the function: it ends in Ret, or
+ *  any of its exits needs a fallthrough that runs off the function
+ *  end (the implicit return walkProgram performs). */
+bool blockExitsFunction(const Function &fn, std::uint32_t b);
+
+/**
  * A whole program plus its address layout and uid index.
  */
 class Program

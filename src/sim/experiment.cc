@@ -207,6 +207,18 @@ AppExperiment::run(const Variant &variant)
     return run(variant, RunHooks{});
 }
 
+MaterializedTransform
+AppExperiment::materializeTransform(const Variant &variant,
+                                    verify::PassAudit *audit)
+{
+    obs::StageScope scope(obs::Stage::Transform);
+    MaterializedTransform m;
+    m.prog = program_;
+    m.pass = applyTransform(m.prog, variant, nullptr, audit);
+    m.trace = program::emitTrace(m.prog, path_);
+    return m;
+}
+
 compiler::PassStats
 AppExperiment::applyTransform(program::Program &prog,
                               const Variant &variant,

@@ -99,6 +99,17 @@ struct RunHooks
     std::uint64_t traceMaxInsts = 4096;
 };
 
+/** A variant's transformed binary plus the trace re-emitted from it
+ *  along the experiment's recorded control path — the pair the
+ *  trace-conformance checker (`critics_cli lint --trace`) proves
+ *  consistent. */
+struct MaterializedTransform
+{
+    program::Program prog;
+    program::Trace trace;
+    compiler::PassStats pass;
+};
+
 struct RunResult
 {
     cpu::CpuStats cpu;
@@ -175,6 +186,16 @@ class AppExperiment
         program::Program &prog, const Variant &variant,
         double *selectionCoverage = nullptr,
         verify::PassAudit *audit = nullptr);
+
+    /**
+     * Transform a copy of the baseline program for `variant` and
+     * re-emit the trace along the experiment's recorded path, exactly
+     * as run() does internally — the input pair for trace-conformance
+     * checking.  Unmemoized: callers (lint) want a fresh audit per
+     * variant.
+     */
+    MaterializedTransform materializeTransform(
+        const Variant &variant, verify::PassAudit *audit = nullptr);
 
     /** baselineCycles / variantCycles. */
     double speedup(const RunResult &result);

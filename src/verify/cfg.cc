@@ -1,0 +1,468 @@
+#include "verify/cfg.hh"
+
+#include <algorithm>
+#include <string>
+
+namespace critics::verify
+{
+
+using program::BasicBlock;
+using program::Function;
+using program::InstUid;
+using program::Program;
+using program::StaticInst;
+
+namespace
+{
+
+/** Merge `from` into sorted-unique `into`; true when `into` grew. */
+bool
+mergeSorted(std::vector<InstUid> &into, const std::vector<InstUid> &from)
+{
+    if (from.empty())
+        return false;
+    std::vector<InstUid> merged;
+    merged.reserve(into.size() + from.size());
+    std::set_union(into.begin(), into.end(), from.begin(), from.end(),
+                   std::back_inserter(merged));
+    if (merged.size() == into.size())
+        return false;
+    into = std::move(merged);
+    return true;
+}
+
+std::string
+regName(std::uint8_t reg)
+{
+    return "r" + std::to_string(static_cast<unsigned>(reg));
+}
+
+std::string
+maskNames(RegMask mask)
+{
+    std::string out;
+    for (std::uint8_t r = 0; r < isa::NumArchRegs; ++r) {
+        if ((mask >> r) & 1u) {
+            if (!out.empty())
+                out += ",";
+            out += regName(r);
+        }
+    }
+    return out.empty() ? "-" : out;
+}
+
+std::string
+describeDefs(const std::vector<InstUid> &defs)
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < defs.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += defs[i] == program::NoUid ? std::string("entry")
+                                         : std::to_string(defs[i]);
+    }
+    return out + "}";
+}
+
+} // namespace
+
+Cfg::Cfg(const Program &prog)
+{
+    buildEdges(prog);
+    markReachable();
+    solveLiveness(prog);
+    solveReaching(prog);
+}
+
+void
+Cfg::buildEdges(const Program &prog)
+{
+    funcs_.resize(prog.funcs.size());
+    for (std::uint32_t f = 0; f < prog.funcs.size(); ++f) {
+        const Function &fn = prog.funcs[f];
+        FunctionCfg &cfg = funcs_[f];
+        cfg.blocks.resize(fn.blocks.size());
+        for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+            cfg.blocks[b].succs = program::blockSuccessors(fn, b);
+            cfg.blocks[b].exits = program::blockExitsFunction(fn, b);
+            for (const std::uint32_t s : cfg.blocks[b].succs)
+                cfg.blocks[s].preds.push_back(b);
+        }
+        for (CfgBlock &node : cfg.blocks) {
+            std::sort(node.preds.begin(), node.preds.end());
+            node.preds.erase(
+                std::unique(node.preds.begin(), node.preds.end()),
+                node.preds.end());
+        }
+    }
+}
+
+void
+Cfg::markReachable()
+{
+    std::vector<std::uint32_t> work;
+    for (FunctionCfg &cfg : funcs_) {
+        if (cfg.blocks.empty())
+            continue;
+        work.clear();
+        work.push_back(0);
+        cfg.blocks[0].reachable = true;
+        while (!work.empty()) {
+            const std::uint32_t b = work.back();
+            work.pop_back();
+            for (const std::uint32_t s : cfg.blocks[b].succs) {
+                if (!cfg.blocks[s].reachable) {
+                    cfg.blocks[s].reachable = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+}
+
+void
+Cfg::solveLiveness(const Program &prog)
+{
+    for (std::uint32_t f = 0; f < prog.funcs.size(); ++f) {
+        const Function &fn = prog.funcs[f];
+        FunctionCfg &cfg = funcs_[f];
+
+        // Per-block gen (use before def) and kill (def) masks.
+        for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+            CfgBlock &node = cfg.blocks[b];
+            for (const StaticInst &si : fn.blocks[b].insts) {
+                for (const std::uint8_t src :
+                     {si.arch.src1, si.arch.src2}) {
+                    if (src < isa::NumArchRegs &&
+                        ((node.def >> src) & 1u) == 0) {
+                        node.use |= static_cast<RegMask>(1u << src);
+                    }
+                }
+                if (si.arch.dst < isa::NumArchRegs)
+                    node.def |= static_cast<RegMask>(1u << si.arch.dst);
+            }
+        }
+
+        // Backward fixed point; the live-out of a function exit is
+        // empty by definition (see the file header).
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::uint32_t b =
+                     static_cast<std::uint32_t>(fn.blocks.size());
+                 b-- > 0;) {
+                CfgBlock &node = cfg.blocks[b];
+                RegMask out = 0;
+                for (const std::uint32_t s : node.succs)
+                    out |= cfg.blocks[s].liveIn;
+                const RegMask in = static_cast<RegMask>(
+                    node.use | (out & static_cast<RegMask>(~node.def)));
+                if (out != node.liveOut || in != node.liveIn) {
+                    node.liveOut = out;
+                    node.liveIn = in;
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+void
+Cfg::solveReaching(const Program &prog)
+{
+    for (std::uint32_t f = 0; f < prog.funcs.size(); ++f) {
+        const Function &fn = prog.funcs[f];
+        FunctionCfg &cfg = funcs_[f];
+        if (fn.blocks.empty())
+            continue;
+
+        // gen: the last def of each register inside the block (the only
+        // def that can reach the block's exit).
+        std::vector<std::array<InstUid, isa::NumArchRegs>> gen(
+            fn.blocks.size());
+        for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+            gen[b].fill(program::NoUid);
+            for (const StaticInst &si : fn.blocks[b].insts) {
+                if (si.arch.dst < isa::NumArchRegs)
+                    gen[b][si.arch.dst] = si.uid;
+            }
+        }
+
+        // The function entry sees the caller's values: one pseudo-def
+        // (NoUid) per register.
+        for (std::uint8_t r = 0; r < isa::NumArchRegs; ++r)
+            cfg.blocks[0].reachIn[r].push_back(program::NoUid);
+
+        // Forward fixed point: reachOut(B)[r] = gen(B)[r] when the
+        // block defines r, else reachIn(B)[r]; reachIn is the union
+        // over predecessors.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+                CfgBlock &node = cfg.blocks[b];
+                for (const std::uint32_t s : node.succs) {
+                    CfgBlock &succ = cfg.blocks[s];
+                    for (std::uint8_t r = 0; r < isa::NumArchRegs;
+                         ++r) {
+                        if (gen[b][r] != program::NoUid) {
+                            const std::vector<InstUid> out{gen[b][r]};
+                            changed |= mergeSorted(succ.reachIn[r], out);
+                        } else {
+                            changed |= mergeSorted(succ.reachIn[r],
+                                                   node.reachIn[r]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+verifyCfg(const Program &prog, Report &report)
+{
+    const Cfg cfg(prog);
+    for (std::uint32_t f = 0; f < prog.funcs.size(); ++f) {
+        const FunctionCfg &fc = cfg.fn(f);
+        for (std::uint32_t b = 0; b < fc.blocks.size(); ++b) {
+            if (fc.blocks[b].reachable)
+                continue;
+            if (prog.funcs[f].blocks[b].insts.empty()) {
+                report.report(Severity::Warning,
+                              "verify.cfg.unreachable-block",
+                              "f" + std::to_string(f) + "/b" +
+                                  std::to_string(b) +
+                                  " (empty) is unreachable from the "
+                                  "function entry");
+                continue;
+            }
+            report.reportAt(Severity::Warning,
+                            "verify.cfg.unreachable-block", prog, f, b,
+                            0,
+                            "block is unreachable from the function "
+                            "entry");
+        }
+    }
+}
+
+void
+GlobalSnapshot::capture(const Program &prog)
+{
+    blocks.clear();
+    edges.clear();
+    const Cfg cfg(prog);
+
+    blocks.resize(prog.funcs.size());
+    for (std::uint32_t f = 0; f < prog.funcs.size(); ++f) {
+        const Function &fn = prog.funcs[f];
+        const FunctionCfg &fc = cfg.fn(f);
+        blocks[f].resize(fn.blocks.size());
+        for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+            const CfgBlock &node = fc.blocks[b];
+            blocks[f][b].succs = node.succs;
+            blocks[f][b].liveIn = node.liveIn;
+            blocks[f][b].liveOut = node.liveOut;
+
+            // Cross-block RAW edges: walk the block tracking in-block
+            // writers; operands with no in-block writer yet read the
+            // reaching defs at block entry.
+            std::array<bool, isa::NumArchRegs> writtenHere{};
+            for (const StaticInst &si : fn.blocks[b].insts) {
+                const std::uint8_t srcs[2] = {si.arch.src1,
+                                              si.arch.src2};
+                CrossEdges ce;
+                bool any = false;
+                for (int s = 0; s < 2; ++s) {
+                    if (srcs[s] >= isa::NumArchRegs)
+                        continue;
+                    ce.hasSrc[s] = true;
+                    any = true;
+                    if (!writtenHere[srcs[s]]) {
+                        ce.external[s] = true;
+                        ce.reg[s] = srcs[s];
+                        ce.defs[s] = node.reachIn[srcs[s]];
+                    }
+                }
+                if (any)
+                    edges.emplace(si.uid, std::move(ce));
+                if (si.arch.dst < isa::NumArchRegs)
+                    writtenHere[si.arch.dst] = true;
+            }
+        }
+    }
+}
+
+void
+verifyGlobal(const GlobalSnapshot &pre, const Program &post,
+             Report &report)
+{
+    GlobalSnapshot now;
+    now.capture(post);
+
+    // Shape first: passes never add or remove functions or blocks.
+    if (now.blocks.size() != pre.blocks.size()) {
+        report.report(Severity::Error, "verify.cfg.edge-changed",
+                      "function count changed: " +
+                          std::to_string(pre.blocks.size()) + " -> " +
+                          std::to_string(now.blocks.size()));
+        return;
+    }
+
+    for (std::uint32_t f = 0; f < pre.blocks.size(); ++f) {
+        if (now.blocks[f].size() != pre.blocks[f].size()) {
+            report.report(Severity::Error, "verify.cfg.edge-changed",
+                          "f" + std::to_string(f) +
+                              " block count changed: " +
+                              std::to_string(pre.blocks[f].size()) +
+                              " -> " +
+                              std::to_string(now.blocks[f].size()));
+            continue;
+        }
+        for (std::uint32_t b = 0; b < pre.blocks[f].size(); ++b) {
+            const auto &was = pre.blocks[f][b];
+            const auto &is = now.blocks[f][b];
+            const auto tail = [&]() -> std::uint32_t {
+                const auto &insts = post.funcs[f].blocks[b].insts;
+                return insts.empty()
+                    ? 0
+                    : static_cast<std::uint32_t>(insts.size() - 1);
+            };
+            if (was.succs != is.succs) {
+                report.reportAt(
+                    Severity::Error, "verify.cfg.edge-changed", post, f,
+                    b, tail(),
+                    "successor set changed (" +
+                        std::to_string(was.succs.size()) + " -> " +
+                        std::to_string(is.succs.size()) +
+                        " edges): a pass edited control flow");
+            }
+            if (was.liveIn != is.liveIn) {
+                report.reportAt(Severity::Error,
+                                "verify.cfg.livein-changed", post, f, b,
+                                0,
+                                "live-in set changed: {" +
+                                    maskNames(was.liveIn) + "} -> {" +
+                                    maskNames(is.liveIn) + "}");
+            }
+            if (was.liveOut != is.liveOut) {
+                report.reportAt(Severity::Error,
+                                "verify.cfg.liveout-changed", post, f,
+                                b, tail(),
+                                "live-out set changed: {" +
+                                    maskNames(was.liveOut) + "} -> {" +
+                                    maskNames(is.liveOut) + "}");
+            }
+        }
+    }
+
+    // Cross-block RAW edges, keyed by consumer uid.  Vanished uids are
+    // the intra-block differential's finding (uid-vanished); skip them
+    // here to avoid double-reporting one root cause.
+    for (const auto &[uid, before] : pre.edges) {
+        const auto it = now.edges.find(uid);
+        if (it == now.edges.end())
+            continue;
+        const auto &after = it->second;
+        for (int s = 0; s < 2; ++s) {
+            if (!before.hasSrc[s] || !after.hasSrc[s])
+                continue;
+            if (!before.external[s] && !after.external[s])
+                continue; // both in-block: DataflowSnapshot's job
+            const program::InstLoc loc = post.locate(uid);
+            if (before.external[s] != after.external[s]) {
+                report.reportAt(
+                    Severity::Error, "verify.cfg.raw-broken", post,
+                    loc.func, loc.block, loc.index,
+                    "uid " + std::to_string(uid) + " src" +
+                        std::to_string(s + 1) +
+                        (before.external[s]
+                             ? " read a cross-block value before the "
+                               "pass but an in-block def now shadows it"
+                             : " read an in-block value before the "
+                               "pass but its def no longer precedes "
+                               "it"));
+                continue;
+            }
+            if (before.reg[s] != after.reg[s]) {
+                report.reportAt(
+                    Severity::Error, "verify.cfg.raw-broken", post,
+                    loc.func, loc.block, loc.index,
+                    "uid " + std::to_string(uid) + " src" +
+                        std::to_string(s + 1) +
+                        " cross-block operand renamed " +
+                        regName(before.reg[s]) + " -> " +
+                        regName(after.reg[s]) +
+                        " (live-in values may not be renamed)");
+                continue;
+            }
+            if (before.defs[s] != after.defs[s]) {
+                report.reportAt(
+                    Severity::Error, "verify.cfg.raw-broken", post,
+                    loc.func, loc.block, loc.index,
+                    "uid " + std::to_string(uid) + " src" +
+                        std::to_string(s + 1) + " (" +
+                        regName(before.reg[s]) +
+                        ") reaching defs changed: " +
+                        describeDefs(before.defs[s]) + " -> " +
+                        describeDefs(after.defs[s]));
+            }
+        }
+    }
+}
+
+void
+verifyChainLinks(const GlobalSnapshot &pre, const Program &post,
+                 const std::vector<std::vector<InstUid>> &chains,
+                 Report &report)
+{
+    GlobalSnapshot now;
+    now.capture(post);
+
+    for (const auto &chain : chains) {
+        for (const InstUid uid : chain) {
+            const auto wasIt = pre.edges.find(uid);
+            if (wasIt == pre.edges.end())
+                continue;
+            const auto nowIt = now.edges.find(uid);
+            bool broken = false;
+            std::string why;
+            for (int s = 0; s < 2; ++s) {
+                if (!wasIt->second.external[s])
+                    continue;
+                if (nowIt == now.edges.end() ||
+                    !nowIt->second.external[s] ||
+                    nowIt->second.reg[s] != wasIt->second.reg[s] ||
+                    nowIt->second.defs[s] != wasIt->second.defs[s]) {
+                    broken = true;
+                    why = "member uid " + std::to_string(uid) + " src" +
+                          std::to_string(s + 1) + " (" +
+                          regName(wasIt->second.reg[s]) +
+                          ") no longer reads " +
+                          describeDefs(wasIt->second.defs[s]);
+                    break;
+                }
+            }
+            if (!broken)
+                continue;
+            if (post.contains(chain.front())) {
+                const program::InstLoc head = post.locate(chain.front());
+                report.reportAt(Severity::Error,
+                                "verify.cfg.chain-link-broken", post,
+                                head.func, head.block, head.index,
+                                "transformed chain of " +
+                                    std::to_string(chain.size()) +
+                                    " lost a cross-block input: " +
+                                    why);
+            } else {
+                report.report(Severity::Error,
+                              "verify.cfg.chain-link-broken",
+                              "transformed chain lost a cross-block "
+                              "input: " + why);
+            }
+            break; // one finding per chain
+        }
+    }
+}
+
+} // namespace critics::verify

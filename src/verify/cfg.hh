@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Whole-program static analysis over the tail-only control flow the
+ * structural verifier already validates: an explicit per-function CFG
+ * (successors/predecessors/reachability via program::blockSuccessors,
+ * whose semantics mirror walkProgram exactly), plus iterative liveness
+ * and reaching-definitions run to a fixed point over it.
+ *
+ * On top of the analysis sit the *global* differential checks of the
+ * CRITICS_VERIFY=global tier (DESIGN.md §11): a GlobalSnapshot captures
+ * the cross-block facts of a program before a pass — successor edges,
+ * block live-in/live-out register sets, and every cross-block RAW edge
+ * (the reaching-def set feeding each operand that reads a value defined
+ * outside its block) — and verifyGlobal() re-proves each fact on the
+ * transformed program.  These facts are exactly the ones every legal
+ * pass must preserve today: passes move and rename only *inside*
+ * blocks, local renames are always killed before the block end, and
+ * inserted instructions (CDP switches, branch-pair switches) touch no
+ * registers.  The checks are therefore the green light for any future
+ * pass that starts doing cross-block motion: the moment one breaks an
+ * inter-block invariant, the bracket says so with a located finding.
+ *
+ * Liveness here is intra-function by definition: the live-out of a
+ * function-exit block is empty.  The definition only needs to be
+ * *stable* across a pass for the differential check to be sound, and
+ * passes never touch terminators, so it is.
+ */
+
+#ifndef CRITICS_VERIFY_CFG_HH
+#define CRITICS_VERIFY_CFG_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "program/program.hh"
+#include "verify/diagnostics.hh"
+
+namespace critics::verify
+{
+
+/** Architectural-register bitmask (isa::NumArchRegs == 16 bits). */
+using RegMask = std::uint16_t;
+
+/** One CFG node: a basic block plus its analysis facts. */
+struct CfgBlock
+{
+    std::vector<std::uint32_t> succs; ///< sorted in-function successors
+    std::vector<std::uint32_t> preds; ///< sorted in-function predecessors
+    bool exits = false;     ///< can leave the function (Ret/implicit return)
+    bool reachable = false; ///< from the function's entry block 0
+
+    RegMask use = 0;  ///< regs read before any in-block def
+    RegMask def = 0;  ///< regs written in the block
+    RegMask liveIn = 0;
+    RegMask liveOut = 0;
+
+    /** Reaching definitions at block entry: per register, the sorted
+     *  uids of defs that may reach here.  program::NoUid stands for
+     *  "the function-entry live-in value". */
+    std::array<std::vector<program::InstUid>, isa::NumArchRegs> reachIn;
+};
+
+struct FunctionCfg
+{
+    std::vector<CfgBlock> blocks;
+};
+
+/**
+ * Explicit control-flow graph of a whole program with liveness and
+ * reaching definitions solved to a fixed point per function.  Pure
+ * observation: building one never mutates the program.
+ */
+class Cfg
+{
+  public:
+    explicit Cfg(const program::Program &prog);
+
+    const std::vector<FunctionCfg> &funcs() const { return funcs_; }
+    const FunctionCfg &fn(std::uint32_t f) const { return funcs_[f]; }
+
+  private:
+    void buildEdges(const program::Program &prog);
+    void markReachable();
+    void solveLiveness(const program::Program &prog);
+    void solveReaching(const program::Program &prog);
+
+    std::vector<FunctionCfg> funcs_;
+};
+
+/**
+ * CFG construction checks on one program (no pre-pass snapshot):
+ *   - verify.cfg.unreachable-block (Warning): a block the function's
+ *     entry can never reach — synthesized programs have none, and a
+ *     pass cannot create one without editing terminators.
+ */
+void verifyCfg(const program::Program &prog, Report &report);
+
+/**
+ * Cross-block facts of one program captured before a pass runs, keyed
+ * so they survive legal intra-block motion, renaming and insertion.
+ */
+struct GlobalSnapshot
+{
+    struct BlockFacts
+    {
+        std::vector<std::uint32_t> succs;
+        RegMask liveIn = 0;
+        RegMask liveOut = 0;
+    };
+
+    /**
+     * Per consumer uid: for each source operand, whether it reads a
+     * value defined *outside* its block (external), and if so which
+     * register and which reaching defs feed it.  Internal operands
+     * record only externality — their producer identity is the
+     * intra-block DataflowSnapshot's job, and a legal local rename may
+     * change their register but never their externality.
+     */
+    struct CrossEdges
+    {
+        bool hasSrc[2] = {false, false};
+        bool external[2] = {false, false};
+        std::uint8_t reg[2] = {isa::NoReg, isa::NoReg};
+        std::vector<program::InstUid> defs[2]; ///< sorted; NoUid = entry
+    };
+
+    std::vector<std::vector<BlockFacts>> blocks; ///< [func][block]
+    std::unordered_map<program::InstUid, CrossEdges> edges;
+
+    bool empty() const { return blocks.empty(); }
+    void capture(const program::Program &prog);
+};
+
+/**
+ * Re-prove a pre-pass GlobalSnapshot on the transformed program:
+ *   - verify.cfg.edge-changed: a block's successor set changed (a pass
+ *     edited control flow)
+ *   - verify.cfg.livein-changed / verify.cfg.liveout-changed: a block's
+ *     live-in/live-out register set changed
+ *   - verify.cfg.raw-broken: a cross-block RAW edge changed — an
+ *     operand that read a value defined outside its block now reads a
+ *     different register, a different reaching-def set, or flipped
+ *     between external and in-block
+ */
+void verifyGlobal(const GlobalSnapshot &pre, const program::Program &post,
+                  Report &report);
+
+/**
+ * Re-prove the cross-block links of each transformed CritIC chain: for
+ * every member whose operand read a value from outside the chain's
+ * block pre-pass, the same reaching defs must feed it post-pass
+ * (verify.cfg.chain-link-broken, reported once per broken chain).
+ */
+void verifyChainLinks(
+    const GlobalSnapshot &pre, const program::Program &post,
+    const std::vector<std::vector<program::InstUid>> &chains,
+    Report &report);
+
+} // namespace critics::verify
+
+#endif // CRITICS_VERIFY_CFG_HH

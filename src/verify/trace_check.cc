@@ -1,0 +1,321 @@
+#include "verify/trace_check.hh"
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+namespace critics::verify
+{
+
+using program::BasicBlock;
+using program::DynInst;
+using program::FlowKind;
+using program::Function;
+using program::InstLoc;
+using program::InstUid;
+using program::Program;
+using program::StaticInst;
+using program::Trace;
+
+namespace
+{
+
+std::string
+blockName(std::uint32_t f, std::uint32_t b)
+{
+    return "f" + std::to_string(f) + "/b" + std::to_string(b);
+}
+
+/** Per conditional-branch site: observations for the bias test. */
+struct BranchTally
+{
+    std::uint64_t samples = 0;
+    std::uint64_t taken = 0;
+};
+
+/** One replay pass over the trace; returns false on a hard error. */
+bool
+replay(const Program &prog, const Trace &trace, Report &report,
+       TraceCheckStats &stats,
+       std::unordered_map<InstUid, BranchTally> &tallies)
+{
+    struct Frame
+    {
+        std::uint32_t func;
+        std::uint32_t block;
+    };
+    std::vector<Frame> stack;
+
+    std::size_t pos = 0;
+    while (pos < trace.size()) {
+        const DynInst &head = trace[pos];
+        if (!prog.contains(head.staticUid)) {
+            report.report(Severity::Error, "verify.trace.unknown-uid",
+                          "trace[" + std::to_string(pos) + "] executes "
+                          "uid " + std::to_string(head.staticUid) +
+                          " which the program does not contain");
+            return false;
+        }
+        const InstLoc loc = prog.locate(head.staticUid);
+        const Function &fn = prog.funcs[loc.func];
+        const BasicBlock &bb = fn.blocks[loc.block];
+        if (loc.index != 0) {
+            report.reportAt(Severity::Error,
+                            "verify.trace.block-diverged", prog,
+                            loc.func, loc.block, loc.index,
+                            "trace[" + std::to_string(pos) + "] enters "
+                            "the block mid-body (at static index " +
+                            std::to_string(loc.index) + ")");
+            return false;
+        }
+
+        // The block body: the trace must carry exactly the static
+        // instruction sequence.  A trace truncated mid-block (the walk
+        // limit never does this, but hand-built traces may) passes as
+        // long as the prefix matches.
+        std::size_t i = 0;
+        for (; i < bb.insts.size() && pos + i < trace.size(); ++i) {
+            const InstUid want = bb.insts[i].uid;
+            const InstUid got = trace[pos + i].staticUid;
+            if (want == got)
+                continue;
+            if (!prog.contains(got)) {
+                report.report(
+                    Severity::Error, "verify.trace.unknown-uid",
+                    "trace[" + std::to_string(pos + i) + "] executes "
+                    "uid " + std::to_string(got) +
+                    " which the program does not contain");
+                return false;
+            }
+            report.reportAt(
+                Severity::Error, "verify.trace.block-diverged", prog,
+                loc.func, loc.block, static_cast<std::uint32_t>(i),
+                "trace[" + std::to_string(pos + i) +
+                    "] executes uid " + std::to_string(got) +
+                    " where the static body has uid " +
+                    std::to_string(want));
+            return false;
+        }
+        ++stats.blocksReplayed;
+        if (pos + i >= trace.size()) {
+            pos += i;
+            break; // trace ends inside (or exactly at) this block
+        }
+        const DynInst &tail = trace[pos + bb.insts.size() - 1];
+        pos += bb.insts.size();
+
+        // The transition: the next visited block must be one the tail
+        // terminator can reach, mirroring walkProgram (see file
+        // header).  prog.contains(next uid) was not yet checked — the
+        // next loop iteration reports unknown uids, so only locate
+        // known ones here.
+        const DynInst &nextHead = trace[pos];
+        if (!prog.contains(nextHead.staticUid))
+            continue; // next iteration reports it
+        const InstLoc next = prog.locate(nextHead.staticUid);
+        ++stats.transitionsChecked;
+
+        const StaticInst *term = program::blockTerminator(bb);
+        const FlowKind flow = term ? term->flow : FlowKind::FallThrough;
+        const std::uint32_t nblocks =
+            static_cast<std::uint32_t>(fn.blocks.size());
+
+        // Where a fallthrough (or implicit return) goes from here.
+        const auto fallthroughTo = [&]() -> Frame {
+            if (loc.block + 1 < nblocks)
+                return {loc.func, loc.block + 1};
+            if (!stack.empty())
+                return stack.back();
+            return {0, 0};
+        };
+        const auto isAt = [&](const Frame &want) {
+            return next.func == want.func && next.block == want.block;
+        };
+        // Take a fallthrough edge, popping the stack when it was an
+        // implicit return.
+        const auto takeFallthrough = [&] {
+            if (loc.block + 1 >= nblocks && !stack.empty())
+                stack.pop_back();
+        };
+
+        const auto badTarget = [&](const std::string &legal) {
+            const std::uint32_t tailIdx = static_cast<std::uint32_t>(
+                bb.insts.empty() ? 0 : bb.insts.size() - 1);
+            report.reportAt(
+                Severity::Error, "verify.trace.bad-target", prog,
+                loc.func, loc.block, tailIdx,
+                "trace transitions to " +
+                    blockName(next.func, next.block) +
+                    " but the terminator can only reach " + legal);
+        };
+
+        bool ok = true;
+        switch (flow) {
+          case FlowKind::FallThrough: {
+            const Frame want = fallthroughTo();
+            if (isAt(want)) {
+                takeFallthrough();
+            } else {
+                badTarget(blockName(want.func, want.block) +
+                          " (fallthrough)");
+                ok = false;
+            }
+            break;
+          }
+          case FlowKind::CondBranch: {
+            BranchTally &tally = tallies[term->uid];
+            ++tally.samples;
+            if (tail.taken()) {
+                ++tally.taken;
+                if (term->targetBlock < nblocks &&
+                    next.func == loc.func &&
+                    next.block == term->targetBlock) {
+                    break;
+                }
+                badTarget(blockName(loc.func, term->targetBlock) +
+                          " (taken)");
+                ok = false;
+                break;
+            }
+            const Frame want = fallthroughTo();
+            if (isAt(want)) {
+                takeFallthrough();
+            } else {
+                badTarget(blockName(want.func, want.block) +
+                          " (not-taken fallthrough)");
+                ok = false;
+            }
+            break;
+          }
+          case FlowKind::Jump:
+            if (term->targetBlock < nblocks && next.func == loc.func &&
+                next.block == term->targetBlock) {
+                break;
+            }
+            badTarget(blockName(loc.func, term->targetBlock) +
+                      " (jump)");
+            ok = false;
+            break;
+          case FlowKind::CallFn: {
+            // Legal callees: the static target, or any table entry.
+            bool callee = false;
+            if (next.block == 0) {
+                if (term->indirectTable == program::NoTable) {
+                    callee = next.func == term->targetFunc;
+                } else {
+                    for (const std::uint32_t c :
+                         prog.indirectTables[term->indirectTable]
+                             .callees) {
+                        if (next.func == c) {
+                            callee = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if (callee) {
+                // Callee entry can never collide with the fallthrough
+                // (block 0 vs block >= 1), so this is unambiguous.
+                if (loc.block + 1 < nblocks)
+                    stack.push_back({loc.func, loc.block + 1});
+                break;
+            }
+            const Frame want = fallthroughTo();
+            if (isAt(want)) {
+                // Depth-guard skip: the walker elided the call.
+                takeFallthrough();
+            } else {
+                badTarget("a callee entry or " +
+                          blockName(want.func, want.block) +
+                          " (guarded skip)");
+                ok = false;
+            }
+            break;
+          }
+          case FlowKind::Ret: {
+            const Frame want =
+                stack.empty() ? Frame{0, 0} : stack.back();
+            if (isAt(want)) {
+                if (!stack.empty())
+                    stack.pop_back();
+            } else {
+                badTarget(blockName(want.func, want.block) +
+                          " (return site)");
+                ok = false;
+            }
+            break;
+          }
+        }
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+void
+checkBiases(const Program &prog, Report &report, TraceCheckStats &stats,
+            const std::unordered_map<InstUid, BranchTally> &tallies,
+            const TraceCheckOptions &options)
+{
+    for (const auto &[uid, tally] : tallies) {
+        const InstLoc loc = prog.locate(uid);
+        const StaticInst &si = prog.inst(loc);
+        const double p = si.takenBias;
+
+        if (!options.biasVocabulary.empty()) {
+            bool known = false;
+            for (const float v : options.biasVocabulary) {
+                if (std::fabs(p - v) <= 1e-6) {
+                    known = true;
+                    break;
+                }
+            }
+            if (!known) {
+                report.reportAt(
+                    Severity::Error, "verify.trace.bias-unknown", prog,
+                    loc.func, loc.block, loc.index,
+                    "takenBias " + std::to_string(p) +
+                        " is not in the synthesizer's vocabulary");
+            }
+        }
+
+        if (tally.samples < options.minBranchSamples)
+            continue;
+        ++stats.branchSitesTested;
+        const double n = static_cast<double>(tally.samples);
+        const double k = static_cast<double>(tally.taken);
+        const double bound =
+            options.sigma * std::sqrt(n * p * (1.0 - p)) + 1.0;
+        if (std::fabs(k - n * p) > bound) {
+            report.reportAt(
+                Severity::Error, "verify.trace.bias-skew", prog,
+                loc.func, loc.block, loc.index,
+                "observed taken frequency " +
+                    std::to_string(k / n) + " over " +
+                    std::to_string(tally.samples) +
+                    " samples is outside the " +
+                    std::to_string(options.sigma) +
+                    "-sigma bound of takenBias " + std::to_string(p));
+        }
+    }
+}
+
+} // namespace
+
+TraceCheckStats
+checkTraceConformance(const Program &prog, const Trace &trace,
+                      Report &report, const TraceCheckOptions &options)
+{
+    TraceCheckStats stats;
+    std::unordered_map<InstUid, BranchTally> tallies;
+
+    stats.conformant = replay(prog, trace, report, stats, tallies);
+
+    // Branch frequencies only mean something once the control flow
+    // itself replayed cleanly.
+    if (stats.conformant)
+        checkBiases(prog, report, stats, tallies, options);
+    return stats;
+}
+
+} // namespace critics::verify

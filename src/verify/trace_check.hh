@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Dynamic-trace conformance: replay a Trace against the static Program
+ * that (supposedly) produced it and prove the two agree — the check the
+ * paper's criticality argument rests on, since chains mined from a
+ * trace are only meaningful when the trace is faithful to the program.
+ *
+ * The replay mirrors walkProgram/emitTrace exactly: traces are whole
+ * blocks in visit order, every inter-block transition must follow the
+ * tail terminator's flow (with a call stack inferred from the observed
+ * callee entries, so depth-guard-skipped calls replay too), and each
+ * conditional branch's observed taken frequency must sit inside a
+ * documented confidence bound of its synthesized takenBias.
+ *
+ * The bias bound (DESIGN.md §11): flag a site when
+ *     |taken − n·p| > sigma·sqrt(n·p·(1−p)) + 1
+ * with sigma = 6 and a +1 continuity correction, tested only once the
+ * site has minBranchSamples observations.  At sigma = 6 the per-site
+ * false-positive rate is ~2e-9, so a full 26-app × 16-variant sweep
+ * (~5e4 sites) stays clean with overwhelming probability while a
+ * mis-wired bias (0.5 emitted where 0.96 was declared) is caught from
+ * a few dozen samples.
+ *
+ * Diagnostics (all Error severity, stable dotted codes):
+ *   - verify.trace.unknown-uid     — a uid executes that the program
+ *                                    doesn't contain
+ *   - verify.trace.block-diverged  — a block's dynamic instruction
+ *                                    sequence diverges from its static
+ *                                    body
+ *   - verify.trace.bad-target      — a transition lands on a block the
+ *                                    terminator cannot reach
+ *   - verify.trace.bias-skew       — observed taken frequency outside
+ *                                    the confidence bound of takenBias
+ *   - verify.trace.bias-unknown    — a branch carries a takenBias not
+ *                                    in the synthesizer's vocabulary
+ *
+ * Limitations: empty basic blocks leave no evidence in a trace, so the
+ * replay cannot check them (the synthesizer never emits one, and the
+ * structural verifier owns static well-formedness).
+ */
+
+#ifndef CRITICS_VERIFY_TRACE_CHECK_HH
+#define CRITICS_VERIFY_TRACE_CHECK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "program/program.hh"
+#include "program/trace.hh"
+#include "verify/diagnostics.hh"
+
+namespace critics::verify
+{
+
+struct TraceCheckOptions
+{
+    /** Bias-test width in standard deviations (see file header). */
+    double sigma = 6.0;
+    /** Branch sites with fewer observations than this are not
+     *  bias-tested (the bound is meaningless at tiny n). */
+    std::uint64_t minBranchSamples = 32;
+    /** Legal takenBias values (workload::branchBiasVocabulary).
+     *  Empty disables the vocabulary check. */
+    std::vector<float> biasVocabulary;
+};
+
+struct TraceCheckStats
+{
+    std::uint64_t blocksReplayed = 0;
+    std::uint64_t transitionsChecked = 0;
+    std::uint64_t branchSitesTested = 0;
+    /** True when the replay finished without an error finding; the
+     *  bias tests run only on a conformant replay (frequencies mean
+     *  nothing once the control flow itself is wrong). */
+    bool conformant = false;
+};
+
+/**
+ * Replay `trace` against `prog`; findings go to `report`.  Replay
+ * stops at the first hard error (everything after a divergence is
+ * noise).  Pure observation: neither input is mutated.
+ */
+TraceCheckStats checkTraceConformance(const program::Program &prog,
+                                      const program::Trace &trace,
+                                      Report &report,
+                                      const TraceCheckOptions &options = {});
+
+} // namespace critics::verify
+
+#endif // CRITICS_VERIFY_TRACE_CHECK_HH

@@ -25,10 +25,15 @@ levelFromEnv()
     }
     if (std::strcmp(value, "full") == 0 || std::strcmp(value, "2") == 0)
         return Level::Full;
+    if (std::strcmp(value, "global") == 0 ||
+        std::strcmp(value, "3") == 0) {
+        return Level::Global;
+    }
     static std::once_flag warned;
     std::call_once(warned, [value] {
         critics_warn("unknown CRITICS_VERIFY value '", value,
-                     "' (want off|structural|full); using structural");
+                     "' (want off|structural|full|global); "
+                     "using structural");
     });
     return Level::Structural;
 }
@@ -58,6 +63,8 @@ registerStats(stats::StatRegistry &reg)
          "structural pass post-condition walks");
     bind("verify.fullChecks", c.fullChecks,
          "differential dataflow verifications");
+    bind("verify.globalChecks", c.globalChecks,
+         "whole-program CFG differential verifications");
     bind("verify.errors", c.errors, "error-severity findings");
     bind("verify.warnings", c.warnings, "warning-severity findings");
     bind("verify.advisories", c.advisories, "advisory lint findings");
@@ -77,8 +84,10 @@ PassVerifier::PassVerifier(const char *passName,
         baseWarnings_ = audit_->report.warnings();
         baseAdvice_ = audit_->report.advice();
     }
-    if (level_ == Level::Full)
+    if (level_ >= Level::Full)
         pre_.capture(prog);
+    if (level_ == Level::Global)
+        preGlobal_.capture(prog);
 }
 
 Report *
@@ -91,7 +100,7 @@ void
 PassVerifier::noteTransformedChain(
     const std::vector<program::InstUid> &chain)
 {
-    if (level_ == Level::Full)
+    if (level_ >= Level::Full)
         chains_.push_back(chain);
 }
 
@@ -106,10 +115,16 @@ PassVerifier::finish(const program::Program &prog)
 
     verifyStructure(prog, report, structural_);
     counters().structuralChecks.fetch_add(1, std::memory_order_relaxed);
-    if (level_ == Level::Full) {
+    if (level_ >= Level::Full) {
         verifyDataflow(pre_, prog, report);
         verifyChainsContiguous(prog, chains_, report);
         counters().fullChecks.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (level_ == Level::Global) {
+        verifyCfg(prog, report);
+        verifyGlobal(preGlobal_, prog, report);
+        verifyChainLinks(preGlobal_, prog, chains_, report);
+        counters().globalChecks.fetch_add(1, std::memory_order_relaxed);
     }
 
     // The deltas include the in-pass skip advisories the pass itself

@@ -9,8 +9,12 @@
  *   - structural — one linear well-formedness walk per pass (default;
  *                  also "struct"/"1")
  *   - full       — structural + differential dataflow against a
- *                  pre-pass snapshot + chain contiguity (also "2";
- *                  the default in the test suite and CI smoke)
+ *                  pre-pass snapshot + chain contiguity (also "2")
+ *   - global     — full + whole-program CFG analysis (cfg.hh): block
+ *                  reachability, differential successor edges,
+ *                  live-in/live-out sets, cross-block RAW edges and
+ *                  cross-block chain links (also "3"; the default in
+ *                  the test suite and CI smoke)
  *
  * A PassVerifier brackets a pass: construct it on entry (captures the
  * dataflow snapshot under `full`), call finish() after the transform.
@@ -34,6 +38,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "verify/cfg.hh"
 #include "verify/dataflow.hh"
 #include "verify/diagnostics.hh"
 #include "verify/structural.hh"
@@ -51,6 +56,7 @@ enum class Level : std::uint8_t
     Off,
     Structural,
     Full,
+    Global,
 };
 
 /** Parse CRITICS_VERIFY (default Structural; unknown values warn once
@@ -63,6 +69,7 @@ struct Counters
 {
     std::atomic<std::uint64_t> structuralChecks{0};
     std::atomic<std::uint64_t> fullChecks{0};
+    std::atomic<std::uint64_t> globalChecks{0};
     std::atomic<std::uint64_t> errors{0};
     std::atomic<std::uint64_t> warnings{0};
     std::atomic<std::uint64_t> advisories{0};
@@ -82,7 +89,7 @@ void registerStats(stats::StatRegistry &reg);
  */
 struct PassAudit
 {
-    Level level = Level::Full; ///< audited passes default to full
+    Level level = Level::Global; ///< audited passes get every tier
     Report report;
     std::vector<std::vector<program::InstUid>> transformedChains;
 };
@@ -91,7 +98,8 @@ struct PassAudit
 class PassVerifier
 {
   public:
-    /** Snapshot `prog` (under Full) before the pass mutates it. */
+    /** Snapshot `prog` (under Full and above; a second, cross-block
+     *  snapshot under Global) before the pass mutates it. */
     PassVerifier(const char *passName, const program::Program &prog,
                  PassAudit *audit = nullptr);
 
@@ -116,6 +124,7 @@ class PassVerifier
     Level level_;
     StructuralOptions structural_;
     DataflowSnapshot pre_;
+    GlobalSnapshot preGlobal_;
     std::vector<std::vector<program::InstUid>> chains_;
     std::size_t baseErrors_ = 0;
     std::size_t baseWarnings_ = 0;

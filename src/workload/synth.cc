@@ -520,4 +520,12 @@ synthesize(const AppProfile &profile)
     return prog;
 }
 
+std::vector<float>
+branchBiasVocabulary(const AppProfile &profile)
+{
+    // Must mirror the takenBias assignments in synthesize() above.
+    return {0.04f, 0.5f, 0.96f,
+            static_cast<float>(profile.loopContinueBias)};
+}
+
 } // namespace critics::workload

@@ -35,6 +35,15 @@ enum : std::uint32_t
  */
 program::Program synthesize(const AppProfile &profile);
 
+/**
+ * Every takenBias value synthesize() can assign to a conditional
+ * branch under this profile: the loop back-edge continue bias plus the
+ * forward-skip trio (wild 0.5, skewed 0.04/0.96).  Ground truth for
+ * the trace-conformance checker's per-branch bias test
+ * (verify.trace.bias-unknown fires on a bias outside this set).
+ */
+std::vector<float> branchBiasVocabulary(const AppProfile &profile);
+
 } // namespace critics::workload
 
 #endif // CRITICS_WORKLOAD_SYNTH_HH

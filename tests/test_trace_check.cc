@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Dynamic-trace conformance (src/verify/trace_check.*): a faithfully
+ * emitted trace replays clean; seeded mutations prove every
+ * verify.trace.* diagnostic fires with its exact location (unknown
+ * uid, diverged block body, synthetic bad-target branch, bias-skewed
+ * trace, out-of-vocabulary bias); transformed variants of a real app
+ * stay conformant end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "program/emit.hh"
+#include "program/walker.hh"
+#include "sim/experiment.hh"
+#include "sim/variants.hh"
+#include "verify/trace_check.hh"
+#include "verify/verify.hh"
+#include "workload/profile.hh"
+#include "workload/synth.hh"
+
+using namespace critics;
+using critics::test::inst;
+using critics::test::makeProgram;
+using program::BasicBlock;
+using program::FlowKind;
+using program::Program;
+using program::StaticInst;
+using program::Trace;
+using isa::OpClass;
+
+namespace
+{
+
+/** b0 ends in a 50/50 branch over b1; b2 returns (the walker's empty
+ *  stack sends control back to f0/b0, so the trace loops). */
+Program
+loopProgram(float bias = 0.5f)
+{
+    BasicBlock b0;
+    b0.insts.push_back(inst(0, OpClass::IntAlu, 8));
+    StaticInst br = inst(1, OpClass::Branch, isa::NoReg, 8);
+    br.flow = FlowKind::CondBranch;
+    br.targetBlock = 2;
+    br.takenBias = bias;
+    b0.insts.push_back(br);
+    BasicBlock b1;
+    b1.insts.push_back(inst(2, OpClass::IntAlu, 9, 8));
+    BasicBlock b2;
+    b2.insts.push_back(inst(3, OpClass::IntAlu, 10, 8));
+    StaticInst ret = inst(4, OpClass::Return, isa::NoReg);
+    ret.flow = FlowKind::Ret;
+    b2.insts.push_back(ret);
+    return makeProgram({b0, b1, b2});
+}
+
+Trace
+emitFrom(const Program &prog, std::uint64_t targetInsts = 8000)
+{
+    Rng rng(42);
+    program::WalkLimits limits;
+    limits.targetInsts = targetInsts;
+    const program::ControlPath path =
+        program::walkProgram(prog, rng, limits);
+    return program::emitTrace(prog, path);
+}
+
+verify::TraceCheckOptions
+vocabOptions(std::initializer_list<float> vocab = {0.04f, 0.5f, 0.96f,
+                                                   0.93f})
+{
+    verify::TraceCheckOptions options;
+    options.biasVocabulary = vocab;
+    return options;
+}
+
+} // namespace
+
+TEST(TraceCheck, CleanTraceConforms)
+{
+    const Program prog = loopProgram();
+    const Trace trace = emitFrom(prog);
+    verify::Report report;
+    const auto stats = verify::checkTraceConformance(
+        prog, trace, report, vocabOptions());
+    EXPECT_TRUE(report.clean()) << report.render();
+    EXPECT_TRUE(stats.conformant);
+    EXPECT_GT(stats.blocksReplayed, 100u);
+    EXPECT_EQ(stats.transitionsChecked, stats.blocksReplayed - 1);
+    EXPECT_EQ(stats.branchSitesTested, 1u);
+}
+
+TEST(TraceCheck, UnknownUidFires)
+{
+    const Program prog = loopProgram();
+    Trace trace = emitFrom(prog);
+    trace.insts[40].staticUid = 9999;
+    verify::Report report;
+    const auto stats =
+        verify::checkTraceConformance(prog, trace, report);
+    EXPECT_FALSE(stats.conformant);
+    ASSERT_EQ(report.countOf("verify.trace.unknown-uid"), 1u);
+    EXPECT_NE(report.diags().front().message.find("9999"),
+              std::string::npos);
+}
+
+TEST(TraceCheck, BlockDivergedFires)
+{
+    const Program prog = loopProgram();
+    Trace trace = emitFrom(prog);
+    // Find a dynamic instance of uid 1 (b0's terminator, static index
+    // 1) and replace it with a uid the program *does* contain: the
+    // body no longer matches the block.
+    std::size_t idx = 0;
+    while (trace.insts[idx].staticUid != 1)
+        ++idx;
+    trace.insts[idx].staticUid = 3;
+    verify::Report report;
+    const auto stats =
+        verify::checkTraceConformance(prog, trace, report);
+    EXPECT_FALSE(stats.conformant);
+    ASSERT_EQ(report.countOf("verify.trace.block-diverged"), 1u);
+    const auto &diag = report.diags().front();
+    EXPECT_TRUE(diag.located);
+    EXPECT_EQ(diag.func, 0u);
+    EXPECT_EQ(diag.block, 0u);
+    EXPECT_EQ(diag.index, 1u);
+}
+
+TEST(TraceCheck, BadTargetFires)
+{
+    Program prog = loopProgram();
+    const Trace trace = emitFrom(prog);
+    // Synthetic bad target: retarget the branch after emitting, so
+    // every taken transition in the trace lands on a non-successor.
+    prog.funcs[0].blocks[0].insts[1].targetBlock = 1;
+    verify::Report report;
+    const auto stats =
+        verify::checkTraceConformance(prog, trace, report);
+    EXPECT_FALSE(stats.conformant);
+    ASSERT_EQ(report.countOf("verify.trace.bad-target"), 1u);
+    const auto &diag = report.diags().front();
+    EXPECT_TRUE(diag.located);
+    EXPECT_EQ(diag.func, 0u);
+    EXPECT_EQ(diag.block, 0u);
+    EXPECT_EQ(diag.index, 1u); // the terminator
+}
+
+TEST(TraceCheck, BiasSkewFires)
+{
+    Program prog = loopProgram(0.5f);
+    const Trace trace = emitFrom(prog); // ~50% taken, thousands of n
+    // The program now claims heavy skew the trace does not show.
+    prog.funcs[0].blocks[0].insts[1].takenBias = 0.96f;
+    verify::Report report;
+    const auto stats = verify::checkTraceConformance(
+        prog, trace, report, vocabOptions());
+    EXPECT_TRUE(stats.conformant); // control flow itself is fine
+    EXPECT_EQ(stats.branchSitesTested, 1u);
+    ASSERT_EQ(report.countOf("verify.trace.bias-skew"), 1u);
+    const auto &diag = report.diags().front();
+    EXPECT_TRUE(diag.located);
+    EXPECT_EQ(diag.block, 0u);
+    EXPECT_EQ(diag.index, 1u);
+}
+
+TEST(TraceCheck, BiasWithinBoundIsClean)
+{
+    const Program prog = loopProgram(0.96f);
+    const Trace trace = emitFrom(prog);
+    verify::Report report;
+    verify::checkTraceConformance(prog, trace, report, vocabOptions());
+    EXPECT_EQ(report.countOf("verify.trace.bias-skew"), 0u);
+}
+
+TEST(TraceCheck, BiasUnknownFires)
+{
+    const Program prog = loopProgram(0.7f); // not in the vocabulary
+    const Trace trace = emitFrom(prog);
+    verify::Report report;
+    verify::checkTraceConformance(prog, trace, report, vocabOptions());
+    ASSERT_EQ(report.countOf("verify.trace.bias-unknown"), 1u);
+    EXPECT_EQ(report.countOf("verify.trace.bias-skew"), 0u);
+    const auto &diag = report.diags().front();
+    EXPECT_EQ(diag.block, 0u);
+    EXPECT_EQ(diag.index, 1u);
+}
+
+TEST(TraceCheck, SmallSamplesSkipBiasTest)
+{
+    Program prog = loopProgram(0.5f);
+    // A walk too short to accumulate minBranchSamples observations.
+    const Trace trace = emitFrom(prog, 40);
+    prog.funcs[0].blocks[0].insts[1].takenBias = 0.96f;
+    verify::Report report;
+    const auto stats = verify::checkTraceConformance(
+        prog, trace, report, vocabOptions());
+    EXPECT_TRUE(stats.conformant);
+    EXPECT_EQ(stats.branchSitesTested, 0u);
+    EXPECT_EQ(report.countOf("verify.trace.bias-skew"), 0u);
+}
+
+TEST(TraceCheck, SynthesizedBaselineConforms)
+{
+    auto profile = workload::findApp("Acrobat");
+    profile.numFunctions = 80;
+    profile.dispatchTargets = 16;
+    sim::ExperimentOptions options;
+    options.traceInsts = 30000;
+    sim::AppExperiment exp(profile, options);
+    verify::TraceCheckOptions check;
+    check.biasVocabulary = workload::branchBiasVocabulary(profile);
+    verify::Report report;
+    const auto stats = verify::checkTraceConformance(
+        exp.baseProgram(), exp.baseTrace(), report, check);
+    EXPECT_TRUE(report.clean()) << report.render();
+    EXPECT_TRUE(stats.conformant);
+    EXPECT_GT(stats.branchSitesTested, 0u);
+}
+
+TEST(TraceCheck, TransformedVariantsConform)
+{
+    auto profile = workload::findApp("Acrobat");
+    profile.numFunctions = 80;
+    profile.dispatchTargets = 16;
+    sim::ExperimentOptions options;
+    options.traceInsts = 30000;
+    sim::AppExperiment exp(profile, options);
+    verify::TraceCheckOptions check;
+    check.biasVocabulary = workload::branchBiasVocabulary(profile);
+    for (const char *name :
+         {"hoist", "critic", "critic-branchpair", "opp16", "compress",
+          "opp16+critic"}) {
+        verify::PassAudit audit;
+        const sim::MaterializedTransform m = exp.materializeTransform(
+            sim::parseVariant(name), &audit);
+        EXPECT_TRUE(audit.report.clean())
+            << name << ": " << audit.report.render();
+        verify::Report report;
+        const auto stats = verify::checkTraceConformance(
+            m.prog, m.trace, report, check);
+        EXPECT_TRUE(report.clean())
+            << name << ": " << report.render();
+        EXPECT_TRUE(stats.conformant) << name;
+    }
+}

@@ -558,6 +558,10 @@ TEST(VerifyLevel, EnvParsing)
     EXPECT_EQ(verify::levelFromEnv(), verify::Level::Full);
     ::setenv("CRITICS_VERIFY", "2", 1);
     EXPECT_EQ(verify::levelFromEnv(), verify::Level::Full);
+    ::setenv("CRITICS_VERIFY", "global", 1);
+    EXPECT_EQ(verify::levelFromEnv(), verify::Level::Global);
+    ::setenv("CRITICS_VERIFY", "3", 1);
+    EXPECT_EQ(verify::levelFromEnv(), verify::Level::Global);
     ::unsetenv("CRITICS_VERIFY");
     EXPECT_EQ(verify::levelFromEnv(), verify::Level::Structural);
     // Unknown values warn (once) and fall back to the default.
